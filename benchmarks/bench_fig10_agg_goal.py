@@ -1,0 +1,40 @@
+"""Figure 10 — the aggregation goal K controls the speed/steps trade-off.
+
+Paper claims reproduced here (fixed concurrency, K swept up to C):
+* larger K → fewer server model updates per hour (inverse relationship);
+* larger K → slower convergence to the target loss (the server takes
+  bigger but less frequent steps, and large cohorts waste updates).
+"""
+
+import numpy as np
+
+from repro.harness import SMOKE, figure10
+from repro.harness.figures import print_figure10
+
+
+def test_fig10_goal_sweep(once, benchmark):
+    res = once(figure10, scale=SMOKE)
+    print_figure10(res)
+
+    rows = [r for r in res.rows if r.time_to_target_h is not None]
+    assert len(rows) >= 3
+
+    goals = [r.goal for r in rows]
+    times = [r.time_to_target_h for r in rows]
+    rates = [r.steps_per_hour for r in rows]
+
+    # Server step frequency falls as K grows, ~inversely.
+    assert all(a > b for a, b in zip(rates, rates[1:]))
+    inv = rates[0] / rates[-1]
+    assert inv > 0.5 * (goals[-1] / goals[0])
+
+    # Convergence time increases with K (monotone up to simulation noise:
+    # compare the ends of the sweep).
+    assert times[-1] > times[0], "paper: larger K is slower"
+
+    benchmark.extra_info["hours_by_goal"] = {
+        r.goal: round(r.time_to_target_h, 3) for r in rows
+    }
+    benchmark.extra_info["steps_per_hour_by_goal"] = {
+        r.goal: round(r.steps_per_hour, 1) for r in rows
+    }

@@ -1,0 +1,43 @@
+"""Figure 11 — over-selection biases who gets aggregated; AsyncFL does not.
+
+Paper claims reproduced here (two-sample KS tests against the ground
+truth, which is SyncFL without over-selection):
+* AsyncFL's aggregated-participant distributions (execution time and
+  example count) are statistically indistinguishable from the ground
+  truth (paper: D = 8.8e-4, p = 0.98);
+* SyncFL with over-selection is distinguishable (paper: D = 6.6e-2,
+  p = 0.0) — it systematically drops slow clients, which are also the
+  clients with the most data.
+"""
+
+import numpy as np
+
+from repro.harness import SMOKE, figure11
+from repro.harness.figures import print_figure11
+
+
+def test_fig11_sampling_bias(once, benchmark):
+    res = once(figure11, scale=SMOKE)
+    print_figure11(res)
+
+    # AsyncFL matches the unbiased reference...
+    assert res.ks_async_exec.matches(alpha=0.01), "async exec dist must match truth"
+    assert res.ks_async_examples.matches(alpha=0.01)
+    # ...over-selection does not.
+    assert not res.ks_sync_os_exec.matches(alpha=0.01), "OS must be detectably biased"
+    assert not res.ks_sync_os_examples.matches(alpha=0.01)
+    # Effect sizes ordered as in the paper: D(async) << D(sync w/ OS).
+    assert res.ks_sync_os_exec.statistic > 4 * res.ks_async_exec.statistic
+
+    # Mechanism: OS drops slow clients and (correlated) data-rich clients.
+    assert res.sync_os_exec.mean() < res.truth_exec.mean()
+    assert res.sync_os_examples.mean() < res.truth_examples.mean()
+    # Async preserves both means.
+    assert abs(res.async_exec.mean() - res.truth_exec.mean()) < 0.15 * res.truth_exec.mean()
+
+    benchmark.extra_info["D_async_exec"] = round(res.ks_async_exec.statistic, 4)
+    benchmark.extra_info["D_sync_os_exec"] = round(res.ks_sync_os_exec.statistic, 4)
+    benchmark.extra_info["p_async_exec"] = round(res.ks_async_exec.pvalue, 4)
+    benchmark.extra_info["p_sync_os_exec"] = float(
+        np.format_float_scientific(res.ks_sync_os_exec.pvalue, 2)
+    )

@@ -1,0 +1,54 @@
+"""Figure 12 — decomposing AsyncFL's advantage via four training curves.
+
+Paper claims reproduced here (all at the same max concurrency; the
+"big" goal equals the sync round size, the "small" goal is the paper's
+K=100 analogue):
+* best-to-worst at any late time point: AsyncFL small K, AsyncFL big K,
+  SyncFL with over-selection, SyncFL without over-selection;
+* the async-small-K vs async-big-K gap isolates the frequent-server-step
+  advantage; the async-big-K vs sync-with-OS gap isolates the
+  sampling-bias cost; the sync-without-OS curve shows the straggler cost.
+"""
+
+import numpy as np
+
+from repro.harness import SMOKE, figure12
+from repro.harness.figures import print_figure12
+
+
+def _loss_at(times, losses, t):
+    """Loss of a curve at time t (step interpolation)."""
+    idx = np.searchsorted(times, t, side="right") - 1
+    return float(losses[max(idx, 0)])
+
+
+def test_fig12_training_curves_ordering(once, benchmark):
+    res = once(figure12, scale=SMOKE)
+    print_figure12(res)
+
+    curves = res.curves
+    assert set(curves) == {
+        "async_small_k", "async_big_k", "sync_with_os", "sync_without_os"
+    }
+    for name, (times, losses) in curves.items():
+        assert len(times) >= 3, f"{name} produced too few steps"
+        assert losses[-1] < losses[0], f"{name} did not train"
+
+    # Compare at a late common time point (the paper reads the 10-hour mark).
+    t_eval = min(t[-1] for t, _ in curves.values()) * 0.9
+    at = {name: _loss_at(t, l, t_eval) for name, (t, l) in curves.items()}
+
+    assert at["async_small_k"] <= at["async_big_k"], "frequent steps must help"
+    assert at["async_big_k"] <= at["sync_with_os"] + 1e-9, "avoiding bias must help"
+    assert at["sync_with_os"] < at["sync_without_os"], "stragglers must hurt most"
+
+    # Step counts mirror the frequency argument.
+    assert len(curves["async_small_k"][0]) > 2 * len(curves["async_big_k"][0])
+    assert len(curves["async_big_k"][0]) >= len(curves["sync_with_os"][0])
+
+    benchmark.extra_info["loss_at_common_time"] = {
+        k: round(v, 4) for k, v in at.items()
+    }
+    benchmark.extra_info["server_steps"] = {
+        k: len(t) for k, (t, _) in curves.items()
+    }

@@ -1,0 +1,37 @@
+"""Figure 13 — hours to target for the four FL design configurations.
+
+Paper claims reproduced here:
+* AsyncFL with small K is the fastest configuration (paper: 4.3× faster
+  than SyncFL with over-selection; about half the speedup from frequent
+  steps, half from avoiding sampling bias);
+* SyncFL without over-selection is by far the slowest (paper: ~10×
+  slower than AsyncFL — the full straggler penalty);
+* ordering: async small K < async big K < sync w/ OS < sync w/o OS.
+"""
+
+from repro.harness import SMOKE, figure13
+from repro.harness.figures import print_figure13
+
+
+def test_fig13_design_ablation(once, benchmark):
+    res = once(figure13, scale=SMOKE)
+    print_figure13(res)
+
+    h = res.hours
+    for name, value in h.items():
+        assert value is not None, f"{name} never reached the target"
+
+    assert h["async_small_k"] < h["async_big_k"] < h["sync_without_os"]
+    assert h["sync_with_os"] < h["sync_without_os"]
+    assert h["async_small_k"] < h["sync_with_os"]
+
+    # Magnitudes: async-vs-sync-with-OS should be a clear multiple (the
+    # paper's 4.3x), and sync-without-OS should be dramatically slower.
+    speedup_vs_os = h["sync_with_os"] / h["async_small_k"]
+    slowdown_no_os = h["sync_without_os"] / h["async_small_k"]
+    assert speedup_vs_os > 1.5
+    assert slowdown_no_os > 4.0
+
+    benchmark.extra_info["hours"] = {k: round(v, 3) for k, v in h.items()}
+    benchmark.extra_info["speedup_vs_sync_os"] = round(speedup_vs_os, 2)
+    benchmark.extra_info["slowdown_sync_no_os"] = round(slowdown_no_os, 2)

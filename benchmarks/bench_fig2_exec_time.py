@@ -1,0 +1,32 @@
+"""Figure 2 — client execution-time heterogeneity and the straggler gap.
+
+Paper claims reproduced here:
+* per-client training time spans more than two orders of magnitude;
+* at concurrency = aggregation goal = 1000, the mean SyncFL round duration
+  is ~21× the mean client execution time (we assert ≥ 10× and ≤ 60×:
+  same order, straggler-dominated).
+"""
+
+from repro.harness import figure2
+from repro.harness.figures import print_figure2
+
+
+def test_fig2_execution_time_distribution(once, benchmark):
+    res = once(figure2, cohort=1000, n_hist_samples=20_000, n_rounds=20)
+    print_figure2(res)
+
+    assert res.spread_orders_of_magnitude > 2.0, "paper: spread > 2 orders"
+    assert res.mean_client_s > res.median_client_s, "heavy right tail"
+    ratio = res.round_to_client_ratio
+    assert 10.0 <= ratio <= 60.0, f"paper: ~21x straggler gap, got {ratio:.1f}x"
+
+    benchmark.extra_info["round_to_client_ratio"] = round(ratio, 2)
+    benchmark.extra_info["spread_orders"] = round(res.spread_orders_of_magnitude, 2)
+    benchmark.extra_info["mean_client_s"] = round(res.mean_client_s, 2)
+
+
+def test_fig2_histogram_mass_is_normalized(once):
+    res = once(figure2, cohort=200, n_hist_samples=5_000, n_rounds=5)
+    assert res.density.max() == 1.0
+    assert (res.density >= 0).all()
+    assert len(res.bin_edges) == len(res.density) + 1

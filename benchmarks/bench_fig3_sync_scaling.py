@@ -1,0 +1,41 @@
+"""Figure 3 — SyncFL hits a scaling wall as concurrency grows.
+
+Paper claims reproduced here (SyncFL-only concurrency sweep):
+* time-to-target falls quickly at first, then plateaus (diminishing
+  returns: the last doubling buys much less than the first);
+* communication trips to reach the target grow sharply with concurrency
+  (the paper's 1300→2600 doubling costs +73 % trips for −17 % time).
+"""
+
+from repro.harness import SMOKE, figure3
+from repro.harness.figures import print_figure3
+
+
+def test_fig3_syncfl_scaling_limits(once, benchmark):
+    res = once(figure3, scale=SMOKE)
+    print_figure3(res)
+
+    pts = [p for p in res.points if p.time_to_target_h is not None]
+    assert len(pts) >= 3, "sweep points must reach the target"
+    times = [p.time_to_target_h for p in pts]
+    trips = [p.comm_trips for p in pts]
+
+    # Time decreases with concurrency overall...
+    assert times[-1] < times[0]
+    # ...but with diminishing returns: the first concurrency doubling
+    # helps proportionally more than the last one.
+    first_gain = times[0] / times[1]
+    last_gain = times[-2] / times[-1]
+    assert first_gain > last_gain, (
+        f"expected plateau: first doubling {first_gain:.2f}x vs "
+        f"last {last_gain:.2f}x"
+    )
+    # Communication cost rises with concurrency.
+    assert trips[-1] > trips[0] * 1.3
+
+    benchmark.extra_info["hours_by_concurrency"] = {
+        p.concurrency: round(p.time_to_target_h, 3) for p in pts
+    }
+    benchmark.extra_info["trips_by_concurrency"] = {
+        p.concurrency: p.comm_trips for p in pts
+    }

@@ -1,0 +1,46 @@
+"""Figure 8 — server model updates per hour vs concurrency.
+
+Paper claims reproduced here:
+* with the aggregation goal fixed (K=100 in the paper), AsyncFL's server
+  update rate grows ~linearly with concurrency;
+* SyncFL's update rate stays ~flat (its goal grows with concurrency and
+  rounds are straggler-bound), so the async/sync ratio widens with
+  concurrency — ~30× at the top of the paper's sweep; we assert it keeps
+  growing and exceeds 10× at the top of the scaled sweep.
+"""
+
+import numpy as np
+
+from repro.harness import SMOKE, figure8
+from repro.harness.figures import print_figure8
+
+
+def test_fig8_update_rate_scaling(once, benchmark):
+    res = once(figure8, scale=SMOKE)
+    print_figure8(res)
+
+    conc = np.array(res.concurrencies, dtype=float)
+    async_rate = np.array(res.async_steps_per_hour)
+    sync_rate = np.array(res.sync_steps_per_hour)
+
+    # Async rate grows ~linearly with concurrency: doubling concurrency
+    # should come close to doubling the rate.
+    growth = async_rate[1:] / async_rate[:-1]
+    conc_growth = conc[1:] / conc[:-1]
+    assert np.all(growth > 0.6 * conc_growth), f"sublinear async scaling: {growth}"
+
+    # Sync rate is ~flat across the sweep.
+    assert sync_rate.max() < 2.0 * max(sync_rate.min(), 1e-9)
+
+    # The ratio widens with concurrency and is large at the top.
+    ratios = async_rate / sync_rate
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] > 10.0, f"paper: ~30x at the top; got {ratios[-1]:.1f}x"
+
+    benchmark.extra_info["async_steps_per_hour"] = dict(
+        zip(res.concurrencies, np.round(async_rate, 1))
+    )
+    benchmark.extra_info["sync_steps_per_hour"] = dict(
+        zip(res.concurrencies, np.round(sync_rate, 1))
+    )
+    benchmark.extra_info["top_ratio"] = round(float(ratios[-1]), 1)

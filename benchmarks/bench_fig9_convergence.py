@@ -1,0 +1,36 @@
+"""Figure 9 — the headline: AsyncFL converges faster with fewer trips.
+
+Paper claims reproduced here (Async vs Sync at each concurrency):
+* AsyncFL reaches the target loss faster at every concurrency level;
+* the speedup *widens* as concurrency grows (paper: 2× → 5×);
+* AsyncFL needs fewer communication trips, and that gap also widens
+  (paper: 2× → 8×).
+"""
+
+from repro.harness import SMOKE, figure9
+from repro.harness.figures import print_figure9
+
+
+def test_fig9_async_beats_sync_increasingly(once, benchmark):
+    res = once(figure9, scale=SMOKE)
+    print_figure9(res)
+
+    rows = [r for r in res.rows if r.speedup is not None]
+    assert len(rows) >= 3, "both methods must reach the target"
+
+    # Async wins everywhere.
+    for r in rows:
+        assert r.speedup > 1.0, f"async slower at C={r.concurrency}"
+        assert r.trip_ratio is not None and r.trip_ratio > 0.9
+
+    # The speedup and the communication gap widen with concurrency.
+    assert rows[-1].speedup > rows[0].speedup, "speedup must widen (paper: 2x->5x)"
+    assert rows[-1].speedup > 2.0, "top-of-sweep speedup should be substantial"
+    assert rows[-1].trip_ratio > rows[0].trip_ratio, "trip gap must widen (2x->8x)"
+
+    benchmark.extra_info["speedups"] = {
+        r.concurrency: round(r.speedup, 2) for r in rows
+    }
+    benchmark.extra_info["trip_ratios"] = {
+        r.concurrency: round(r.trip_ratio, 2) for r in rows
+    }

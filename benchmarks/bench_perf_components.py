@@ -1,0 +1,148 @@
+"""Component performance micro-benchmarks (true repeated-timing benches).
+
+Not paper figures — these measure the reproduction's own building blocks:
+mask expansion throughput, end-to-end SecAgg participation cost, Merkle
+proof generation/verification, NumPy-LSTM training step rate, and the
+discrete-event engine's event throughput.  Useful for catching
+performance regressions in the substrate that every experiment runs on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import CorpusSpec, FederatedDataset, TopicMarkovCorpus
+from repro.nn import LSTMLanguageModel, ModelConfig
+from repro.secagg import (
+    PowerOfTwoGroup,
+    SecAggClient,
+    VerifiableLog,
+    build_deployment,
+    expand_mask,
+    verify_inclusion,
+)
+from repro.sim import Simulator
+from repro.utils import child_rng
+
+
+class TestSecAggPerformance:
+    def test_mask_expansion_1m_elements(self, benchmark):
+        group = PowerOfTwoGroup(32)
+        seed = b"0123456789abcdef"
+        out = benchmark(expand_mask, seed, 1_000_000, group)
+        assert out.size == 1_000_000
+
+    def test_client_participation_64k_model(self, benchmark):
+        dep = build_deployment(vector_length=65_536, threshold=1, seed=0)
+        rng = child_rng(0, "bench-client")
+        update = rng.uniform(-1, 1, 65_536)
+
+        def participate():
+            client = SecAggClient(
+                0, dep.codec, dep.authority, dep.tsa.binary_hash,
+                dep.tsa.params_hash, child_rng(0, "bench-run"),
+            )
+            return client.participate(update, dep.server.assign_leg())
+
+        sub = benchmark(participate)
+        assert sub.masked_update.size == 65_536
+
+    def test_group_aggregation_throughput(self, benchmark):
+        group = PowerOfTwoGroup(32)
+        rng = child_rng(1, "bench-agg")
+        vectors = [group.random(rng, 262_144) for _ in range(16)]
+        out = benchmark(group.sum, vectors)
+        assert out.size == 262_144
+
+
+class TestSecureVsPlainOverhead:
+    """What the privacy costs: masked vs plain buffered aggregation."""
+
+    def _drive(self, agg, dim, n_updates):
+        from repro.core import TrainingResult
+
+        for cid in range(n_updates):
+            version, _ = agg.register_download(cid)
+            agg.receive_update(
+                TrainingResult(
+                    client_id=cid,
+                    delta=np.full(dim, 0.01, dtype=np.float32),
+                    num_examples=10,
+                    train_loss=0.0,
+                    initial_version=version,
+                )
+            )
+
+    def test_plain_fedbuff_updates(self, benchmark):
+        from repro.core import FedBuffAggregator, FedSGD, GlobalModelState
+
+        dim, goal = 4096, 8
+
+        def run():
+            state = GlobalModelState(np.zeros(dim, np.float32), FedSGD())
+            agg = FedBuffAggregator(state, goal=goal)
+            self._drive(agg, dim, 2 * goal)
+            return agg.version
+
+        assert benchmark(run) == 2
+
+    def test_secure_fedbuff_updates(self, benchmark):
+        from repro.core import FedSGD, GlobalModelState
+        from repro.system import SecureBufferedAggregator
+
+        dim, goal = 4096, 8
+
+        def run():
+            state = GlobalModelState(np.zeros(dim, np.float32), FedSGD())
+            agg = SecureBufferedAggregator(state, goal=goal, vector_length=dim, seed=0)
+            self._drive(agg, dim, 2 * goal)
+            return agg.version
+
+        assert benchmark.pedantic(run, rounds=3, iterations=1) == 2
+
+
+class TestMerklePerformance:
+    def test_proof_generation_1k_log(self, benchmark):
+        log = VerifiableLog()
+        for i in range(1024):
+            log.append(f"entry-{i}".encode())
+        proof = benchmark(log.inclusion_proof, 513)
+        assert len(proof) == 10  # log2(1024)
+
+    def test_proof_verification(self, benchmark):
+        log = VerifiableLog()
+        for i in range(1024):
+            log.append(f"entry-{i}".encode())
+        proof = log.inclusion_proof(513)
+        root = log.root()
+        ok = benchmark(verify_inclusion, log.entry(513), 513, 1024, proof, root)
+        assert ok
+
+
+class TestTrainingPerformance:
+    def test_lstm_loss_and_grad_step(self, benchmark):
+        model = LSTMLanguageModel(ModelConfig(vocab_size=64, embed_dim=16,
+                                              hidden_dim=32), seed=0)
+        corpus = TopicMarkovCorpus(CorpusSpec(vocab_size=64, seq_len=16), seed=0)
+        fd = FederatedDataset(corpus)
+        ds = fd.client_dataset(0, 40)
+        x, y = ds.train_x[:32], ds.train_y[:32]
+        loss, grad = benchmark(model.loss_and_grad, x, y)
+        assert np.isfinite(loss) and np.isfinite(grad).all()
+
+
+class TestEnginePerformance:
+    def test_event_throughput_100k(self, benchmark):
+        def run_100k():
+            sim = Simulator()
+            count = [0]
+
+            def tick():
+                count[0] += 1
+                if count[0] < 100_000:
+                    sim.schedule(1.0, tick)
+
+            sim.schedule(0.0, tick)
+            sim.run_until_idle(max_events=200_000)
+            return count[0]
+
+        assert benchmark(run_100k) == 100_000

@@ -1,0 +1,36 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every ``bench_fig*`` / ``bench_table1`` module regenerates one figure or
+table of the paper at the SMOKE scale (concurrency and goals divided by
+~40 relative to the paper; shapes are scale-free), prints the rows/series,
+asserts the paper's qualitative claims, and records headline numbers in
+``benchmark.extra_info`` so they land in the JSON report.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Use the harness directly (``repro.harness``) with ``DEFAULT`` or ``PAPER``
+scales for higher-fidelity regeneration.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiment regenerators are deterministic and expensive; multiple
+    timing rounds would only repeat identical work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

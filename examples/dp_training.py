@@ -1,0 +1,68 @@
+"""Differentially private AsyncFL — the paper's named future-work feature.
+
+Trains the quickstart LSTM with :class:`DPFedBuffAggregator`: every client
+delta is L2-clipped, calibrated Gaussian noise is added at each server
+step, and a zCDP accountant reports the (ε, δ) guarantee as training
+progresses.  Shows the privacy/utility trade-off across noise multipliers.
+
+Run:
+    python examples/dp_training.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    DPConfig,
+    DPFedBuffAggregator,
+    FedAdam,
+    GlobalModelState,
+    LocalTrainer,
+)
+from repro.data import CorpusSpec, FederatedDataset, TopicMarkovCorpus
+from repro.harness import print_table
+from repro.nn import LSTMLanguageModel, ModelConfig
+from repro.utils import child_rng
+
+
+def train_with_dp(noise_multiplier: float, steps: int = 25, goal: int = 8):
+    """One DP-FedBuff run; returns (final test loss, epsilon at delta=1e-6)."""
+    vocab = 24
+    model_cfg = ModelConfig(vocab_size=vocab, embed_dim=8, hidden_dim=16)
+    corpus = TopicMarkovCorpus(CorpusSpec(vocab_size=vocab, seq_len=10), seed=5)
+    dataset = FederatedDataset(corpus)
+    model = LSTMLanguageModel(model_cfg, seed=0)
+    trainer = LocalTrainer(model_cfg, lr=1.0, batch_size=8, seed=0)
+    state = GlobalModelState(model.get_flat(), FedAdam(lr=0.05))
+
+    dp = DPConfig(clip_norm=1.0, noise_multiplier=noise_multiplier, delta=1e-6)
+    agg = DPFedBuffAggregator(state, goal=goal, dp=dp, seed=0)
+
+    ex, ey = dataset.evaluation_batch(list(range(12)), [30] * 12)
+    client = 100
+    for step in range(steps):
+        for _ in range(goal):
+            version, vec = agg.register_download(client)
+            ds = dataset.client_dataset(client, 30)
+            agg.receive_update(trainer.train(vec, ds, version))
+            client += 1
+    loss = trainer.evaluate(state.current(), ex, ey)
+    return loss, agg.epsilon_spent
+
+
+def main() -> None:
+    print("DP-FedBuff: privacy/utility trade-off (25 server steps, delta=1e-6)")
+    rows = []
+    for z in (0.0, 0.3, 1.0, 3.0):
+        loss, eps = train_with_dp(z)
+        rows.append([z, round(loss, 4), "inf" if np.isinf(eps) else round(eps, 2)])
+    print_table(["noise multiplier z", "final test loss", "epsilon"], rows,
+                title="privacy/utility frontier")
+    print(
+        "z=0 is non-private (epsilon=inf); larger z buys a tighter epsilon at "
+        "the cost of model quality. The accountant composes one Gaussian "
+        "release per server step under zCDP."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: federated next-word prediction with buffered async aggregation.
+
+Trains a real (NumPy) LSTM language model across a simulated heterogeneous
+device fleet using PAPAYA's AsyncFL mode (FedBuff + FedAdam), then prints
+the training curve and a sample of model completions.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.core import FedAdam, GlobalModelState, LocalTrainer, TaskConfig, TrainingMode
+from repro.data import CorpusSpec, FederatedDataset, TopicMarkovCorpus, Vocabulary
+from repro.harness import print_series, print_table
+from repro.nn import LSTMLanguageModel, ModelConfig
+from repro.sim import DevicePopulation, PopulationConfig
+from repro.system import FederatedSimulation, RealTrainingAdapter
+
+
+def main() -> None:
+    # --- the federation: a synthetic non-IID corpus over a device fleet ---
+    vocab_size = 32
+    corpus = TopicMarkovCorpus(CorpusSpec(vocab_size=vocab_size, seq_len=10), seed=7)
+    dataset = FederatedDataset(corpus)
+    population = DevicePopulation(
+        PopulationConfig(n_devices=500, mean_examples=24, max_examples=80), seed=7
+    )
+
+    # --- the model + server optimizer (FedAdam, as in the paper) ---
+    model_cfg = ModelConfig(vocab_size=vocab_size, embed_dim=12, hidden_dim=24)
+    model = LSTMLanguageModel(model_cfg, seed=1)
+    state = GlobalModelState(model.get_flat(), FedAdam(lr=0.05))
+    trainer = LocalTrainer(model_cfg, lr=1.0, batch_size=8, seed=1)
+
+    eval_ids = list(range(16))
+    adapter = RealTrainingAdapter(
+        trainer,
+        dataset,
+        state,
+        eval_clients=eval_ids,
+        eval_examples=[population.profile(i).n_examples for i in eval_ids],
+        eval_every=5,
+    )
+
+    # --- the task: AsyncFL, 20 concurrent clients, server step every 5 updates ---
+    task = TaskConfig(
+        name="quickstart",
+        mode=TrainingMode.ASYNC,
+        concurrency=20,
+        aggregation_goal=5,
+        model_size_bytes=200_000,
+    )
+    sim = FederatedSimulation([(task, adapter)], population, seed=7)
+    print("Training an LSTM next-word model with AsyncFL (FedBuff)...")
+    result = sim.run(t_end=3_000_000.0, max_server_steps=60)
+
+    # --- report ---
+    times, losses = result.trace.loss_curve("quickstart")
+    print_series("test loss over simulated time", times, losses)
+    stats = result.stats()
+    print_table(
+        ["metric", "value"],
+        [
+            ["server model versions", stats.server_steps],
+            ["client updates aggregated", stats.aggregated],
+            ["client dropouts", stats.failed],
+            ["mean staleness of aggregated updates", stats.mean_staleness],
+            ["simulated wall-clock (h)", result.duration_s / 3600.0],
+            ["final test loss", stats.final_loss],
+        ],
+        title="run summary",
+    )
+
+    # --- sample the trained model ---
+    model.set_flat(state.current())
+    vocab = Vocabulary(vocab_size)
+    x, _ = corpus.generate_sequences(client_id=999, n_sequences=3, salt="demo")
+    logits, _ = model.forward(x)
+    print("sample next-word predictions:")
+    for row, lg in zip(x, logits):
+        context = vocab.decode(row[:5])
+        predicted = vocab.word(int(lg[4].argmax()))
+        print(f"  {context!r} -> {predicted!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — reproduction of PAPAYA: Practical, Private, and Scalable Federated Learning.
+
+Subpackage layout:
+
+* :mod:`repro.core` — FedBuff buffered asynchronous aggregation, SyncFL with
+  over-selection, server optimizers, client trainer, staleness policies,
+  the DP extension, and the surrogate convergence model.
+* :mod:`repro.secagg` — Asynchronous Secure Aggregation (TEE-style trusted
+  aggregator, DH channels, one-time-pad masking, attestation, verifiable log).
+* :mod:`repro.system` — Coordinator / Selector / Aggregator / client runtime,
+  plus the SecAgg-integrated buffered aggregator.
+* :mod:`repro.sim` — discrete-event simulator and heterogeneous device
+  population (substitute for the paper's ~100M-device fleet).
+* :mod:`repro.client` — Edge Training Engine (Example Store, Executor).
+* :mod:`repro.nn` / :mod:`repro.data` — NumPy LSTM language model and the
+  synthetic non-IID federated corpus it trains on.
+* :mod:`repro.harness` — regeneration of every figure and table in the paper
+  (also a CLI: ``python -m repro.harness``).
+
+The most common entry points are re-exported here.
+"""
+
+from repro.core import (
+    FedAdam,
+    FedBuffAggregator,
+    GlobalModelState,
+    LocalTrainer,
+    SyncRoundAggregator,
+    TaskConfig,
+    TrainingMode,
+)
+from repro.data import CorpusSpec, FederatedDataset, TopicMarkovCorpus
+from repro.nn import LSTMLanguageModel, ModelConfig
+from repro.sim import DevicePopulation, PopulationConfig
+from repro.system import (
+    FederatedSimulation,
+    RealTrainingAdapter,
+    SurrogateAdapter,
+    SystemConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FedAdam",
+    "FedBuffAggregator",
+    "GlobalModelState",
+    "LocalTrainer",
+    "SyncRoundAggregator",
+    "TaskConfig",
+    "TrainingMode",
+    "CorpusSpec",
+    "FederatedDataset",
+    "TopicMarkovCorpus",
+    "LSTMLanguageModel",
+    "ModelConfig",
+    "DevicePopulation",
+    "PopulationConfig",
+    "FederatedSimulation",
+    "RealTrainingAdapter",
+    "SurrogateAdapter",
+    "SystemConfig",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Edge Training Engine: Example Store + pluggable Executor (Appendix E.5)."""
+
+from repro.client.example_store import ExampleStore, RetentionPolicy, StoredExample
+from repro.client.executor import (
+    Executor,
+    NextWordTask,
+    TopicClassificationTask,
+    TrainingTask,
+)
+
+__all__ = [
+    "ExampleStore",
+    "RetentionPolicy",
+    "StoredExample",
+    "Executor",
+    "NextWordTask",
+    "TopicClassificationTask",
+    "TrainingTask",
+]

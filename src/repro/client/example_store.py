@@ -1,0 +1,135 @@
+"""On-device Example Store (paper Appendix E.5).
+
+"An Example Store collects training data in persistent storage and
+enforces the data use and retention policy."  This is that component for
+one simulated device: examples are ingested with timestamps, query-able
+for training, and *expired* — by age and by count — so a device never
+trains on data the policy says it must have deleted.
+
+Policy enforcement is on the read path as well as explicit purges: an
+expired example can never be returned, even if no purge ran since it
+expired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RetentionPolicy", "StoredExample", "ExampleStore"]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Data-retention rules of the Example Store.
+
+    Attributes
+    ----------
+    max_age_s:
+        Examples older than this are expired (None = no age limit).
+    max_examples:
+        Keep at most this many examples, evicting the oldest first
+        (None = unbounded).
+    allowed_tasks:
+        If set, only these task names may read the store — the "data use
+        policy" half of the contract.
+    """
+
+    max_age_s: float | None = 30 * 24 * 3600.0
+    max_examples: int | None = 5000
+    allowed_tasks: frozenset[str] | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_age_s is not None and self.max_age_s <= 0:
+            raise ValueError("max_age_s must be positive")
+        if self.max_examples is not None and self.max_examples < 1:
+            raise ValueError("max_examples must be at least 1")
+
+
+@dataclass(frozen=True)
+class StoredExample:
+    """One training example with its ingestion time."""
+
+    x: np.ndarray
+    y: np.ndarray
+    ingested_at: float
+
+
+class ExampleStore:
+    """Per-device example storage with policy enforcement."""
+
+    def __init__(self, policy: RetentionPolicy | None = None):
+        self.policy = policy or RetentionPolicy()
+        self._examples: list[StoredExample] = []
+        self.total_ingested = 0
+        self.total_expired = 0
+
+    # -- write path ------------------------------------------------------------
+
+    def ingest(self, x: np.ndarray, y: np.ndarray, now: float) -> None:
+        """Store one example observed at time ``now``."""
+        if self._examples and now < self._examples[-1].ingested_at:
+            raise ValueError("ingestion times must be non-decreasing")
+        self._examples.append(StoredExample(x=x, y=y, ingested_at=now))
+        self.total_ingested += 1
+        self._enforce_count()
+
+    def ingest_batch(self, xs: np.ndarray, ys: np.ndarray, now: float) -> None:
+        """Store a batch of examples with a common timestamp."""
+        for x, y in zip(xs, ys):
+            self.ingest(x, y, now)
+
+    # -- policy enforcement ------------------------------------------------------
+
+    def _enforce_count(self) -> None:
+        limit = self.policy.max_examples
+        if limit is not None and len(self._examples) > limit:
+            evicted = len(self._examples) - limit
+            self._examples = self._examples[evicted:]
+            self.total_expired += evicted
+
+    def purge_expired(self, now: float) -> int:
+        """Drop examples beyond the age limit; returns how many."""
+        if self.policy.max_age_s is None:
+            return 0
+        cutoff = now - self.policy.max_age_s
+        keep = [e for e in self._examples if e.ingested_at >= cutoff]
+        expired = len(self._examples) - len(keep)
+        self._examples = keep
+        self.total_expired += expired
+        return expired
+
+    def _check_task(self, task: str | None) -> None:
+        allowed = self.policy.allowed_tasks
+        if allowed is not None and (task is None or task not in allowed):
+            raise PermissionError(
+                f"task {task!r} is not permitted to read this example store"
+            )
+
+    # -- read path ------------------------------------------------------------
+
+    def count(self, now: float) -> int:
+        """Live (non-expired) example count at time ``now``."""
+        self.purge_expired(now)
+        return len(self._examples)
+
+    def training_arrays(
+        self, now: float, task: str | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All live examples as stacked (x, y) arrays.
+
+        Raises
+        ------
+        PermissionError
+            If the policy restricts readers and ``task`` is not allowed.
+        ValueError
+            If no live examples remain.
+        """
+        self._check_task(task)
+        self.purge_expired(now)
+        if not self._examples:
+            raise ValueError("no live examples in the store")
+        xs = np.stack([e.x for e in self._examples])
+        ys = np.stack([e.y for e in self._examples])
+        return xs, ys

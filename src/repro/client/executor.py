@@ -1,0 +1,210 @@
+"""On-device Executor: pluggable training tasks (paper Appendix E.5).
+
+"An Executor abstracts model training logic in a general way that supports
+easily swapping in different ML tasks (data source, model, loss, etc.)."
+
+:class:`TrainingTask` is that abstraction: it owns the model architecture,
+initialization, loss/gradient, and evaluation — all against flat parameter
+vectors so the FL stack above stays task-agnostic.  Two concrete tasks
+demonstrate the swap:
+
+* :class:`NextWordTask` — the paper's LSTM next-word predictor;
+* :class:`TopicClassificationTask` — softmax regression over bag-of-words
+  features predicting a client's dominant topic (a second, structurally
+  different workload on the same corpus).
+
+:class:`Executor` runs any task over an :class:`ExampleStore` or raw
+arrays: local epochs of mini-batch SGD, returning the model delta — the
+same contract as :class:`repro.core.client_trainer.LocalTrainer`, which is
+the LM-specialized fast path of this engine.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.client.example_store import ExampleStore
+from repro.core.types import TrainingResult
+from repro.nn import layers
+from repro.nn.loss import cross_entropy
+from repro.nn.model import LSTMLanguageModel, ModelConfig
+from repro.nn.optim import SGD
+from repro.nn.parameters import ParamSpec
+from repro.utils.rng import child_rng
+
+__all__ = ["TrainingTask", "NextWordTask", "TopicClassificationTask", "Executor"]
+
+
+class TrainingTask(abc.ABC):
+    """A swappable ML task: init, loss/grad, evaluate over flat vectors."""
+
+    @property
+    @abc.abstractmethod
+    def num_params(self) -> int:
+        """Scalar parameter count."""
+
+    @abc.abstractmethod
+    def init_params(self, seed: int) -> np.ndarray:
+        """Fresh flat parameter vector."""
+
+    @abc.abstractmethod
+    def loss_and_grad(
+        self, flat: np.ndarray, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Mean loss and flat gradient on a batch."""
+
+    @abc.abstractmethod
+    def evaluate(self, flat: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss without gradients."""
+
+
+class NextWordTask(TrainingTask):
+    """The paper's workload: LSTM next-word prediction."""
+
+    def __init__(self, config: ModelConfig):
+        self.config = config
+        self._workspace = LSTMLanguageModel(config, seed=0)
+
+    @property
+    def num_params(self) -> int:
+        return self._workspace.num_params
+
+    def init_params(self, seed: int) -> np.ndarray:
+        return LSTMLanguageModel(self.config, seed=seed).get_flat()
+
+    def loss_and_grad(self, flat, x, y):
+        self._workspace.set_flat(flat)
+        return self._workspace.loss_and_grad(x, y)
+
+    def evaluate(self, flat, x, y):
+        self._workspace.set_flat(flat)
+        return self._workspace.evaluate(x, y)
+
+
+class TopicClassificationTask(TrainingTask):
+    """Softmax regression over bag-of-words counts — a second task type.
+
+    Input ``x``: an integer token sequence (same wire format as the LM
+    task); it is featurized on the fly into normalized token counts.
+    Target ``y``: a class label per sequence (e.g. the client's dominant
+    topic).
+    """
+
+    def __init__(self, vocab_size: int, n_classes: int):
+        if vocab_size < 2 or n_classes < 2:
+            raise ValueError("vocab_size and n_classes must be at least 2")
+        self.vocab_size = vocab_size
+        self.n_classes = n_classes
+        template = layers.init_linear(np.random.default_rng(0), vocab_size, n_classes)
+        self.spec = ParamSpec.from_params(template)
+
+    @property
+    def num_params(self) -> int:
+        return self.spec.size
+
+    def init_params(self, seed: int) -> np.ndarray:
+        params = layers.init_linear(child_rng(seed, "topic-task"),
+                                    self.vocab_size, self.n_classes)
+        return self.spec.flatten(params)
+
+    def _features(self, x: np.ndarray) -> np.ndarray:
+        counts = np.zeros((x.shape[0], self.vocab_size), dtype=np.float32)
+        for i, row in enumerate(x):
+            counts[i] = np.bincount(row, minlength=self.vocab_size)
+        return counts / np.maximum(counts.sum(axis=1, keepdims=True), 1.0)
+
+    def loss_and_grad(self, flat, x, y):
+        params = self.spec.unflatten(flat)
+        feats = self._features(np.asarray(x))
+        logits, cache = layers.linear_forward(params, feats)
+        loss, d_logits = cross_entropy(logits, np.asarray(y).reshape(-1))
+        _, grads = layers.linear_backward(cache, d_logits)
+        return loss, self.spec.flatten(grads)
+
+    def evaluate(self, flat, x, y):
+        params = self.spec.unflatten(flat)
+        logits, _ = layers.linear_forward(params, self._features(np.asarray(x)))
+        loss, _ = cross_entropy(logits, np.asarray(y).reshape(-1), with_grad=False)
+        return loss
+
+    def accuracy(self, flat, x, y) -> float:
+        """Classification accuracy (handy for the example scripts)."""
+        params = self.spec.unflatten(flat)
+        logits, _ = layers.linear_forward(params, self._features(np.asarray(x)))
+        return float((logits.argmax(axis=1) == np.asarray(y).reshape(-1)).mean())
+
+
+class Executor:
+    """Runs one local-training participation for any :class:`TrainingTask`.
+
+    Parameters
+    ----------
+    task:
+        The pluggable workload.
+    lr, batch_size, epochs, clip_norm:
+        Local SGD hyperparameters (paper defaults: 1 epoch, B=32).
+    seed:
+        Root for batch-shuffling streams.
+    """
+
+    def __init__(
+        self,
+        task: TrainingTask,
+        lr: float = 0.5,
+        batch_size: int = 32,
+        epochs: int = 1,
+        clip_norm: float | None = 5.0,
+        seed: int = 0,
+    ):
+        if batch_size < 1 or epochs < 1:
+            raise ValueError("batch_size and epochs must be at least 1")
+        self.task = task
+        self.lr = lr
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.clip_norm = clip_norm
+        self.seed = seed
+
+    def run(
+        self,
+        initial_model: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        client_id: int = 0,
+        initial_version: int = 0,
+        participation: int = 0,
+    ) -> TrainingResult:
+        """Local epochs of SGD on the given arrays; returns the delta."""
+        opt = SGD(lr=self.lr, clip_norm=self.clip_norm)
+        rng = child_rng(self.seed, "executor", client_id, participation)
+        vec = initial_model.astype(np.float32, copy=True)
+        losses = []
+        n = x.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for i in range(0, n, self.batch_size):
+                idx = order[i : i + self.batch_size]
+                loss, grad = self.task.loss_and_grad(vec, x[idx], y[idx])
+                vec = opt.step(vec, grad)
+                losses.append(loss)
+        return TrainingResult(
+            client_id=client_id,
+            delta=(vec - initial_model).astype(np.float32),
+            num_examples=n,
+            train_loss=float(np.mean(losses)) if losses else float("nan"),
+            initial_version=initial_version,
+        )
+
+    def run_from_store(
+        self,
+        initial_model: np.ndarray,
+        store: ExampleStore,
+        now: float,
+        task_name: str | None = None,
+        **kwargs,
+    ) -> TrainingResult:
+        """Train on a device's Example Store, honoring its policy."""
+        x, y = store.training_arrays(now, task=task_name)
+        return self.run(initial_model, x, y, **kwargs)

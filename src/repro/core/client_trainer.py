@@ -1,0 +1,121 @@
+"""Client-side local training (the paper's Edge Training Engine, scaled down).
+
+Runs the paper's client protocol training stage: one (configurable) local
+epoch of SGD with batch size 32 on the client's training split, and
+returns the model *delta* — trained-minus-initial — which is what PAPAYA
+uploads (Section 3.1).
+
+A single :class:`LocalTrainer` is reused across all simulated clients: it
+keeps one model workspace and swaps parameter vectors in and out, which
+keeps memory flat no matter how many clients the simulation touches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import TrainingResult
+from repro.data.federated import ClientDataset
+from repro.nn.model import LSTMLanguageModel, ModelConfig
+from repro.nn.optim import SGD
+from repro.utils.rng import child_rng
+
+__all__ = ["LocalTrainer"]
+
+
+class LocalTrainer:
+    """Executes local training for any client against a shared model spec.
+
+    Parameters
+    ----------
+    model_config:
+        Architecture of the global model (all clients share it).
+    lr:
+        Client SGD learning rate (the paper tunes this in simulation).
+    batch_size:
+        Local mini-batch size (paper: 32).
+    epochs:
+        Local epochs per participation (paper: 1).
+    clip_norm:
+        Client-side gradient clipping for LSTM stability.
+    seed:
+        Root seed for client batch shuffling streams.
+    """
+
+    def __init__(
+        self,
+        model_config: ModelConfig,
+        lr: float = 0.5,
+        batch_size: int = 32,
+        epochs: int = 1,
+        clip_norm: float | None = 5.0,
+        seed: int = 0,
+    ):
+        if batch_size < 1 or epochs < 1:
+            raise ValueError("batch_size and epochs must be at least 1")
+        self.model_config = model_config
+        self.lr = lr
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.clip_norm = clip_norm
+        self.seed = seed
+        self._workspace = LSTMLanguageModel(model_config, seed=0)
+
+    @property
+    def num_params(self) -> int:
+        """Scalar parameter count of the shared architecture."""
+        return self._workspace.num_params
+
+    def train(
+        self,
+        initial_model: np.ndarray,
+        dataset: ClientDataset,
+        initial_version: int,
+        participation: int = 0,
+    ) -> TrainingResult:
+        """Run local training and return the upload payload.
+
+        Parameters
+        ----------
+        initial_model:
+            Flat parameter vector the client downloaded.
+        dataset:
+            The client's local split data.
+        initial_version:
+            Server model version of ``initial_model`` (for staleness).
+        participation:
+            Per-client participation counter, salted into the shuffling
+            stream so repeat participation reshuffles batches.
+        """
+        model = self._workspace
+        model.set_flat(initial_model)
+        opt = SGD(lr=self.lr, clip_norm=self.clip_norm)
+        rng = child_rng(self.seed, "local-shuffle", dataset.client_id, participation)
+
+        vec = initial_model.astype(np.float32, copy=True)
+        losses: list[float] = []
+        for _ in range(self.epochs):
+            for bx, by in dataset.train_batches(self.batch_size, rng):
+                loss, grad = model.loss_and_grad(bx, by)
+                vec = opt.step(vec, grad)
+                model.set_flat(vec)
+                losses.append(loss)
+
+        delta = (vec - initial_model).astype(np.float32)
+        return TrainingResult(
+            client_id=dataset.client_id,
+            delta=delta,
+            num_examples=dataset.num_train_examples,
+            train_loss=float(np.mean(losses)) if losses else float("nan"),
+            initial_version=initial_version,
+        )
+
+    def evaluate(self, model_vec: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
+        """Test loss of a flat model vector on a batch."""
+        self._workspace.set_flat(model_vec)
+        return self._workspace.evaluate(x, y)
+
+    def evaluate_perplexity(self, model_vec: np.ndarray, x: np.ndarray, y: np.ndarray) -> float:
+        """Test perplexity of a flat model vector on a batch."""
+        self._workspace.set_flat(model_vec)
+        return self._workspace.evaluate_perplexity(x, y)

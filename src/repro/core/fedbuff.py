@@ -1,0 +1,256 @@
+"""FedBuff — buffered asynchronous aggregation (Nguyen et al., 2021).
+
+This is the algorithm PAPAYA's AsyncFL mode implements (Section 3.1):
+
+* there are no rounds — clients download, train, and upload independently;
+* the aggregator accumulates a *staleness- and example-weighted* sum of
+  client deltas in a buffer;
+* when the buffer holds ``K`` (the aggregation goal) updates, the weighted
+  average is handed to the server optimizer, the model version increments,
+  and the buffer resets;
+* clients whose update would be too stale are aborted (Appendix E.2).
+
+The core here is deliberately free of any notion of time or transport —
+the discrete-event system layer (:mod:`repro.system`) drives it.  It is
+also free of any notion of *what* the vectors mean, via the model-state
+interface in :mod:`repro.core.state`, so the identical bookkeeping runs
+both real-gradient and surrogate experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.staleness import PolynomialStaleness, StalenessPolicy
+from repro.core.types import ModelUpdate, TrainingResult
+
+__all__ = ["ServerStepInfo", "FedBuffAggregator"]
+
+
+@dataclass(frozen=True)
+class ServerStepInfo:
+    """Telemetry for one server model update.
+
+    Attributes
+    ----------
+    version:
+        Model version *produced* by this step (first step produces 1).
+    num_updates:
+        Client updates aggregated into this step (== K for FedBuff;
+        == goal for SyncFL).
+    total_weight:
+        Sum of aggregation weights in the buffer.
+    mean_staleness / max_staleness:
+        Staleness statistics of the aggregated updates.
+    contributors:
+        Client ids whose updates were aggregated.
+    discarded:
+        Client ids whose updates arrived but were thrown away (SyncFL
+        over-selection only; always empty for FedBuff).
+    """
+
+    version: int
+    num_updates: int
+    total_weight: float
+    mean_staleness: float
+    max_staleness: int
+    contributors: tuple[int, ...]
+    discarded: tuple[int, ...] = ()
+
+
+class FedBuffAggregator:
+    """Buffered asynchronous aggregation with staleness weighting.
+
+    Parameters
+    ----------
+    state:
+        Model state (real vector + server optimizer, or surrogate).
+    goal:
+        ``K`` — updates per server step (paper: 10–30 % of concurrency
+        works well; their headline runs use K=100).
+    staleness_policy:
+        Down-weighting of stale updates; default ``1/sqrt(1+s)``.
+    max_staleness:
+        In-flight clients beyond this staleness are reported by
+        :meth:`stale_clients` for aborting.
+    example_weighting:
+        ``"linear"`` (paper: weight by the number of examples trained
+        on), ``"log"`` (dampened, log1p), or ``"none"``.
+    normalize_by:
+        ``"weight_sum"`` divides the buffer by the total weight
+        (weighted mean, default); ``"goal"`` divides by K as in the
+        original FedBuff formulation.
+    """
+
+    def __init__(
+        self,
+        state,
+        goal: int,
+        staleness_policy: StalenessPolicy | None = None,
+        max_staleness: int = 100,
+        example_weighting: str = "linear",
+        normalize_by: str = "weight_sum",
+    ):
+        if goal < 1:
+            raise ValueError("aggregation goal must be at least 1")
+        if example_weighting not in ("linear", "log", "none"):
+            raise ValueError(f"unknown example_weighting {example_weighting!r}")
+        if normalize_by not in ("weight_sum", "goal"):
+            raise ValueError(f"unknown normalize_by {normalize_by!r}")
+        self.state = state
+        self.goal = goal
+        self.staleness_policy = staleness_policy or PolynomialStaleness(0.5)
+        self.max_staleness = max_staleness
+        self.example_weighting = example_weighting
+        self.normalize_by = normalize_by
+
+        self.version = 0
+        self.updates_received = 0
+        self._buffer: np.ndarray | None = None
+        self._weight_sum = 0.0
+        self._count = 0
+        self._staleness_acc: list[int] = []
+        self._contributors: list[int] = []
+        self._in_flight: dict[int, int] = {}  # client id -> initial version
+        self.step_history: list[ServerStepInfo] = []
+
+    # -- client protocol ------------------------------------------------------
+
+    def register_download(self, client_id: int) -> tuple[int, np.ndarray]:
+        """A client downloads the current model; returns (version, vector).
+
+        The aggregator records the client's initial model version, which is
+        how staleness is tracked (Appendix E.2: "For each client, the
+        aggregator records initial model version").
+        """
+        self._in_flight[client_id] = self.version
+        return self.version, self.state.current()
+
+    def client_failed(self, client_id: int) -> None:
+        """Drop an in-flight client (device failure, timeout, or abort)."""
+        self._in_flight.pop(client_id, None)
+
+    def in_flight_count(self) -> int:
+        """Number of clients currently training against this task."""
+        return len(self._in_flight)
+
+    def stale_clients(self) -> list[int]:
+        """In-flight clients whose staleness already exceeds the maximum.
+
+        The paper aborts these after every server model update
+        (Appendix E.2); the system layer calls this right after a step.
+        """
+        return [
+            cid
+            for cid, v0 in self._in_flight.items()
+            if self.version - v0 > self.max_staleness
+        ]
+
+    # -- aggregation ------------------------------------------------------------
+
+    def _example_weight(self, num_examples: int) -> float:
+        if self.example_weighting == "linear":
+            return float(num_examples)
+        if self.example_weighting == "log":
+            return float(np.log1p(num_examples))
+        return 1.0
+
+    def receive_update(
+        self, result: TrainingResult
+    ) -> tuple[ModelUpdate, ServerStepInfo | None]:
+        """Buffer one client update; maybe trigger a server step.
+
+        Returns the recorded :class:`ModelUpdate` (with the weight that was
+        applied) and, if the aggregation goal was reached, the
+        :class:`ServerStepInfo` for the step it triggered.
+        """
+        initial = self._in_flight.pop(result.client_id, None)
+        if initial is None:
+            raise KeyError(
+                f"client {result.client_id} is not in flight; "
+                "updates must follow register_download"
+            )
+        if initial != result.initial_version:
+            raise ValueError(
+                f"client {result.client_id} reported initial version "
+                f"{result.initial_version}, aggregator recorded {initial}"
+            )
+        staleness = self.version - result.initial_version
+        weight = self._example_weight(result.num_examples) * self.staleness_policy(
+            staleness
+        )
+        update = ModelUpdate(result=result, arrival_version=self.version, weight=weight)
+
+        if self._buffer is None:
+            self._buffer = np.zeros_like(result.delta, dtype=np.float64)
+        self._buffer += weight * result.delta.astype(np.float64)
+        self._weight_sum += weight
+        self._count += 1
+        self.updates_received += 1
+        self._staleness_acc.append(staleness)
+        self._contributors.append(result.client_id)
+
+        info = None
+        if self._count >= self.goal:
+            info = self._server_step()
+        return update, info
+
+    def _server_step(self) -> ServerStepInfo:
+        denom = self._weight_sum if self.normalize_by == "weight_sum" else float(self.goal)
+        if denom <= 0:
+            # All-zero weights (e.g. hard-cutoff policy zeroed everything):
+            # step over a zero delta so the version still advances.
+            avg = np.zeros_like(self._buffer)
+        else:
+            avg = self._buffer / denom
+        self.state.apply(avg.astype(np.float32), self._count)
+        self.version += 1
+        info = ServerStepInfo(
+            version=self.version,
+            num_updates=self._count,
+            total_weight=self._weight_sum,
+            mean_staleness=float(np.mean(self._staleness_acc)),
+            max_staleness=int(np.max(self._staleness_acc)),
+            contributors=tuple(self._contributors),
+        )
+        self.step_history.append(info)
+        self._buffer = None
+        self._weight_sum = 0.0
+        self._count = 0
+        self._staleness_acc = []
+        self._contributors = []
+        return info
+
+    def drop_buffer_and_inflight(self) -> tuple[int, list[int]]:
+        """Discard buffered updates and in-flight registrations.
+
+        Models aggregator failure/reassignment (Appendix E.4): the task's
+        model state and version survive (they are checkpointed), but
+        updates sitting in the failed aggregator's in-memory queue and the
+        sessions it was driving are lost.  Returns (buffered updates lost,
+        in-flight client ids dropped).
+        """
+        lost = self._count
+        dropped = list(self._in_flight)
+        self._buffer = None
+        self._weight_sum = 0.0
+        self._count = 0
+        self._staleness_acc = []
+        self._contributors = []
+        self._in_flight.clear()
+        return lost, dropped
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def buffered_count(self) -> int:
+        """Updates currently sitting in the buffer."""
+        return self._count
+
+    def __repr__(self) -> str:
+        return (
+            f"FedBuffAggregator(goal={self.goal}, version={self.version}, "
+            f"buffered={self._count}, in_flight={len(self._in_flight)})"
+        )

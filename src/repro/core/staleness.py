@@ -1,0 +1,82 @@
+"""Staleness down-weighting policies for buffered asynchronous aggregation.
+
+The paper (Appendix E.2) adopts FedBuff's polynomial weighting
+``w_i = 1 / sqrt(1 + s_i)`` where ``s_i`` is the number of server model
+versions elapsed while client ``i`` trained.  Alternative policies are
+provided for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = [
+    "StalenessPolicy",
+    "PolynomialStaleness",
+    "ConstantStaleness",
+    "HardCutoffStaleness",
+]
+
+
+class StalenessPolicy(abc.ABC):
+    """Maps an update's staleness to a multiplicative weight in [0, 1]."""
+
+    @abc.abstractmethod
+    def weight(self, staleness: int) -> float:
+        """Weight applied to an update with the given staleness."""
+
+    def __call__(self, staleness: int) -> float:
+        if staleness < 0:
+            raise ValueError(f"staleness must be non-negative, got {staleness}")
+        w = self.weight(staleness)
+        if not (0.0 <= w <= 1.0):
+            raise AssertionError(f"{type(self).__name__} produced weight {w} outside [0,1]")
+        return w
+
+
+class PolynomialStaleness(StalenessPolicy):
+    """``w = 1 / (1 + s)^exponent`` — the paper's choice with exponent 0.5.
+
+    Fresh updates (s=0) get weight 1; an update that is 3 versions stale
+    gets weight 0.5 with the default exponent.
+    """
+
+    def __init__(self, exponent: float = 0.5):
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.exponent = exponent
+
+    def weight(self, staleness: int) -> float:
+        return float((1.0 + staleness) ** (-self.exponent))
+
+    def __repr__(self) -> str:
+        return f"PolynomialStaleness(exponent={self.exponent})"
+
+
+class ConstantStaleness(StalenessPolicy):
+    """Ignore staleness entirely (ablation baseline)."""
+
+    def weight(self, staleness: int) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "ConstantStaleness()"
+
+
+class HardCutoffStaleness(StalenessPolicy):
+    """Full weight up to a threshold, zero beyond it (ablation baseline).
+
+    Unlike the max-staleness *abort* (which cancels in-flight clients),
+    this policy accepts the upload but contributes nothing to the buffer.
+    """
+
+    def __init__(self, cutoff: int = 10):
+        if cutoff < 0:
+            raise ValueError("cutoff must be non-negative")
+        self.cutoff = cutoff
+
+    def weight(self, staleness: int) -> float:
+        return 1.0 if staleness <= self.cutoff else 0.0
+
+    def __repr__(self) -> str:
+        return f"HardCutoffStaleness(cutoff={self.cutoff})"

@@ -1,0 +1,57 @@
+"""Global model state shared by the aggregation cores.
+
+The aggregators (:mod:`repro.core.fedbuff`, :mod:`repro.core.syncfl`) are
+written against a tiny state interface so the same buffering/weighting/
+versioning logic drives two kinds of runs:
+
+* :class:`GlobalModelState` — a real flat parameter vector advanced by a
+  server optimizer (used when clients compute real NumPy-LSTM gradients);
+* the surrogate state in :mod:`repro.core.surrogate` — a scalar "progress"
+  coordinate advanced by an analytical convergence model (used for
+  fleet-scale wall-clock experiments where real training would be
+  pointlessly slow).
+
+Both expose ``current()`` (what clients download) and ``apply(avg_delta,
+num_updates)`` (what a server step does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.server_opt import ServerOptimizer
+
+__all__ = ["GlobalModelState"]
+
+
+class GlobalModelState:
+    """Real model vector + server optimizer.
+
+    Parameters
+    ----------
+    initial:
+        Initial flat float32 parameter vector.
+    server_opt:
+        Optimizer applied to each aggregated delta (FedAdam in the paper).
+    """
+
+    def __init__(self, initial: np.ndarray, server_opt: ServerOptimizer):
+        if initial.ndim != 1:
+            raise ValueError("model state expects a flat vector")
+        self._vec = initial.astype(np.float32, copy=True)
+        self._opt = server_opt
+
+    def current(self) -> np.ndarray:
+        """Model vector clients download (copy; callers may mutate)."""
+        return self._vec.copy()
+
+    @property
+    def size(self) -> int:
+        """Number of scalar parameters."""
+        return self._vec.size
+
+    def apply(self, avg_delta: np.ndarray, num_updates: int) -> None:
+        """Advance the model by one server step on the averaged delta."""
+        if avg_delta.shape != self._vec.shape:
+            raise ValueError("delta/model shape mismatch")
+        self._vec = self._opt.apply(self._vec, avg_delta)

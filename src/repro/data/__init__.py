@@ -1,0 +1,14 @@
+"""Synthetic federated text corpus (stand-in for production typing data)."""
+
+from repro.data.federated import ClientDataset, FederatedDataset
+from repro.data.synthetic_text import CorpusSpec, TopicMarkovCorpus
+from repro.data.vocab import BOS_ID, Vocabulary
+
+__all__ = [
+    "ClientDataset",
+    "FederatedDataset",
+    "CorpusSpec",
+    "TopicMarkovCorpus",
+    "BOS_ID",
+    "Vocabulary",
+]

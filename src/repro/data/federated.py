@@ -1,0 +1,139 @@
+"""Federated dataset views: per-client train/val/test partitions.
+
+Mirrors the paper's setup (Section 7.1): "We partition each client's data
+into train, test, and validation sets randomly."  Client datasets are
+materialized lazily from the deterministic corpus so that populations of
+hundreds of thousands of clients cost nothing until touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic_text import TopicMarkovCorpus
+from repro.utils.rng import child_rng
+
+__all__ = ["ClientDataset", "FederatedDataset"]
+
+
+@dataclass(frozen=True)
+class ClientDataset:
+    """One client's local data, already split.
+
+    ``num_train_examples`` is the weighting quantity used by the
+    aggregation algorithms (each update "is weighted by the number of
+    examples the client trained on", Section 3.1).
+    """
+
+    client_id: int
+    train_x: np.ndarray
+    train_y: np.ndarray
+    val_x: np.ndarray
+    val_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    @property
+    def num_train_examples(self) -> int:
+        """Number of local training sequences."""
+        return int(self.train_x.shape[0])
+
+    def train_batches(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Shuffled mini-batches covering one local epoch."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        n = self.num_train_examples
+        order = rng.permutation(n)
+        return [
+            (self.train_x[order[i : i + batch_size]], self.train_y[order[i : i + batch_size]])
+            for i in range(0, n, batch_size)
+        ]
+
+
+class FederatedDataset:
+    """Lazily materialized federation of client datasets.
+
+    Parameters
+    ----------
+    corpus:
+        Deterministic sequence factory.
+    val_fraction, test_fraction:
+        Per-client split fractions; at least one training example is always
+        retained.
+    """
+
+    def __init__(
+        self,
+        corpus: TopicMarkovCorpus,
+        val_fraction: float = 0.1,
+        test_fraction: float = 0.2,
+    ):
+        if not (0.0 <= val_fraction < 1.0 and 0.0 <= test_fraction < 1.0):
+            raise ValueError("fractions must be in [0, 1)")
+        if val_fraction + test_fraction >= 1.0:
+            raise ValueError("val+test fractions must leave room for training data")
+        self.corpus = corpus
+        self.val_fraction = val_fraction
+        self.test_fraction = test_fraction
+        self._cache: dict[tuple[int, int], ClientDataset] = {}
+
+    def client_dataset(self, client_id: int, n_examples: int) -> ClientDataset:
+        """Materialize (and cache) one client's split dataset.
+
+        ``n_examples`` comes from the device-population model, which is
+        where the paper's slow-device/large-data correlation is planted.
+        """
+        if n_examples < 1:
+            raise ValueError("n_examples must be at least 1")
+        key = (client_id, n_examples)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        x, y = self.corpus.generate_sequences(client_id, n_examples)
+        rng = child_rng(self.corpus.seed, "client-split", client_id)
+        order = rng.permutation(n_examples)
+        n_val = int(n_examples * self.val_fraction)
+        n_test = int(n_examples * self.test_fraction)
+        n_train = max(1, n_examples - n_val - n_test)
+        idx_train = order[:n_train]
+        idx_val = order[n_train : n_train + n_val]
+        idx_test = order[n_train + n_val :]
+        ds = ClientDataset(
+            client_id=client_id,
+            train_x=x[idx_train],
+            train_y=y[idx_train],
+            val_x=x[idx_val],
+            val_y=y[idx_val],
+            test_x=x[idx_test],
+            test_y=y[idx_test],
+        )
+        self._cache[key] = ds
+        return ds
+
+    def evaluation_batch(
+        self, client_ids: list[int], n_examples: list[int], max_per_client: int = 8
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pooled held-out test batch across many clients.
+
+        Used to measure global test loss/perplexity the way the paper's
+        server-side eval does.
+        """
+        xs, ys = [], []
+        for cid, n in zip(client_ids, n_examples):
+            ds = self.client_dataset(cid, n)
+            take = min(max_per_client, ds.test_x.shape[0])
+            if take > 0:
+                xs.append(ds.test_x[:take])
+                ys.append(ds.test_y[:take])
+        if not xs:
+            raise ValueError("no test examples available in the given clients")
+        return np.concatenate(xs, axis=0), np.concatenate(ys, axis=0)
+
+    def clear_cache(self) -> None:
+        """Drop memoized client datasets."""
+        self._cache.clear()

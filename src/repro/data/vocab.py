@@ -1,0 +1,61 @@
+"""Vocabulary for the synthetic next-word-prediction corpus.
+
+Tokens are integers throughout the stack; the vocabulary only provides
+human-readable pseudo-words (deterministic syllable strings) for demos and
+examples.  Index 0 is reserved for the beginning-of-sequence marker.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BOS_ID", "Vocabulary"]
+
+BOS_ID = 0
+
+_ONSETS = ["b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z"]
+_NUCLEI = ["a", "e", "i", "o", "u"]
+_CODAS = ["", "n", "r", "s", "t"]
+
+
+class Vocabulary:
+    """Fixed-size vocabulary with deterministic pseudo-word spellings.
+
+    Parameters
+    ----------
+    size:
+        Number of token types, including the BOS marker at index 0.
+    """
+
+    def __init__(self, size: int):
+        if size < 2:
+            raise ValueError("vocabulary needs at least BOS plus one word")
+        self.size = size
+
+    def word(self, token_id: int) -> str:
+        """Readable spelling of a token id (stable across runs)."""
+        if not (0 <= token_id < self.size):
+            raise ValueError(f"token id {token_id} out of range [0, {self.size})")
+        if token_id == BOS_ID:
+            return "<s>"
+        n = token_id - 1
+        syllables = []
+        while True:
+            onset = _ONSETS[n % len(_ONSETS)]
+            n //= len(_ONSETS)
+            nucleus = _NUCLEI[n % len(_NUCLEI)]
+            n //= len(_NUCLEI)
+            coda = _CODAS[n % len(_CODAS)]
+            n //= len(_CODAS)
+            syllables.append(onset + nucleus + coda)
+            if n == 0:
+                break
+        return "".join(syllables)
+
+    def decode(self, token_ids) -> str:
+        """Space-joined spelling of a token sequence."""
+        return " ".join(self.word(int(t)) for t in token_ids)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={self.size})"

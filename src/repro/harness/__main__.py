@@ -1,0 +1,71 @@
+"""Command-line regeneration of the paper's figures and tables.
+
+Usage::
+
+    python -m repro.harness fig9                 # one experiment, smoke scale
+    python -m repro.harness fig9 --scale default # 10x larger operating points
+    python -m repro.harness all                  # the whole evaluation section
+    python -m repro.harness table1 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import configs, figures
+
+_EXPERIMENTS = {
+    "fig2": (lambda scale, seed: figures.figure2(seed=seed), figures.print_figure2),
+    "fig3": (lambda scale, seed: figures.figure3(scale=scale, seed=seed), figures.print_figure3),
+    "fig6": (lambda scale, seed: figures.figure6(), figures.print_figure6),
+    "fig7": (lambda scale, seed: figures.figure7(scale=scale, seed=seed), figures.print_figure7),
+    "fig8": (lambda scale, seed: figures.figure8(scale=scale, seed=seed), figures.print_figure8),
+    "fig9": (lambda scale, seed: figures.figure9(scale=scale, seed=seed), figures.print_figure9),
+    "fig10": (lambda scale, seed: figures.figure10(scale=scale, seed=seed), figures.print_figure10),
+    "fig11": (lambda scale, seed: figures.figure11(scale=scale, seed=seed), figures.print_figure11),
+    "fig12": (lambda scale, seed: figures.figure12(scale=scale, seed=seed), figures.print_figure12),
+    "fig13": (lambda scale, seed: figures.figure13(scale=scale, seed=seed), figures.print_figure13),
+    "table1": (lambda scale, seed: figures.table1(update_budget=800, server_lr=0.05, seed=seed),
+               figures.print_table1),
+}
+
+_SCALES = {"smoke": configs.SMOKE, "default": configs.DEFAULT, "paper": configs.PAPER}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate figures/tables of the PAPAYA paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="smoke",
+        help="operating-point scale (paper values are divided down; "
+        "shapes are scale-free)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    args = parser.parse_args(argv)
+
+    scale = _SCALES[args.scale]
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run, show = _EXPERIMENTS[name]
+        print(f"=== {name} (scale={scale.name}, seed={args.seed}) ===")
+        start = time.perf_counter()
+        result = run(scale, args.seed)
+        show(result)
+        print(f"[{name} took {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

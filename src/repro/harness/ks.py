@@ -1,0 +1,39 @@
+"""Two-sample Kolmogorov–Smirnov test for the sampling-bias analysis.
+
+Section 7.4 quantifies over-selection bias by KS-testing the distribution
+of participating clients (execution time / example count) against the
+ground truth (SyncFL without over-selection): AsyncFL matched the ground
+truth (D = 8.8e-4, p = 0.98) while SyncFL with over-selection did not
+(D = 6.6e-2, p = 0.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["KSResult", "ks_two_sample"]
+
+
+@dataclass(frozen=True)
+class KSResult:
+    """D statistic (max CDF distance) and p-value of a two-sample KS test."""
+
+    statistic: float
+    pvalue: float
+
+    def matches(self, alpha: float = 0.05) -> bool:
+        """True when the samples are *not* distinguishable at level alpha."""
+        return self.pvalue > alpha
+
+
+def ks_two_sample(a: np.ndarray, b: np.ndarray) -> KSResult:
+    """Two-sample KS test (wrapper keeping scipy at arm's length)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    res = stats.ks_2samp(a, b)
+    return KSResult(statistic=float(res.statistic), pvalue=float(res.pvalue))

@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+Every figure regenerator prints "the same rows/series the paper reports"
+through these helpers, so benchmark output is directly comparable to the
+paper's plots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_table", "format_series", "print_series"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> None:
+    """Print an aligned ASCII table."""
+    print(format_table(headers, rows, title))
+    print()
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], width: int = 48
+) -> str:
+    """Render a series as a crude ASCII sparkline plus min/max labels."""
+    if not len(xs):
+        return f"{name}: (empty)"
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    marks = "▁▂▃▄▅▆▇█"
+    step = max(1, len(ys) // width)
+    sampled = list(ys)[::step][:width]
+    line = "".join(marks[int((y - lo) / span * (len(marks) - 1))] for y in sampled)
+    return f"{name} [{lo:.4g}..{hi:.4g}]: {line}"
+
+
+def print_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], width: int = 48
+) -> None:
+    """Print a series as an ASCII sparkline."""
+    print(format_series(name, xs, ys, width))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

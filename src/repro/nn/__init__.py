@@ -1,0 +1,22 @@
+"""Pure-NumPy neural-network substrate (embedding, LSTM, linear, losses).
+
+Stands in for PyTorch Mobile in the paper's client runtime: real gradients,
+real training, hand-written backprop.
+"""
+
+from repro.nn.loss import cross_entropy, perplexity, softmax
+from repro.nn.model import LSTMLanguageModel, ModelConfig
+from repro.nn.optim import SGD, Adam
+from repro.nn.parameters import ParamSpec, zeros_like_flat
+
+__all__ = [
+    "cross_entropy",
+    "perplexity",
+    "softmax",
+    "LSTMLanguageModel",
+    "ModelConfig",
+    "SGD",
+    "Adam",
+    "ParamSpec",
+    "zeros_like_flat",
+]

@@ -1,0 +1,246 @@
+"""Neural-network layers with hand-written backprop (NumPy only).
+
+The paper trains an LSTM language model (Kim et al., 2015) with PyTorch
+Mobile on-device.  PyTorch is not available in this environment, so the
+layers here implement the same computation with explicit forward/backward
+passes.  Everything is vectorized over the batch dimension; only the
+unavoidable recurrence loops over time steps.
+
+Conventions
+-----------
+* All activations and parameters are ``float32``.
+* ``forward`` returns ``(output, cache)``; ``backward`` consumes the cache
+  and returns ``(d_input, grads)`` where ``grads`` maps parameter name to
+  gradient array with the same shape as the parameter.
+* Parameter names are namespaced by the owning layer (e.g. ``lstm.w_x``)
+  at the model level, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["init_embedding", "embedding_forward", "embedding_backward",
+           "init_linear", "linear_forward", "linear_backward",
+           "init_lstm", "lstm_forward", "lstm_backward",
+           "sigmoid"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Embedding
+# ---------------------------------------------------------------------------
+
+def init_embedding(rng: np.random.Generator, vocab: int, dim: int) -> dict[str, np.ndarray]:
+    """Initialize an embedding table ``(vocab, dim)`` ~ N(0, 0.1^2)."""
+    return {"weight": (rng.standard_normal((vocab, dim)) * 0.1).astype(np.float32)}
+
+
+def embedding_forward(
+    params: dict[str, np.ndarray], tokens: np.ndarray
+) -> tuple[np.ndarray, Any]:
+    """Look up embeddings for integer tokens of shape ``(B, T)``.
+
+    Returns activations of shape ``(B, T, dim)``.
+    """
+    weight = params["weight"]
+    out = weight[tokens]
+    return out, (tokens, weight.shape, weight.dtype)
+
+
+def embedding_backward(cache: Any, d_out: np.ndarray) -> dict[str, np.ndarray]:
+    """Scatter-add gradients back into the embedding table."""
+    tokens, shape, dtype = cache
+    d_weight = np.zeros(shape, dtype=dtype)
+    np.add.at(d_weight, tokens.reshape(-1), d_out.reshape(-1, shape[1]))
+    return {"weight": d_weight}
+
+
+# ---------------------------------------------------------------------------
+# Linear
+# ---------------------------------------------------------------------------
+
+def init_linear(rng: np.random.Generator, d_in: int, d_out: int) -> dict[str, np.ndarray]:
+    """Initialize a dense layer with Xavier-uniform weights and zero bias."""
+    bound = float(np.sqrt(6.0 / (d_in + d_out)))
+    return {
+        "weight": rng.uniform(-bound, bound, (d_in, d_out)).astype(np.float32),
+        "bias": np.zeros(d_out, dtype=np.float32),
+    }
+
+
+def linear_forward(
+    params: dict[str, np.ndarray], x: np.ndarray
+) -> tuple[np.ndarray, Any]:
+    """Affine map over the last axis: ``y = x @ W + b``."""
+    y = x @ params["weight"] + params["bias"]
+    return y, (x, params["weight"])
+
+
+def linear_backward(cache: Any, d_out: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Backprop through the affine map; handles any leading batch axes."""
+    x, weight = cache
+    x2 = x.reshape(-1, x.shape[-1])
+    d2 = d_out.reshape(-1, d_out.shape[-1])
+    d_weight = x2.T @ d2
+    d_bias = d2.sum(axis=0)
+    d_x = (d2 @ weight.T).reshape(x.shape)
+    dt = weight.dtype
+    return d_x, {"weight": d_weight.astype(dt), "bias": d_bias.astype(dt)}
+
+
+# ---------------------------------------------------------------------------
+# LSTM (single layer, full-sequence forward/backward)
+# ---------------------------------------------------------------------------
+
+def init_lstm(rng: np.random.Generator, d_in: int, d_hidden: int) -> dict[str, np.ndarray]:
+    """Initialize LSTM weights.
+
+    Gate order in the fused matrices is ``[input, forget, cell, output]``.
+    The forget-gate bias starts at 1.0 — the standard trick to avoid
+    vanishing cell-state gradients early in training.
+    """
+    bound = float(np.sqrt(6.0 / (d_in + 4 * d_hidden)))
+    w_x = rng.uniform(-bound, bound, (d_in, 4 * d_hidden)).astype(np.float32)
+    bound_h = float(np.sqrt(6.0 / (d_hidden + 4 * d_hidden)))
+    w_h = rng.uniform(-bound_h, bound_h, (d_hidden, 4 * d_hidden)).astype(np.float32)
+    bias = np.zeros(4 * d_hidden, dtype=np.float32)
+    bias[d_hidden : 2 * d_hidden] = 1.0
+    return {"w_x": w_x, "w_h": w_h, "bias": bias}
+
+
+def lstm_forward(
+    params: dict[str, np.ndarray],
+    x: np.ndarray,
+    h0: np.ndarray | None = None,
+    c0: np.ndarray | None = None,
+) -> tuple[np.ndarray, Any]:
+    """Run an LSTM over a full sequence.
+
+    Parameters
+    ----------
+    x:
+        Inputs of shape ``(B, T, d_in)``.
+    h0, c0:
+        Optional initial hidden/cell state ``(B, H)``; default zeros.
+
+    Returns
+    -------
+    hs:
+        Hidden states for every step, shape ``(B, T, H)``.
+    cache:
+        Opaque cache for :func:`lstm_backward`.
+    """
+    w_x, w_h, bias = params["w_x"], params["w_h"], params["bias"]
+    B, T, _ = x.shape
+    H = w_h.shape[0]
+    dt = np.result_type(x.dtype, w_x.dtype)
+    h = np.zeros((B, H), dtype=dt) if h0 is None else h0
+    c = np.zeros((B, H), dtype=dt) if c0 is None else c0
+
+    # Precompute the input contribution for all steps in one GEMM.
+    zx = x.reshape(B * T, -1) @ w_x
+    zx = zx.reshape(B, T, 4 * H)
+
+    hs = np.empty((B, T, H), dtype=dt)
+    gates = np.empty((B, T, 4 * H), dtype=dt)
+    cells = np.empty((B, T, H), dtype=dt)
+    h_prevs = np.empty((B, T, H), dtype=dt)
+    c_prevs = np.empty((B, T, H), dtype=dt)
+
+    for t in range(T):
+        h_prevs[:, t] = h
+        c_prevs[:, t] = c
+        z = zx[:, t] + h @ w_h + bias
+        i = sigmoid(z[:, :H])
+        f = sigmoid(z[:, H : 2 * H])
+        g = np.tanh(z[:, 2 * H : 3 * H])
+        o = sigmoid(z[:, 3 * H :])
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        gates[:, t, :H] = i
+        gates[:, t, H : 2 * H] = f
+        gates[:, t, 2 * H : 3 * H] = g
+        gates[:, t, 3 * H :] = o
+        cells[:, t] = c
+        hs[:, t] = h
+
+    cache = (x, h_prevs, c_prevs, gates, cells, w_x, w_h)
+    return hs, cache
+
+
+def lstm_backward(
+    cache: Any, d_hs: np.ndarray
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Backprop through time for :func:`lstm_forward`.
+
+    Parameters
+    ----------
+    d_hs:
+        Gradient w.r.t. every hidden state, shape ``(B, T, H)``.
+
+    Returns
+    -------
+    d_x:
+        Gradient w.r.t. the inputs, shape ``(B, T, d_in)``.
+    grads:
+        Gradients for ``w_x``, ``w_h``, ``bias``.
+    """
+    x, h_prevs, c_prevs, gates, cells, w_x, w_h = cache
+    B, T, H = d_hs.shape
+    dt = np.result_type(d_hs.dtype, w_x.dtype)
+
+    d_h_next = np.zeros((B, H), dtype=dt)
+    d_c_next = np.zeros((B, H), dtype=dt)
+
+    # Accumulate per-step pre-activation grads, then do the big GEMMs once.
+    d_z_all = np.empty((B, T, 4 * H), dtype=dt)
+
+    for t in range(T - 1, -1, -1):
+        i = gates[:, t, :H]
+        f = gates[:, t, H : 2 * H]
+        g = gates[:, t, 2 * H : 3 * H]
+        o = gates[:, t, 3 * H :]
+        c = cells[:, t]
+        tanh_c = np.tanh(c)
+
+        d_h = d_hs[:, t] + d_h_next
+        d_o = d_h * tanh_c
+        d_c = d_h * o * (1.0 - tanh_c * tanh_c) + d_c_next
+        d_f = d_c * c_prevs[:, t]
+        d_i = d_c * g
+        d_g = d_c * i
+        d_c_next = d_c * f
+
+        d_z = d_z_all[:, t]
+        d_z[:, :H] = d_i * i * (1.0 - i)
+        d_z[:, H : 2 * H] = d_f * f * (1.0 - f)
+        d_z[:, 2 * H : 3 * H] = d_g * (1.0 - g * g)
+        d_z[:, 3 * H :] = d_o * o * (1.0 - o)
+
+        d_h_next = d_z @ w_h.T
+
+    dz2 = d_z_all.reshape(B * T, 4 * H)
+    d_w_x = x.reshape(B * T, -1).T @ dz2
+    d_w_h = h_prevs.reshape(B * T, H).T @ dz2
+    d_bias = dz2.sum(axis=0)
+    d_x = (dz2 @ w_x.T).reshape(x.shape)
+
+    wdt = w_x.dtype
+    grads = {
+        "w_x": d_w_x.astype(wdt),
+        "w_h": d_w_h.astype(wdt),
+        "bias": d_bias.astype(wdt),
+    }
+    return d_x, grads

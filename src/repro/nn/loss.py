@@ -1,0 +1,61 @@
+"""Cross-entropy loss and perplexity for language modelling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "cross_entropy", "perplexity"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax over the last axis (numerically stable)."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray, targets: np.ndarray, with_grad: bool = True
+) -> tuple[float, np.ndarray | None]:
+    """Mean token-level cross-entropy.
+
+    Parameters
+    ----------
+    logits:
+        Unnormalized scores, shape ``(..., V)``.
+    targets:
+        Integer class indices with shape ``logits.shape[:-1]``.
+    with_grad:
+        When True, also return ``d_logits`` (same shape as ``logits``)
+        for the mean loss.
+
+    Returns
+    -------
+    loss:
+        Scalar mean negative log-likelihood (nats per token).
+    d_logits:
+        Gradient, or ``None`` when ``with_grad`` is False.
+    """
+    V = logits.shape[-1]
+    flat = logits.reshape(-1, V)
+    tgt = targets.reshape(-1)
+    if tgt.min() < 0 or tgt.max() >= V:
+        raise ValueError("target index out of range")
+    n = flat.shape[0]
+    probs = softmax(flat)
+    nll = -np.log(np.maximum(probs[np.arange(n), tgt], 1e-12))
+    loss = float(nll.mean())
+    if not with_grad:
+        return loss, None
+    d = probs
+    d[np.arange(n), tgt] -= 1.0
+    d /= n
+    return loss, d.reshape(logits.shape).astype(np.float32)
+
+
+def perplexity(mean_nll: float) -> float:
+    """Perplexity corresponding to a mean NLL in nats (the paper's metric).
+
+    Clipped at ``exp(30)`` to avoid inf for divergent models.
+    """
+    return float(np.exp(min(mean_nll, 30.0)))

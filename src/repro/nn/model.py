@@ -1,0 +1,147 @@
+"""The LSTM language model used throughout the reproduction.
+
+Matches the paper's workload: an LSTM-based next-word-prediction model in
+the style of Kim et al. (2015) — embedding, single-layer LSTM, linear
+decoder — sized down so that thousands of simulated client updates run in
+seconds on a CPU.  The architecture is configurable; the convergence
+phenomena PAPAYA measures do not depend on model scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import layers
+from repro.nn.loss import cross_entropy, perplexity
+from repro.nn.parameters import ParamSpec
+from repro.utils.rng import child_rng
+
+__all__ = ["ModelConfig", "LSTMLanguageModel"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyperparameters for :class:`LSTMLanguageModel`.
+
+    Attributes
+    ----------
+    vocab_size:
+        Number of token types (including BOS at index 0).
+    embed_dim:
+        Embedding width.
+    hidden_dim:
+        LSTM hidden width (same for every layer).
+    num_layers:
+        Stacked LSTM layers (Kim et al. 2015 use 2; 1 is plenty for the
+        reproduction's scaled-down workloads).
+    """
+
+    vocab_size: int = 64
+    embed_dim: int = 16
+    hidden_dim: int = 32
+    num_layers: int = 1
+
+    def __post_init__(self) -> None:
+        for field in ("vocab_size", "embed_dim", "hidden_dim", "num_layers"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+
+class LSTMLanguageModel:
+    """Next-token prediction model: ``embed -> LSTM -> linear -> softmax``.
+
+    The model holds its parameters as a dict of named float32 arrays and
+    exposes flat-vector accessors (:meth:`get_flat` / :meth:`set_flat`)
+    used by the federated stack, which only ever ships flat deltas.
+
+    Parameters
+    ----------
+    config:
+        Architecture sizes.
+    seed:
+        Seed for weight initialization (deterministic per seed).
+    """
+
+    def __init__(self, config: ModelConfig, seed: int = 0):
+        self.config = config
+        rng = child_rng(seed, "model-init")
+        params: dict[str, np.ndarray] = {}
+        for k, v in layers.init_embedding(rng, config.vocab_size, config.embed_dim).items():
+            params[f"embed.{k}"] = v
+        for layer in range(config.num_layers):
+            d_in = config.embed_dim if layer == 0 else config.hidden_dim
+            for k, v in layers.init_lstm(rng, d_in, config.hidden_dim).items():
+                params[f"lstm{layer}.{k}"] = v
+        for k, v in layers.init_linear(rng, config.hidden_dim, config.vocab_size).items():
+            params[f"out.{k}"] = v
+        self.params = params
+        self.spec = ParamSpec.from_params(params)
+
+    # -- parameter plumbing -------------------------------------------------
+
+    @property
+    def num_params(self) -> int:
+        """Total scalar parameter count."""
+        return self.spec.size
+
+    def get_flat(self) -> np.ndarray:
+        """Copy of the parameters as one flat float32 vector."""
+        return self.spec.flatten(self.params)
+
+    def set_flat(self, vec: np.ndarray) -> None:
+        """Overwrite parameters from a flat vector."""
+        self.params = self.spec.unflatten(vec)
+
+    def clone(self) -> "LSTMLanguageModel":
+        """Deep copy (same config, same weights, independent arrays)."""
+        other = LSTMLanguageModel(self.config, seed=0)
+        other.set_flat(self.get_flat())
+        return other
+
+    # -- forward / backward -------------------------------------------------
+
+    def _split(self, prefix: str) -> dict[str, np.ndarray]:
+        plen = len(prefix) + 1
+        return {k[plen:]: v for k, v in self.params.items() if k.startswith(prefix + ".")}
+
+    def forward(self, tokens: np.ndarray) -> tuple[np.ndarray, tuple]:
+        """Compute logits ``(B, T, V)`` for input tokens ``(B, T)``."""
+        emb, cache_e = layers.embedding_forward(self._split("embed"), tokens)
+        hs = emb
+        lstm_caches = []
+        for layer in range(self.config.num_layers):
+            hs, cache_l = layers.lstm_forward(self._split(f"lstm{layer}"), hs)
+            lstm_caches.append(cache_l)
+        logits, cache_o = layers.linear_forward(self._split("out"), hs)
+        return logits, (cache_e, lstm_caches, cache_o)
+
+    def loss_and_grad(
+        self, tokens: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Mean cross-entropy and its gradient as a flat vector.
+
+        ``tokens`` and ``targets`` are int arrays of shape ``(B, T)``;
+        ``targets`` is ``tokens`` shifted by one in the usual LM setup.
+        """
+        logits, (cache_e, lstm_caches, cache_o) = self.forward(tokens)
+        loss, d_logits = cross_entropy(logits, targets)
+        d_hs, g_out = layers.linear_backward(cache_o, d_logits)
+        grads = {f"out.{k}": v for k, v in g_out.items()}
+        for layer in range(self.config.num_layers - 1, -1, -1):
+            d_hs, g_lstm = layers.lstm_backward(lstm_caches[layer], d_hs)
+            grads |= {f"lstm{layer}.{k}": v for k, v in g_lstm.items()}
+        g_embed = layers.embedding_backward(cache_e, d_hs)
+        grads |= {f"embed.{k}": v for k, v in g_embed.items()}
+        return loss, self.spec.flatten(grads)
+
+    def evaluate(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        """Mean cross-entropy without gradients (test/validation)."""
+        logits, _ = self.forward(tokens)
+        loss, _ = cross_entropy(logits, targets, with_grad=False)
+        return loss
+
+    def evaluate_perplexity(self, tokens: np.ndarray, targets: np.ndarray) -> float:
+        """Perplexity on a batch — the paper's Table 1 metric."""
+        return perplexity(self.evaluate(tokens, targets))

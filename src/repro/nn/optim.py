@@ -1,0 +1,119 @@
+"""Optimizers over flat parameter vectors.
+
+Two roles in the PAPAYA setup (Section 7.1):
+
+* **Client optimizer** — plain SGD on the local model during the client's
+  one epoch of training.
+* **Server optimizer** — FedAdam (Reddi et al., 2020): the aggregated
+  client delta is treated as a pseudo-gradient and fed to Adam.  The
+  server-side classes live in :mod:`repro.core.server_opt`; they build on
+  :class:`Adam` here.
+
+All optimizers mutate nothing: ``step`` takes ``(params, grad)`` and
+returns the new parameter vector, keeping state internal.  This functional
+style makes the FL bookkeeping (model versions, staleness) explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and grad clipping.
+
+    Parameters
+    ----------
+    lr:
+        Learning rate.
+    momentum:
+        Heavy-ball momentum coefficient (0 disables).
+    clip_norm:
+        If set, gradients are rescaled to at most this L2 norm before the
+        update — standard practice for LSTM language models.
+    """
+
+    def __init__(self, lr: float, momentum: float = 0.0, clip_norm: float | None = None):
+        self.lr = check_positive(lr, "lr")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.clip_norm = clip_norm
+        self._velocity: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Return updated parameters; state (velocity) advances internally."""
+        if grad.shape != params.shape:
+            raise ValueError("grad/param shape mismatch")
+        g = grad
+        if self.clip_norm is not None:
+            norm = float(np.linalg.norm(g))
+            if norm > self.clip_norm:
+                g = g * (self.clip_norm / (norm + 1e-12))
+        if self.momentum > 0.0:
+            if self._velocity is None:
+                self._velocity = np.zeros_like(params)
+            self._velocity = self.momentum * self._velocity + g
+            g = self._velocity
+        return (params - self.lr * g).astype(np.float32)
+
+    def reset(self) -> None:
+        """Clear momentum state (fresh client)."""
+        self._velocity = None
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) over a flat vector.
+
+    Used by FedAdam on the server with the aggregated client delta as the
+    pseudo-gradient.  Default hyperparameters follow the paper: "we use
+    Adam's default learning rate and tune the first-moment parameter".
+    """
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.lr = check_positive(lr, "lr")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = check_positive(eps, "eps")
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t = 0
+
+    @property
+    def step_count(self) -> int:
+        """Number of updates applied so far."""
+        return self._t
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Return updated parameters after one Adam step on ``grad``."""
+        if grad.shape != params.shape:
+            raise ValueError("grad/param shape mismatch")
+        if self._m is None:
+            self._m = np.zeros_like(params, dtype=np.float64)
+            self._v = np.zeros_like(params, dtype=np.float64)
+        self._t += 1
+        g = grad.astype(np.float64)
+        self._m = self.beta1 * self._m + (1.0 - self.beta1) * g
+        self._v = self.beta2 * self._v + (1.0 - self.beta2) * g * g
+        m_hat = self._m / (1.0 - self.beta1**self._t)
+        v_hat = self._v / (1.0 - self.beta2**self._t)
+        update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+        return (params.astype(np.float64) - update).astype(np.float32)
+
+    def reset(self) -> None:
+        """Clear moment estimates and the step counter."""
+        self._m = None
+        self._v = None
+        self._t = 0

@@ -1,0 +1,85 @@
+"""Flat-vector views of model parameters.
+
+The entire FL stack — server optimizers, FedBuff buffers, secure
+aggregation — operates on model *deltas* as flat ``float32`` vectors
+(that is what crosses the wire in PAPAYA).  :class:`ParamSpec` is the
+bridge between a model's named-array parameters and that flat view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ParamSpec", "zeros_like_flat"]
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Immutable description of a parameter collection's layout.
+
+    Attributes
+    ----------
+    names:
+        Parameter names in canonical (sorted) order.
+    shapes:
+        Shape of each parameter, aligned with ``names``.
+    offsets:
+        Start offset of each parameter in the flat vector.
+    size:
+        Total number of scalar parameters.
+    """
+
+    names: tuple[str, ...]
+    shapes: tuple[tuple[int, ...], ...]
+    offsets: tuple[int, ...]
+    size: int
+
+    @classmethod
+    def from_params(cls, params: dict[str, np.ndarray]) -> "ParamSpec":
+        """Build a spec from a name->array mapping (order-insensitive)."""
+        names = tuple(sorted(params))
+        shapes = tuple(tuple(params[n].shape) for n in names)
+        offsets: list[int] = []
+        pos = 0
+        for shape in shapes:
+            offsets.append(pos)
+            pos += int(np.prod(shape)) if shape else 1
+        return cls(names=names, shapes=shapes, offsets=tuple(offsets), size=pos)
+
+    def flatten(self, params: dict[str, np.ndarray]) -> np.ndarray:
+        """Pack named arrays into one contiguous float32 vector."""
+        out = np.empty(self.size, dtype=np.float32)
+        for name, shape, off in zip(self.names, self.shapes, self.offsets):
+            arr = params[name]
+            if tuple(arr.shape) != shape:
+                raise ValueError(
+                    f"parameter {name!r} has shape {arr.shape}, spec says {shape}"
+                )
+            n = int(np.prod(shape)) if shape else 1
+            out[off : off + n] = arr.reshape(-1).astype(np.float32, copy=False)
+        return out
+
+    def unflatten(self, vec: np.ndarray) -> dict[str, np.ndarray]:
+        """Unpack a flat vector into named float32 arrays (copies)."""
+        if vec.ndim != 1 or vec.size != self.size:
+            raise ValueError(f"expected flat vector of size {self.size}, got {vec.shape}")
+        params: dict[str, np.ndarray] = {}
+        for name, shape, off in zip(self.names, self.shapes, self.offsets):
+            n = int(np.prod(shape)) if shape else 1
+            params[name] = (
+                vec[off : off + n].astype(np.float32, copy=True).reshape(shape)
+            )
+        return params
+
+    def slot(self, name: str) -> slice:
+        """Slice of the flat vector occupied by parameter ``name``."""
+        idx = self.names.index(name)
+        n = int(np.prod(self.shapes[idx])) if self.shapes[idx] else 1
+        return slice(self.offsets[idx], self.offsets[idx] + n)
+
+
+def zeros_like_flat(spec: ParamSpec) -> np.ndarray:
+    """A zero flat vector matching ``spec`` (float32)."""
+    return np.zeros(spec.size, dtype=np.float32)

@@ -1,0 +1,93 @@
+"""Asynchronous Secure Aggregation (paper Section 5, Appendices A–D).
+
+Additive one-time-pad masking over a finite Abelian group, Diffie–Hellman
+channels between clients and a Trusted Secure Aggregator (simulated TEE),
+remote attestation, a verifiable (Merkle) log for trusted-binary updates,
+and fixed-point conversion between real model updates and group elements.
+"""
+
+from repro.secagg.attestation import (
+    AttestationError,
+    Quote,
+    SigningAuthority,
+    hash_binary,
+    hash_params,
+)
+from repro.secagg.auditor import (
+    AuditFailure,
+    BinaryReleaseProcess,
+    LogAuditor,
+    LogSnapshot,
+)
+from repro.secagg.client import ClientSubmission, LogBundle, SecAggClient
+from repro.secagg.dh import DH_GENERATOR, DH_PRIME, DHKeyPair, shared_key
+from repro.secagg.fixedpoint import (
+    FixedPointCodec,
+    FixedPointOverflowError,
+    recommend_codec,
+)
+from repro.secagg.groups import PowerOfTwoGroup
+from repro.secagg.merkle import (
+    VerifiableLog,
+    leaf_hash,
+    node_hash,
+    verify_consistency,
+    verify_inclusion,
+)
+from repro.secagg.otp import otp_add, otp_decrypt_sum, otp_encrypt
+from repro.secagg.prng import SEED_BYTES, expand_mask, generate_seed
+from repro.secagg.protocol import (
+    BoundaryCostModel,
+    SecAggDeployment,
+    build_deployment,
+    run_secure_aggregation,
+)
+from repro.secagg.sealed import SealedBox, SealError, open_sealed, seal
+from repro.secagg.server import SecAggServer
+from repro.secagg.tsa import KeyExchangeLeg, ProtocolError, TrustedSecureAggregator
+
+__all__ = [
+    "AttestationError",
+    "AuditFailure",
+    "BinaryReleaseProcess",
+    "LogAuditor",
+    "LogSnapshot",
+    "Quote",
+    "SigningAuthority",
+    "hash_binary",
+    "hash_params",
+    "ClientSubmission",
+    "LogBundle",
+    "SecAggClient",
+    "DH_GENERATOR",
+    "DH_PRIME",
+    "DHKeyPair",
+    "shared_key",
+    "FixedPointCodec",
+    "FixedPointOverflowError",
+    "recommend_codec",
+    "PowerOfTwoGroup",
+    "VerifiableLog",
+    "leaf_hash",
+    "node_hash",
+    "verify_consistency",
+    "verify_inclusion",
+    "otp_add",
+    "otp_decrypt_sum",
+    "otp_encrypt",
+    "SEED_BYTES",
+    "expand_mask",
+    "generate_seed",
+    "BoundaryCostModel",
+    "SecAggDeployment",
+    "build_deployment",
+    "run_secure_aggregation",
+    "SealedBox",
+    "SealError",
+    "open_sealed",
+    "seal",
+    "SecAggServer",
+    "KeyExchangeLeg",
+    "ProtocolError",
+    "TrustedSecureAggregator",
+]

@@ -1,0 +1,148 @@
+"""Log auditing and trusted-binary updates (paper Appendix C.2, Figure 20).
+
+Remote attestation alone pins clients to a hardcoded binary hash; the
+verifiable log decouples binary updates from client updates.  The paper's
+auditing story has three actors, all implemented here:
+
+* the **release process** appends each new trusted binary's identity and
+  manifest to the log *before* it may serve clients
+  (:class:`BinaryReleaseProcess`);
+* **clients** receive an inclusion proof with each key-exchange leg and
+  refuse to proceed unless the serving binary is logged (already in
+  :class:`repro.secagg.client.SecAggClient`);
+* **auditors** poll snapshots through the same API as clients, check
+  *consistency* between successive snapshots (append-only: no history
+  rewrite), and can fetch any logged entry to rebuild and inspect the
+  binary (:class:`LogAuditor`).
+
+"Due to the unforgeability of the underlying secure hashes, any logged
+trusted binary cannot avoid audition without being noticed" — the tests
+drive a malicious operator against these classes and watch them get
+caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.secagg.attestation import hash_binary
+from repro.secagg.client import LogBundle
+from repro.secagg.merkle import VerifiableLog, verify_consistency, verify_inclusion
+
+__all__ = ["LogSnapshot", "BinaryReleaseProcess", "LogAuditor", "AuditFailure"]
+
+
+class AuditFailure(RuntimeError):
+    """An auditor caught the log operator misbehaving."""
+
+
+@dataclass(frozen=True)
+class LogSnapshot:
+    """A (size, root) pair — what the snapshot API returns to everyone."""
+
+    size: int
+    root: bytes
+
+
+class BinaryReleaseProcess:
+    """The honest release pipeline for trusted binaries.
+
+    Owns the verifiable log; every release appends
+    ``identity || manifest`` *before* the binary serves clients, and can
+    mint the :class:`LogBundle` clients verify during participation.
+    """
+
+    def __init__(self) -> None:
+        self.log = VerifiableLog()
+        self._released: dict[bytes, int] = {}  # binary hash -> log index
+
+    def release(self, binary: bytes, manifest: str = "") -> int:
+        """Log a new trusted binary; returns its log index."""
+        digest = hash_binary(binary)
+        if digest in self._released:
+            return self._released[digest]
+        entry = b"binary:" + digest + b"|manifest:" + manifest.encode()
+        index = self.log.append(entry)
+        self._released[digest] = index
+        return index
+
+    def snapshot(self) -> LogSnapshot:
+        """The latest log snapshot (same API for clients and auditors)."""
+        return LogSnapshot(size=self.log.size, root=self.log.root())
+
+    def bundle_for(self, binary: bytes) -> LogBundle:
+        """Inclusion-proof bundle for a released binary (served to clients).
+
+        Raises
+        ------
+        KeyError
+            If the binary was never released — an unlogged binary cannot
+            produce a bundle, which is exactly the point.
+        """
+        digest = hash_binary(binary)
+        index = self._released[digest]
+        snap = self.snapshot()
+        return LogBundle(
+            entry=self.log.entry(index),
+            index=index,
+            size=snap.size,
+            root=snap.root,
+            proof=self.log.inclusion_proof(index, snap.size),
+        )
+
+    def consistency_proof(self, old_size: int) -> list[bytes]:
+        """Append-only proof from an older snapshot to the current one."""
+        return self.log.consistency_proof(old_size, self.log.size)
+
+
+class LogAuditor:
+    """A public auditor watching log snapshots for history rewrites.
+
+    Keeps the last verified snapshot; every new snapshot must come with a
+    consistency proof extending it.  Also spot-checks that served bundles
+    verify against the snapshot the auditor trusts.
+    """
+
+    def __init__(self, initial: LogSnapshot | None = None):
+        self.trusted = initial or LogSnapshot(size=0, root=VerifiableLog().root(0))
+        self.audits_performed = 0
+
+    def observe(self, snapshot: LogSnapshot, proof: list[bytes]) -> None:
+        """Verify that ``snapshot`` extends the trusted one; advance trust.
+
+        Raises
+        ------
+        AuditFailure
+            If the log shrank or the consistency proof fails (history was
+            rewritten).
+        """
+        self.audits_performed += 1
+        if snapshot.size < self.trusted.size:
+            raise AuditFailure(
+                f"log shrank from {self.trusted.size} to {snapshot.size}"
+            )
+        ok = verify_consistency(
+            self.trusted.size, snapshot.size, self.trusted.root, snapshot.root, proof
+        )
+        if not ok:
+            raise AuditFailure("consistency proof failed: history rewritten")
+        self.trusted = snapshot
+
+    def check_bundle(self, bundle: LogBundle) -> None:
+        """Verify a served inclusion bundle against the trusted snapshot.
+
+        The bundle may target an older snapshot; it is acceptable as long
+        as it verifies against its own (size, root) — clients separately
+        require that root via :meth:`observe`-style monitoring.
+
+        Raises
+        ------
+        AuditFailure
+            If the inclusion proof does not verify.
+        """
+        self.audits_performed += 1
+        ok = verify_inclusion(
+            bundle.entry, bundle.index, bundle.size, bundle.proof, bundle.root
+        )
+        if not ok:
+            raise AuditFailure("served bundle's inclusion proof does not verify")

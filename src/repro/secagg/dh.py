@@ -1,0 +1,83 @@
+"""Diffie–Hellman key exchange between clients and the trusted party.
+
+Appendix A.1: the protocol "consists of an initial message from one party
+(server) and a completing message as a response from the other one
+(client).  The server can prepare the initial messages in advance, without
+knowing the identities of the clients."  That pre-computability is what
+lets the TSA mint ``N > n`` key-exchange legs up front so clients can join
+asynchronously, one round trip each.
+
+This is real finite-field Diffie–Hellman over the RFC 3526 2048-bit MODP
+group (group 14) with short 256-bit exponents and an SHA-256 KDF — the
+textbook construction, not a mock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DH_PRIME", "DH_GENERATOR", "DHKeyPair", "shared_key"]
+
+# RFC 3526, 2048-bit MODP group (id 14).
+DH_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+DH_GENERATOR = 2
+
+_EXPONENT_BITS = 256  # short-exponent DH: 2x the 128-bit security target
+
+
+def _random_exponent(rng: np.random.Generator) -> int:
+    """A uniformly random private exponent of ``_EXPONENT_BITS`` bits."""
+    words = rng.integers(0, 2**64, size=_EXPONENT_BITS // 64, dtype=np.uint64)
+    value = 0
+    for w in words.tolist():
+        value = (value << 64) | int(w)
+    return value | (1 << (_EXPONENT_BITS - 1))  # force full bit length
+
+
+@dataclass(frozen=True)
+class DHKeyPair:
+    """One party's DH key pair.
+
+    ``public`` is what goes on the wire (the "initial message" when the
+    TSA generates it; the "completing message" when a client responds).
+    """
+
+    private: int
+    public: int
+
+    @classmethod
+    def generate(cls, rng: np.random.Generator) -> "DHKeyPair":
+        """Generate a key pair from the given randomness stream."""
+        priv = _random_exponent(rng)
+        return cls(private=priv, public=pow(DH_GENERATOR, priv, DH_PRIME))
+
+    def __repr__(self) -> str:  # never print the private exponent
+        return f"DHKeyPair(public={hex(self.public)[:18]}…)"
+
+
+def shared_key(private: int, peer_public: int) -> bytes:
+    """Derive the 32-byte shared channel key: SHA-256(g^{ab} mod p).
+
+    Raises
+    ------
+    ValueError
+        If the peer's public value is outside (1, p-1) — the standard
+        small-subgroup / degenerate-key check.
+    """
+    if not (1 < peer_public < DH_PRIME - 1):
+        raise ValueError("invalid DH public value")
+    secret = pow(peer_public, private, DH_PRIME)
+    return hashlib.sha256(secret.to_bytes((DH_PRIME.bit_length() + 7) // 8, "big")).digest()

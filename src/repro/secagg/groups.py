@@ -1,0 +1,110 @@
+"""Finite Abelian groups Z_{2^b} for vectors of masked model updates.
+
+The secure-aggregation protocol (Appendix A.2) operates element-wise over
+"any finite Abelian group (e.g. Z_{2^32})".  Powers of two are the natural
+choice on binary hardware: addition is machine integer addition and the
+modulo reduction is a bitmask, so the protocol's group math is exact and
+fast over NumPy unsigned arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PowerOfTwoGroup"]
+
+
+class PowerOfTwoGroup:
+    """The group (Z_{2^bits}, +) acting element-wise on vectors.
+
+    Parameters
+    ----------
+    bits:
+        Group width; 1–64.  Widths ≤ 32 use uint32 storage, wider use
+        uint64.  The paper's examples use Z_{2^32}.
+    """
+
+    def __init__(self, bits: int = 32):
+        if not (1 <= bits <= 64):
+            raise ValueError("bits must be in [1, 64]")
+        self.bits = bits
+        self.dtype = np.dtype(np.uint32) if bits <= 32 else np.dtype(np.uint64)
+        self.order = 1 << bits
+        # Mask as a NumPy scalar so &-reduction never up-casts to Python int.
+        self._mask = self.dtype.type(self.order - 1) if bits < 64 else self.dtype.type(0xFFFFFFFFFFFFFFFF)
+
+    # -- element construction -----------------------------------------------
+
+    def zeros(self, n: int) -> np.ndarray:
+        """The identity vector of length ``n``."""
+        return np.zeros(n, dtype=self.dtype)
+
+    def reduce(self, arr: np.ndarray) -> np.ndarray:
+        """Map arbitrary unsigned ints into the group (mod 2^bits)."""
+        return (arr.astype(self.dtype, copy=False) & self._mask).astype(self.dtype)
+
+    def random(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """A uniformly random group vector (used for one-time-pad masks)."""
+        raw = rng.integers(0, self.order, size=n, dtype=np.uint64, endpoint=False)
+        return self.reduce(raw)
+
+    # -- group operations ------------------------------------------------------
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise group addition with wraparound."""
+        self._check(a), self._check(b)
+        with np.errstate(over="ignore"):
+            return self.reduce(a + b)
+
+    def neg(self, a: np.ndarray) -> np.ndarray:
+        """Element-wise group inverse."""
+        self._check(a)
+        with np.errstate(over="ignore"):
+            return self.reduce(self.dtype.type(0) - a)
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a + (-b)``."""
+        return self.add(a, self.neg(b))
+
+    def scale(self, a: np.ndarray, k: int) -> np.ndarray:
+        """Repeated addition ``k·a`` (k may exceed the group order).
+
+        Used by the weighted-unmask extension: the server may ask the
+        trusted party to scale each mask by the integer aggregation weight
+        of its client.
+        """
+        self._check(a)
+        k_red = int(k) % self.order
+        # Wrapping multiplication mod 2^64 (or 2^32) is congruent to the
+        # true product mod 2^bits because 2^bits divides the machine
+        # modulus — so a single wrapped multiply is exact.
+        with np.errstate(over="ignore"):
+            prod = a.astype(np.uint64) * np.uint64(k_red)
+            return self.reduce(prod)
+
+    def sum(self, vectors: list[np.ndarray]) -> np.ndarray:
+        """Group sum of several vectors (empty list -> identity of len 0)."""
+        if not vectors:
+            return self.zeros(0)
+        acc = vectors[0].copy()
+        for v in vectors[1:]:
+            acc = self.add(acc, v)
+        return acc
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check(self, arr: np.ndarray) -> None:
+        if arr.dtype != self.dtype:
+            raise TypeError(
+                f"expected group dtype {self.dtype}, got {arr.dtype}; "
+                "use reduce() to bring values into the group"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PowerOfTwoGroup) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("PowerOfTwoGroup", self.bits))
+
+    def __repr__(self) -> str:
+        return f"PowerOfTwoGroup(bits={self.bits})"

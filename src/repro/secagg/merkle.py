@@ -1,0 +1,202 @@
+"""Append-only verifiable log (Merkle tree) for trusted-binary updates.
+
+Appendix C.2: remote attestation pins the client to a hardcoded binary
+hash, which would make enclave updates require client updates.  The paper
+instead logs every released trusted binary in a *verifiable log* — an
+append-only Merkle tree à la Certificate Transparency — so clients check
+an **inclusion proof** ("this binary is in the log") and auditors check
+**consistency proofs** ("the log only ever grew") against shared
+snapshots.
+
+Hashing follows RFC 6962: leaves are ``H(0x00 || entry)``, interior nodes
+``H(0x01 || left || right)``, and trees of non-power-of-two size split at
+the largest power of two smaller than the size.  Proof verification is
+self-contained — it needs only the proof, the root(s), and sizes — which
+is what lets a client audit the server without trusting it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["VerifiableLog", "leaf_hash", "node_hash", "verify_inclusion", "verify_consistency"]
+
+
+def leaf_hash(entry: bytes) -> bytes:
+    """RFC 6962 leaf hash with domain separation byte 0x00."""
+    return hashlib.sha256(b"\x00" + entry).digest()
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """RFC 6962 interior-node hash with domain separation byte 0x01."""
+    return hashlib.sha256(b"\x01" + left + right).digest()
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """Largest power of two strictly less than ``n`` (n >= 2)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+class VerifiableLog:
+    """Append-only Merkle log with inclusion and consistency proofs."""
+
+    def __init__(self) -> None:
+        self._leaves: list[bytes] = []  # leaf hashes
+        self._entries: list[bytes] = []  # raw entries (the log is public)
+
+    # -- mutation --------------------------------------------------------------
+
+    def append(self, entry: bytes) -> int:
+        """Append an entry; returns its index.  Entries are never removed."""
+        self._entries.append(entry)
+        self._leaves.append(leaf_hash(entry))
+        return len(self._leaves) - 1
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of entries logged so far."""
+        return len(self._leaves)
+
+    def entry(self, index: int) -> bytes:
+        """Raw entry at ``index`` (auditors fetch these to rebuild binaries)."""
+        return self._entries[index]
+
+    def root(self, size: int | None = None) -> bytes:
+        """Merkle tree head over the first ``size`` entries (default: all).
+
+        The root over zero entries is the hash of the empty string, per
+        RFC 6962.
+        """
+        size = self.size if size is None else size
+        if not (0 <= size <= self.size):
+            raise ValueError(f"size {size} out of range [0, {self.size}]")
+        if size == 0:
+            return hashlib.sha256(b"").digest()
+        return self._subtree_root(0, size)
+
+    def _subtree_root(self, start: int, size: int) -> bytes:
+        if size == 1:
+            return self._leaves[start]
+        k = _largest_power_of_two_below(size)
+        return node_hash(
+            self._subtree_root(start, k), self._subtree_root(start + k, size - k)
+        )
+
+    # -- proofs --------------------------------------------------------------
+
+    def inclusion_proof(self, index: int, size: int | None = None) -> list[bytes]:
+        """Audit path proving entry ``index`` is in the first ``size`` entries."""
+        size = self.size if size is None else size
+        if not (0 <= index < size <= self.size):
+            raise ValueError(f"need 0 <= index < size <= log size, got {index}, {size}")
+        return self._path(index, 0, size)
+
+    def _path(self, index: int, start: int, size: int) -> list[bytes]:
+        if size == 1:
+            return []
+        k = _largest_power_of_two_below(size)
+        if index < k:
+            return self._path(index, start, k) + [self._subtree_root(start + k, size - k)]
+        return self._path(index - k, start + k, size - k) + [self._subtree_root(start, k)]
+
+    def consistency_proof(self, old_size: int, new_size: int | None = None) -> list[bytes]:
+        """Proof that the first ``old_size`` entries are a prefix of the
+        first ``new_size`` entries (RFC 6962 §2.1.2)."""
+        new_size = self.size if new_size is None else new_size
+        if not (0 <= old_size <= new_size <= self.size):
+            raise ValueError("need 0 <= old_size <= new_size <= log size")
+        if old_size == 0 or old_size == new_size:
+            return []
+        return self._subproof(old_size, 0, new_size, True)
+
+    def _subproof(self, m: int, start: int, size: int, complete: bool) -> list[bytes]:
+        if m == size:
+            return [] if complete else [self._subtree_root(start, size)]
+        k = _largest_power_of_two_below(size)
+        if m <= k:
+            return self._subproof(m, start, k, complete) + [
+                self._subtree_root(start + k, size - k)
+            ]
+        return self._subproof(m - k, start + k, size - k, False) + [
+            self._subtree_root(start, k)
+        ]
+
+
+def verify_inclusion(
+    entry: bytes, index: int, size: int, proof: list[bytes], root: bytes
+) -> bool:
+    """Client-side inclusion check (RFC 9162 §2.1.3.2) — no log access.
+
+    Returns True iff ``entry`` is provably the leaf at ``index`` of the
+    tree with head ``root`` over ``size`` entries.
+    """
+    if not (0 <= index < size):
+        return False
+    fn, sn = index, size - 1
+    r = leaf_hash(entry)
+    for p in proof:
+        if sn == 0:
+            return False
+        if (fn & 1) or (fn == sn):
+            r = node_hash(p, r)
+            if not (fn & 1):
+                while True:
+                    fn >>= 1
+                    sn >>= 1
+                    if (fn & 1) or fn == 0:
+                        break
+        else:
+            r = node_hash(r, p)
+        fn >>= 1
+        sn >>= 1
+    return sn == 0 and r == root
+
+
+def verify_consistency(
+    old_size: int,
+    new_size: int,
+    old_root: bytes,
+    new_root: bytes,
+    proof: list[bytes],
+) -> bool:
+    """Auditor-side append-only check (RFC 6962 §2.1.4.2) — no log access.
+
+    Returns True iff the tree with head ``new_root`` over ``new_size``
+    entries extends the tree with head ``old_root`` over ``old_size``.
+    """
+    if old_size > new_size:
+        return False
+    if old_size == new_size:
+        return not proof and old_root == new_root
+    if old_size == 0:
+        # The empty tree is a prefix of everything; no proof required.
+        return not proof
+    node, last_node = old_size - 1, new_size - 1
+    while node & 1:
+        node >>= 1
+        last_node >>= 1
+    it = iter(proof)
+    try:
+        new_hash = old_hash = next(it) if node else old_root
+        while node:
+            if node & 1:
+                p = next(it)
+                old_hash = node_hash(p, old_hash)
+                new_hash = node_hash(p, new_hash)
+            elif node < last_node:
+                new_hash = node_hash(new_hash, next(it))
+            node >>= 1
+            last_node >>= 1
+        while last_node:
+            new_hash = node_hash(new_hash, next(it))
+            last_node >>= 1
+    except StopIteration:
+        return False
+    if next(it, None) is not None:  # leftover proof elements
+        return False
+    return old_hash == old_root and new_hash == new_root

@@ -1,0 +1,52 @@
+"""Additive one-time-pad encryption of model updates (paper Figure 14).
+
+The scheme in Appendix A.2:
+
+* ``Enc_k(v)``: expand ``k`` into a mask ``m`` in the group and output
+  ``v + m`` element-wise;
+* ciphertexts add homomorphically;
+* an aggregated ciphertext ``Σ Enc_{k_i}(v_i)`` decrypts to ``Σ v_i`` by
+  subtracting ``Σ PRNG(k_i)``.
+
+The ciphertext lives in the same space as the plaintext — the property
+that motivates the paper's choice over Paillier/ElGamal-style additive
+homomorphic encryption, whose 1024–3072-bit group elements would inflate
+mobile upload traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.secagg.groups import PowerOfTwoGroup
+from repro.secagg.prng import expand_mask
+
+__all__ = ["otp_encrypt", "otp_decrypt_sum", "otp_add"]
+
+
+def otp_encrypt(values: np.ndarray, seed: bytes, group: PowerOfTwoGroup) -> np.ndarray:
+    """``Enc_seed(v) = v + PRNG(seed)`` element-wise in the group."""
+    mask = expand_mask(seed, len(values), group)
+    return group.add(values, mask)
+
+
+def otp_add(c1: np.ndarray, c2: np.ndarray, group: PowerOfTwoGroup) -> np.ndarray:
+    """Homomorphic addition of two ciphertexts."""
+    return group.add(c1, c2)
+
+
+def otp_decrypt_sum(
+    cipher_sum: np.ndarray, seeds: list[bytes], group: PowerOfTwoGroup
+) -> np.ndarray:
+    """Decrypt an aggregated ciphertext given every contributing seed.
+
+    ``Σ v_i = (Σ (v_i + m_i)) − Σ m_i`` — this is exactly the unmasking
+    the trusted party performs, and its cost scales with the number of
+    additions (the trade-off Appendix A.2 accepts for compact
+    ciphertexts: the server has the compute, the phones have the
+    bandwidth constraint).
+    """
+    acc = group.zeros(len(cipher_sum))
+    for seed in seeds:
+        acc = group.add(acc, expand_mask(seed, len(cipher_sum), group))
+    return group.sub(cipher_sum, acc)

@@ -1,0 +1,53 @@
+"""Seed-to-mask expansion: a 16-byte seed becomes a model-sized pad.
+
+This is the trick that makes the paper's Asynchronous SecAgg scale
+(Section 5): "The random seed, usually 16 bytes shared between each client
+and the TSA, allows the two parties to share an as-large-as-the-model mask
+at a constant cost."  Client and trusted party run the same expansion, so
+only the seed ever crosses the TEE boundary.
+
+The expansion uses the Philox 4x64 counter-based generator keyed by the
+seed — deterministic, platform-stable, and independent streams for
+distinct seeds (a production system would use AES-CTR or ChaCha20; Philox
+is the same counter-mode construction with a non-cryptographic round
+function, which preserves every protocol behaviour we measure).
+"""
+
+from __future__ import annotations
+
+import secrets
+
+import numpy as np
+
+from repro.secagg.groups import PowerOfTwoGroup
+
+__all__ = ["SEED_BYTES", "generate_seed", "expand_mask"]
+
+SEED_BYTES = 16  # the paper's "usually 16 bytes"
+
+
+def generate_seed(rng: np.random.Generator | None = None) -> bytes:
+    """Draw a fresh random mask seed.
+
+    With ``rng`` the draw is deterministic (simulations/tests); without,
+    it uses the OS CSPRNG as a real client would.
+    """
+    if rng is None:
+        return secrets.token_bytes(SEED_BYTES)
+    return bytes(rng.integers(0, 256, size=SEED_BYTES, dtype=np.uint8).tobytes())
+
+
+def expand_mask(seed: bytes, length: int, group: PowerOfTwoGroup) -> np.ndarray:
+    """Expand a seed into a uniformly random group vector of ``length``.
+
+    The same ``(seed, length, group)`` always produces the same mask —
+    this determinism is the entire correctness basis of the protocol: the
+    TSA regenerates exactly the pad the client applied.
+    """
+    if len(seed) != SEED_BYTES:
+        raise ValueError(f"seed must be {SEED_BYTES} bytes, got {len(seed)}")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    key = int.from_bytes(seed, "little")
+    gen = np.random.Generator(np.random.Philox(key=key))
+    return group.random(gen, length)

@@ -1,0 +1,96 @@
+"""Authenticated encryption of the mask seed under the DH channel key.
+
+Protocol step 4 (Figure 16): the client sends ``d_i := Enc_{k_i}(s_i)``
+where "Enc employs standard techniques like MAC and sequential number to
+detect any tampered encryption."  This module provides exactly that —
+encrypt-then-MAC with an HMAC-SHA256 keystream (CTR-style) and a sequence
+number bound into the tag, built from the standard library.
+
+The tamper-detection property is what Appendix C relies on: "the server
+cannot successfully tamper with the data that is meant to be sent into the
+enclave ... because the decryption fails if any of them is modified."
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+__all__ = ["SealedBox", "seal", "open_sealed", "SealError"]
+
+
+class SealError(ValueError):
+    """Raised when a sealed box fails authentication."""
+
+
+@dataclass(frozen=True)
+class SealedBox:
+    """Ciphertext + authentication tag + anti-replay sequence number."""
+
+    ciphertext: bytes
+    tag: bytes
+    seq: int
+
+    def tampered_with(self, **changes) -> "SealedBox":
+        """Return a modified copy — used by the adversary test harness."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+
+def _keystream(key: bytes, seq: int, length: int) -> bytes:
+    """HMAC-SHA256 in counter mode: block_i = HMAC(key, seq || i)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hmac.new(
+            key, seq.to_bytes(8, "big") + counter.to_bytes(8, "big"), hashlib.sha256
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def _tag(key: bytes, ciphertext: bytes, seq: int) -> bytes:
+    return hmac.new(
+        key, b"tag" + seq.to_bytes(8, "big") + ciphertext, hashlib.sha256
+    ).digest()
+
+
+def seal(key: bytes, plaintext: bytes, seq: int = 0) -> SealedBox:
+    """Encrypt-then-MAC ``plaintext`` under ``key``.
+
+    Parameters
+    ----------
+    key:
+        32-byte channel key from :func:`repro.secagg.dh.shared_key`.
+    plaintext:
+        The mask seed (or any payload).
+    seq:
+        Sequence number; bound into both keystream and tag so replays
+        under a different sequence fail.
+    """
+    if len(key) < 16:
+        raise ValueError("key too short")
+    if seq < 0:
+        raise ValueError("seq must be non-negative")
+    stream = _keystream(key, seq, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    return SealedBox(ciphertext=ciphertext, tag=_tag(key, ciphertext, seq), seq=seq)
+
+
+def open_sealed(key: bytes, box: SealedBox) -> bytes:
+    """Authenticate and decrypt a sealed box.
+
+    Raises
+    ------
+    SealError
+        If the tag does not verify (wrong key, modified ciphertext, or
+        altered sequence number).
+    """
+    expected = _tag(key, box.ciphertext, box.seq)
+    if not hmac.compare_digest(expected, box.tag):
+        raise SealError("sealed box failed authentication")
+    stream = _keystream(key, box.seq, len(box.ciphertext))
+    return bytes(c ^ s for c, s in zip(box.ciphertext, stream))

@@ -1,0 +1,145 @@
+"""The untrusted server side of Asynchronous SecAgg (Figure 16 steps 2, 5, 7–8).
+
+The server is honest-but-curious: it follows the protocol but sees
+everything that crosses it.  It therefore only ever handles *masked*
+updates — the incremental aggregation property that makes the protocol
+compatible with FedBuff: each arriving masked update is folded into a
+running group sum immediately, no cohort required.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.secagg.client import ClientSubmission
+from repro.secagg.fixedpoint import FixedPointCodec
+from repro.secagg.tsa import KeyExchangeLeg, ProtocolError, TrustedSecureAggregator
+
+__all__ = ["SecAggServer"]
+
+
+class SecAggServer:
+    """Aggregates masked updates; orchestrates legs and the final unmask.
+
+    Parameters
+    ----------
+    tsa:
+        The trusted party (in production: reached over an attested
+        channel; here: a direct reference whose boundary is metered).
+    codec:
+        Fixed-point codec shared by all parties.
+    initial_legs:
+        How many DH legs to pre-mint (the paper's ``N > n``).
+    """
+
+    def __init__(
+        self,
+        tsa: TrustedSecureAggregator,
+        codec: FixedPointCodec,
+        initial_legs: int = 16,
+    ):
+        self.tsa = tsa
+        self.codec = codec
+        self._available_legs: list[KeyExchangeLeg] = list(
+            reversed(tsa.prepare_legs(initial_legs))
+        )
+        self._masked_sum = codec.group.zeros(tsa.vector_length)
+        self._accepted: list[ClientSubmission] = []
+        self._finalized = False
+
+    # -- step 2: hand a leg to a checking-in client -------------------------------
+
+    def assign_leg(self) -> KeyExchangeLeg:
+        """Hand out a fresh, never-used key-exchange leg.
+
+        Mints more legs on demand — clients check in asynchronously and
+        the supply must never gate them.
+        """
+        if not self._available_legs:
+            self._available_legs = list(reversed(self.tsa.prepare_legs(16)))
+        return self._available_legs.pop()
+
+    # -- step 5: incremental aggregation ----------------------------------------
+
+    def submit(self, submission: ClientSubmission) -> bool:
+        """Forward demasking info to the TSA; on acceptance, aggregate.
+
+        The masked update is added to the running sum only when the TSA
+        accepted the matching seed — otherwise the masked sum and the
+        mask sum would diverge and the final unmask would be garbage.
+        Returns whether the contribution counted.
+        """
+        if self._finalized:
+            return False
+        if submission.masked_update.shape != (self.tsa.vector_length,):
+            raise ValueError("masked update has wrong length")
+        accepted = self.tsa.process_client(
+            submission.leg_index,
+            submission.completing_message,
+            submission.sealed_seed,
+        )
+        if accepted:
+            self._masked_sum = self.codec.group.add(
+                self._masked_sum, submission.masked_update
+            )
+            self._accepted.append(submission)
+        return accepted
+
+    @property
+    def accepted_count(self) -> int:
+        """Contributions aggregated so far."""
+        return len(self._accepted)
+
+    @property
+    def accepted_submissions(self) -> tuple[ClientSubmission, ...]:
+        """The accepted submissions (masked — safe for the server to hold)."""
+        return tuple(self._accepted)
+
+    # -- steps 7–8: unmask and decode ----------------------------------------
+
+    def finalize(
+        self, weights: dict[int, int] | None = None, max_abs: float = 1.0
+    ) -> np.ndarray:
+        """Request the unmask and return the aggregated *real* update sum.
+
+        Parameters
+        ----------
+        weights:
+            Optional per-leg integer weights.  When given, the server
+            scales each masked update accordingly and asks the TSA for the
+            identically weighted mask sum, so it learns only the weighted
+            aggregate ``Σ w_i v_i``.
+        max_abs:
+            A priori bound on each real update's magnitude, used for the
+            fixed-point overflow soundness check.
+
+        Raises
+        ------
+        ProtocolError
+            Propagated from the TSA when below threshold or already
+            released.
+        """
+        if self._finalized:
+            raise ProtocolError("aggregation already finalized")
+        group = self.codec.group
+        if weights is None:
+            masked = self._masked_sum
+            unmask = self.tsa.release_unmask()
+            summands = len(self._accepted)
+            bound = max_abs
+        else:
+            masked = group.zeros(self.tsa.vector_length)
+            total_w = 0
+            for sub in self._accepted:
+                w = weights.get(sub.leg_index, 0)
+                if w:
+                    masked = group.add(masked, group.scale(sub.masked_update, w))
+                    total_w += abs(w)
+            unmask = self.tsa.release_unmask(
+                {k: v for k, v in weights.items() if v}
+            )
+            summands = max(total_w, 1)
+            bound = max_abs
+        self._finalized = True
+        encoded_sum = group.sub(masked, unmask)
+        return self.codec.decode_sum(encoded_sum, summands, bound)

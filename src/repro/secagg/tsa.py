@@ -1,0 +1,223 @@
+"""The Trusted Secure Aggregator — the protocol's trusted party.
+
+In production this code runs inside an Intel SGX enclave (Appendix C);
+here it is an in-process object whose *interface boundary* is explicit:
+everything that crosses into it is metered (``boundary_bytes_in/out``), so
+the Figure 6 boundary-traffic claim — ``O(K + m)`` for Asynchronous
+SecAgg versus ``O(K·m)`` for naive TEE aggregation — is measured, not
+assumed.
+
+Responsibilities (Figure 16, trusted-party legs):
+
+* mint ``N > n`` Diffie–Hellman key-exchange legs up front, each carried
+  by an attestation quote binding the DH initial message to the enclave
+  binary and the public protocol parameters (step 1);
+* per client: recover the mask seed from the sealed box (rejecting any
+  tampering), regenerate the mask, and fold it into a running sum — then
+  never process that leg again (step 6);
+* release the unmasking vector exactly once, and only if at least the
+  threshold ``t`` of clients contributed (step 7), ignoring all further
+  messages afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.secagg.attestation import Quote, SigningAuthority, hash_binary, hash_params
+from repro.secagg.dh import DHKeyPair, shared_key
+from repro.secagg.groups import PowerOfTwoGroup
+from repro.secagg.prng import SEED_BYTES, expand_mask
+from repro.secagg.sealed import SealedBox, SealError, open_sealed
+
+__all__ = ["KeyExchangeLeg", "ProtocolError", "TrustedSecureAggregator"]
+
+
+class ProtocolError(RuntimeError):
+    """A party violated the protocol state machine."""
+
+
+@dataclass(frozen=True)
+class KeyExchangeLeg:
+    """One pre-minted DH leg: index + quote covering the initial message.
+
+    The DH initial message (the TSA's public value) travels as the quote
+    payload so the untrusted server cannot substitute its own key — doing
+    so would break the quote signature.
+    """
+
+    index: int
+    quote: Quote
+
+    @property
+    def initial_message(self) -> int:
+        """The TSA's DH public value for this leg."""
+        return int.from_bytes(self.quote.payload, "big")
+
+
+class TrustedSecureAggregator:
+    """The trusted party of Figure 16, with an explicit metered boundary.
+
+    Parameters
+    ----------
+    group:
+        The finite Abelian group G (public parameter).
+    vector_length:
+        ℓ — elements per client update (public parameter).
+    threshold:
+        t — minimum clients aggregated before the unmask may be released
+        (public parameter).
+    authority:
+        Root of trust used to sign attestation quotes.
+    trusted_binary:
+        The "code of the trusted party" — hashed into every quote; in the
+        simulation an arbitrary byte string published ahead of time.
+    rng:
+        Randomness stream for DH key generation.
+    """
+
+    def __init__(
+        self,
+        group: PowerOfTwoGroup,
+        vector_length: int,
+        threshold: int,
+        authority: SigningAuthority,
+        trusted_binary: bytes = b"papaya-tsa-v1",
+        rng: np.random.Generator | None = None,
+    ):
+        if vector_length < 1:
+            raise ValueError("vector_length must be at least 1")
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.group = group
+        self.vector_length = vector_length
+        self.threshold = threshold
+        self._authority = authority
+        self.binary_hash = hash_binary(trusted_binary)
+        self.params_hash = hash_params(
+            group_bits=group.bits, vector_length=vector_length, threshold=threshold
+        )
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+        self._legs: dict[int, DHKeyPair] = {}  # private halves, enclave-only
+        self._used: set[int] = set()
+        self._mask_sum = group.zeros(vector_length)
+        self._seeds: dict[int, bytes] = {}  # per-leg seeds (for weighted release)
+        self._processed = 0
+        self._released = False
+
+        self.boundary_bytes_in = 0
+        self.boundary_bytes_out = 0
+
+    # -- step 1: mint key-exchange legs ---------------------------------------
+
+    def prepare_legs(self, count: int) -> list[KeyExchangeLeg]:
+        """Mint ``count`` fresh DH legs with attestation quotes.
+
+        The paper has the trusted party run "N (N > n) DH key exchange
+        protocol instances" before clients arrive; calling this again
+        mints additional legs with new indices (elastic supply).
+        """
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if self._released:
+            raise ProtocolError("TSA already released its unmask; it is finished")
+        legs = []
+        for _ in range(count):
+            index = len(self._legs)
+            pair = DHKeyPair.generate(self._rng)
+            payload = pair.public.to_bytes(256, "big")
+            quote = self._authority.issue(self.binary_hash, self.params_hash, payload)
+            self._legs[index] = pair
+            legs.append(KeyExchangeLeg(index=index, quote=quote))
+            self.boundary_bytes_out += len(payload) + len(quote.signature) + 64
+        return legs
+
+    # -- step 6: per-client seed recovery ----------------------------------------
+
+    def process_client(
+        self, leg_index: int, completing_message: int, sealed_seed: SealedBox
+    ) -> bool:
+        """Recover one client's mask seed and fold its mask into the sum.
+
+        Returns True when the contribution was accepted.  Rejections
+        (unknown leg, reused leg, failed authentication, wrong seed size)
+        return False — the paper's trusted party silently "ignores the
+        update"; the boolean lets the untrusted server keep its masked sum
+        consistent with the mask sum.
+        """
+        self.boundary_bytes_in += 256 + len(sealed_seed.ciphertext) + len(sealed_seed.tag) + 8
+        if self._released:
+            return False  # "The trusted party ignores any further messages"
+        if leg_index not in self._legs or leg_index in self._used:
+            return False
+        try:
+            key = shared_key(self._legs[leg_index].private, completing_message)
+        except ValueError:
+            return False
+        try:
+            seed = open_sealed(key, sealed_seed)
+        except SealError:
+            return False  # tampered in transit — exactly what the MAC is for
+        if len(seed) != SEED_BYTES:
+            return False
+        # Mark the leg used *before* aggregating: no second completing
+        # message for this initial message will ever be processed.
+        self._used.add(leg_index)
+        self._seeds[leg_index] = seed
+        mask = expand_mask(seed, self.vector_length, self.group)
+        self._mask_sum = self.group.add(self._mask_sum, mask)
+        self._processed += 1
+        return True
+
+    # -- step 7: one-shot unmask release ----------------------------------------
+
+    @property
+    def processed_count(self) -> int:
+        """Clients whose seeds have been recovered so far."""
+        return self._processed
+
+    @property
+    def released(self) -> bool:
+        """Whether the unmasking vector has already been released."""
+        return self._released
+
+    def release_unmask(self, weights: dict[int, int] | None = None) -> np.ndarray:
+        """Release ``Σ m_i`` (or ``Σ w_i·m_i``) exactly once.
+
+        Parameters
+        ----------
+        weights:
+            Optional integer weight per leg index — the weighted-
+            aggregation extension used by FedBuff's staleness weighting:
+            the server only ever learns the *weighted* aggregate.  Weights
+            for legs that were never processed are rejected.
+
+        Raises
+        ------
+        ProtocolError
+            If fewer than ``threshold`` clients contributed, if the
+            unmask was already released, or if weights reference unknown
+            legs.
+        """
+        if self._released:
+            raise ProtocolError("unmask already released; TSA ignores further requests")
+        if self._processed < self.threshold:
+            raise ProtocolError(
+                f"only {self._processed} clients aggregated; threshold is {self.threshold}"
+            )
+        if weights is None:
+            out = self._mask_sum.copy()
+        else:
+            unknown = set(weights) - set(self._seeds)
+            if unknown:
+                raise ProtocolError(f"weights reference unprocessed legs {sorted(unknown)}")
+            out = self.group.zeros(self.vector_length)
+            for leg_index, w in weights.items():
+                mask = expand_mask(self._seeds[leg_index], self.vector_length, self.group)
+                out = self.group.add(out, self.group.scale(mask, w))
+        self._released = True
+        self.boundary_bytes_out += out.nbytes
+        return out

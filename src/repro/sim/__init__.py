@@ -1,0 +1,24 @@
+"""Discrete-event substrate: simulator, device population, network, trace."""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.network import NetworkModel
+from repro.sim.population import DevicePopulation, DeviceProfile, PopulationConfig
+from repro.sim.trace import (
+    MetricsTrace,
+    Outcome,
+    ParticipationRecord,
+    ServerStepRecord,
+)
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "NetworkModel",
+    "DevicePopulation",
+    "DeviceProfile",
+    "PopulationConfig",
+    "MetricsTrace",
+    "Outcome",
+    "ParticipationRecord",
+    "ServerStepRecord",
+]

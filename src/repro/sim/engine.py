@@ -1,0 +1,141 @@
+"""Discrete-event simulation engine.
+
+The substitute for the paper's live fleet: every latency in the system —
+client training time, network transfers, selection, aggregation, heartbeat
+intervals, failure-detection delays — is an event on one global virtual
+clock, so experiments over "hours" of fleet time run in seconds and are
+perfectly reproducible.
+
+The engine is a classic priority-queue event loop with cancellable
+handles (cancellation is how the system layer models aborting in-flight
+clients when a synchronous round closes or staleness bounds trip).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float):
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Single-clock discrete-event loop.
+
+    Events scheduled for the same instant fire in scheduling order
+    (stable FIFO tie-break), which makes runs deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total events executed (for instrumentation/tests)."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Events scheduled but not yet fired or cancelled."""
+        return sum(1 for _, _, h, _ in self._queue if not h.cancelled)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> EventHandle:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule into the past ({time} < {self._now})")
+        handle = EventHandle(time)
+        heapq.heappush(self._queue, (time, next(self._seq), handle, action))
+        return handle
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            time, _, handle, action = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._fired += 1
+            action()
+            return True
+        return False
+
+    def run_until(
+        self,
+        t_end: float,
+        stop: Callable[[], bool] | None = None,
+        max_events: int | None = None,
+    ) -> float:
+        """Run events up to ``t_end`` (inclusive).
+
+        Parameters
+        ----------
+        t_end:
+            Simulated-time horizon; events beyond it stay queued and the
+            clock is advanced to exactly ``t_end``.
+        stop:
+            Optional predicate checked after every event; the run halts
+            early when it returns True (e.g. "target loss reached").
+        max_events:
+            Safety valve for runaway simulations.
+
+        Returns
+        -------
+        The simulated time when the run stopped.
+        """
+        fired = 0
+        while self._queue:
+            time, _, handle, action = self._queue[0]
+            if handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if time > t_end:
+                break
+            heapq.heappop(self._queue)
+            self._now = time
+            self._fired += 1
+            fired += 1
+            action()
+            if stop is not None and stop():
+                return self._now
+            if max_events is not None and fired >= max_events:
+                return self._now
+        self._now = max(self._now, t_end)
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+        return self._now

@@ -1,0 +1,55 @@
+"""Network latency model for the client participation protocol.
+
+Models the four stages of Section 6.1: model download from a CDN, status
+report, and chunked upload of the (possibly masked) update — each a
+bandwidth-proportional delay plus a fixed round-trip, per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.population import DeviceProfile
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Transfer-time model.
+
+    Attributes
+    ----------
+    rtt_s:
+        Fixed round-trip latency per request.
+    chunk_bytes:
+        Upload chunk size (Section 6.1 stage 4: "the client uploads the
+        model in chunks"); each chunk pays one RTT.
+    cdn_speedup:
+        Downloads come from a CDN, typically faster than the upload path.
+    """
+
+    rtt_s: float = 0.15
+    chunk_bytes: int = 4 * 1024 * 1024
+    cdn_speedup: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rtt_s < 0 or self.chunk_bytes <= 0 or self.cdn_speedup <= 0:
+            raise ValueError("invalid network parameters")
+
+    def download_time(self, profile: DeviceProfile, nbytes: int) -> float:
+        """Seconds to fetch model parameters + code from the CDN."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.rtt_s + nbytes / (profile.download_bandwidth * self.cdn_speedup)
+
+    def upload_time(self, profile: DeviceProfile, nbytes: int) -> float:
+        """Seconds to report status and push the update in chunks."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        n_chunks = max(1, -(-nbytes // self.chunk_bytes))  # ceil
+        return n_chunks * self.rtt_s + nbytes / profile.upload_bandwidth
+
+    def roundtrip(self) -> float:
+        """One control-plane round trip (check-in, report, heartbeat)."""
+        return self.rtt_s

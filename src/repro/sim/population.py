@@ -1,0 +1,237 @@
+"""Heterogeneous device population — the substitute for ~100 M phones.
+
+Section 2 of the paper reports the heterogeneity this module reproduces:
+
+* compute capability of mobile devices differs by an order of magnitude
+  (Wu et al., 2019) and per-client training time spans **more than two
+  orders of magnitude** (Figure 2) — we model per-example training cost
+  as log-normal;
+* example counts vary widely across users (Caldas et al., 2018) — also
+  log-normal, heavy tailed;
+* crucially for the fairness result (Figure 11), **slow devices tend to
+  hold more data** ("We observe very high correlation between slow
+  devices and devices with many training samples", Section 1).  The two
+  log-normals share a latent factor with configurable correlation, and
+  execution time additionally scales with the number of local examples —
+  both mechanisms the paper describes;
+* ~10 % of clients drop out mid-participation (Figure 1 caption: "We see
+  up to 10 % of clients drop").
+
+Profiles are derived deterministically from ``(seed, device_id)``, so a
+population of millions costs nothing until a device is actually touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import child_rng
+
+__all__ = ["PopulationConfig", "DeviceProfile", "DevicePopulation"]
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Distributional parameters of the simulated fleet.
+
+    Attributes
+    ----------
+    n_devices:
+        Population size (ids are ``0..n_devices-1``).
+    mean_examples:
+        Median of the per-client example-count log-normal.
+    sigma_examples:
+        Log-space spread of example counts.
+    median_sec_per_example:
+        Median per-example local training cost in seconds.
+    sigma_speed:
+        Log-space spread of per-example cost.  Together with
+        ``sigma_examples`` and the correlation, the default gives a total
+        log-spread of ≈1.13, which reproduces the paper's ~21× mean-round-
+        duration-to-mean-client-time ratio at cohort size 1000 and a >2
+        order-of-magnitude execution-time spread (Figure 2).
+    speed_data_correlation:
+        Correlation between the latent speed and data-volume factors
+        (positive = slow devices hold more data).
+    overhead_s:
+        Fixed per-participation cost (model load, setup) in seconds.
+    dropout_rate:
+        Probability a participating client drops mid-training.
+    eligibility_rate:
+        Probability a checked-in device is currently eligible (idle,
+        charging, unmetered network — Section 7.1's requirements).
+    diurnal_amplitude:
+        Day/night modulation of eligibility in [0, 1): the effective rate
+        swings by ±amplitude over a 24-hour cycle (devices are mostly
+        idle-and-charging at night).  This is why the paper repeats each
+        experiment "at the same time of the day"; 0 disables it.
+    max_examples:
+        Hard cap on per-client examples (keeps real-training runs sane).
+    """
+
+    n_devices: int = 100_000
+    mean_examples: float = 30.0
+    sigma_examples: float = 0.65
+    median_sec_per_example: float = 0.25
+    sigma_speed: float = 0.75
+    speed_data_correlation: float = 0.5
+    overhead_s: float = 1.0
+    dropout_rate: float = 0.1
+    eligibility_rate: float = 0.8
+    diurnal_amplitude: float = 0.0
+    max_examples: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise ValueError("n_devices must be at least 1")
+        if not (-1.0 <= self.speed_data_correlation <= 1.0):
+            raise ValueError("speed_data_correlation must be in [-1, 1]")
+        if not (0.0 <= self.dropout_rate <= 1.0):
+            raise ValueError("dropout_rate must be in [0, 1]")
+        if not (0.0 < self.eligibility_rate <= 1.0):
+            raise ValueError("eligibility_rate must be in (0, 1]")
+        if not (0.0 <= self.diurnal_amplitude < 1.0):
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        for f in ("mean_examples", "median_sec_per_example", "overhead_s"):
+            if getattr(self, f) <= 0:
+                raise ValueError(f"{f} must be positive")
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One device's static characteristics.
+
+    ``sec_per_example`` captures compute capability; ``n_examples`` the
+    local data volume; ``download_bandwidth``/``upload_bandwidth`` the
+    network (bytes/s).
+    """
+
+    device_id: int
+    sec_per_example: float
+    n_examples: int
+    download_bandwidth: float
+    upload_bandwidth: float
+
+    def execution_time(self, overhead_s: float, epochs: int = 1) -> float:
+        """Local training time: overhead + examples × per-example cost.
+
+        Both heterogeneity sources compound here — a slow device with a
+        lot of data is the straggler archetype of Figure 11.
+        """
+        return overhead_s + epochs * self.n_examples * self.sec_per_example
+
+
+class DevicePopulation:
+    """Deterministic, lazily-sampled fleet of devices."""
+
+    def __init__(self, config: PopulationConfig | None = None, seed: int = 0):
+        self.config = config or PopulationConfig()
+        self.seed = seed
+        self._cache: dict[int, DeviceProfile] = {}
+
+    def profile(self, device_id: int) -> DeviceProfile:
+        """The device's profile (stable across calls and runs)."""
+        cfg = self.config
+        if not (0 <= device_id < cfg.n_devices):
+            raise ValueError(f"device_id {device_id} outside population")
+        cached = self._cache.get(device_id)
+        if cached is not None:
+            return cached
+        rng = child_rng(self.seed, "device-profile", device_id)
+        # Shared latent factor induces the slow-device/big-data correlation.
+        z, e_speed, e_data = rng.standard_normal(3)
+        rho = cfg.speed_data_correlation
+        speed_factor = rho * z + np.sqrt(1.0 - rho * rho) * e_speed
+        data_factor = z if rho != 0 else e_data
+
+        sec_per_example = float(
+            cfg.median_sec_per_example * np.exp(cfg.sigma_speed * speed_factor)
+        )
+        n_examples = int(
+            np.clip(
+                np.round(cfg.mean_examples * np.exp(cfg.sigma_examples * data_factor)),
+                1,
+                cfg.max_examples,
+            )
+        )
+        # Mobile network bandwidths, log-normal around ~2 MB/s down, 1 MB/s up.
+        bw = rng.lognormal(mean=0.0, sigma=0.5)
+        prof = DeviceProfile(
+            device_id=device_id,
+            sec_per_example=sec_per_example,
+            n_examples=n_examples,
+            download_bandwidth=2e6 * float(bw),
+            upload_bandwidth=1e6 * float(bw),
+        )
+        self._cache[device_id] = prof
+        return prof
+
+    # -- stochastic per-participation behaviour --------------------------------
+
+    def eligibility_rate_at(self, time_s: float) -> float:
+        """Effective eligibility rate at a simulated time of day.
+
+        The fleet's availability peaks at night (hour 3) when phones sit
+        idle on chargers; with zero amplitude the rate is constant.
+        """
+        cfg = self.config
+        if cfg.diurnal_amplitude == 0.0:
+            return cfg.eligibility_rate
+        day = 24 * 3600.0
+        phase = 2.0 * np.pi * ((time_s % day) / day - 3.0 / 24.0)
+        rate = cfg.eligibility_rate * (1.0 + cfg.diurnal_amplitude * np.cos(phase))
+        return float(np.clip(rate, 0.0, 1.0))
+
+    def is_eligible(
+        self, device_id: int, checkin_count: int, time_s: float = 0.0
+    ) -> bool:
+        """Whether the device passes eligibility at this check-in.
+
+        Eligibility (idle + charging + unmetered) fluctuates; it is
+        re-rolled per check-in attempt, deterministically, against the
+        (possibly diurnal) rate at ``time_s``.
+        """
+        rng = child_rng(self.seed, "eligibility", device_id, checkin_count)
+        return bool(rng.random() < self.eligibility_rate_at(time_s))
+
+    def dropout_point(self, device_id: int, participation: int) -> float | None:
+        """If this participation drops out, the fraction of training done.
+
+        Returns ``None`` for participations that run to completion, else
+        a fraction in (0, 1) of the execution time at which the client
+        silently dies (battery, app eviction, network loss).
+        """
+        rng = child_rng(self.seed, "dropout", device_id, participation)
+        if rng.random() >= self.config.dropout_rate:
+            return None
+        return float(rng.uniform(0.05, 0.95))
+
+    # -- population statistics ----------------------------------------------------
+
+    def sample_profiles(self, n: int, rng: np.random.Generator) -> list[DeviceProfile]:
+        """Profiles of ``n`` devices sampled uniformly without replacement."""
+        ids = rng.choice(self.config.n_devices, size=min(n, self.config.n_devices),
+                         replace=False)
+        return [self.profile(int(i)) for i in ids]
+
+    def execution_time_stats(self, sample_size: int = 2000) -> dict[str, float]:
+        """Summary statistics of the execution-time distribution (Fig. 2)."""
+        rng = child_rng(self.seed, "exec-stats")
+        profs = self.sample_profiles(sample_size, rng)
+        times = np.array([p.execution_time(self.config.overhead_s) for p in profs])
+        return {
+            "mean": float(times.mean()),
+            "median": float(np.median(times)),
+            "p95": float(np.percentile(times, 95)),
+            "p99": float(np.percentile(times, 99)),
+            "max": float(times.max()),
+            # Bulk spread (p0.5–p99.5), robust to lone extremes — the
+            # visible range of the paper's Figure 2 histogram.
+            "spread_orders_of_magnitude": float(
+                np.log10(
+                    np.percentile(times, 99.5) / max(np.percentile(times, 0.5), 1e-9)
+                )
+            ),
+        }

@@ -1,0 +1,209 @@
+"""Metrics collection for simulated runs.
+
+Records everything the paper's figures are built from: the active-client
+time series (Figure 7), server-step times and losses (Figures 9/10/12),
+communication trips (Figures 3/9), and per-participation records — client,
+example count, execution time, outcome — from which the sampling-bias
+analysis (Figure 11, Table 1) is computed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Outcome", "ParticipationRecord", "ServerStepRecord", "MetricsTrace"]
+
+
+class Outcome(enum.Enum):
+    """How one client participation ended."""
+
+    AGGREGATED = "aggregated"  # update contributed to a server step
+    DISCARDED = "discarded"    # arrived/trained but thrown away (over-selection)
+    FAILED = "failed"          # device dropped out mid-participation
+    TIMEOUT = "timeout"        # exceeded the client execution timeout
+    ABORTED = "aborted"        # server-side abort (stale / round closed)
+    REJECTED = "rejected"      # never admitted (ineligible or no demand)
+
+
+@dataclass(frozen=True)
+class ParticipationRecord:
+    """One client participation, as the bias analysis needs it."""
+
+    device_id: int
+    task: str
+    start_time: float
+    end_time: float
+    n_examples: int
+    execution_time: float
+    outcome: Outcome
+    staleness: int = 0
+
+
+@dataclass(frozen=True)
+class ServerStepRecord:
+    """One server model update."""
+
+    time: float
+    task: str
+    version: int
+    num_updates: int
+    mean_staleness: float
+    loss: float
+
+
+class MetricsTrace:
+    """Append-only run telemetry with the queries the figures need."""
+
+    def __init__(self) -> None:
+        self.participations: list[ParticipationRecord] = []
+        self.server_steps: list[ServerStepRecord] = []
+        self._active_deltas: list[tuple[float, int]] = []
+        self.uploads = 0
+        self.downloads = 0
+        self.upload_bytes = 0
+        self.download_bytes = 0
+        # O(1) views for stop predicates evaluated after every event.
+        self.step_counts: dict[str, int] = {}
+        self.last_loss: dict[str, float] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def record_participation(self, rec: ParticipationRecord) -> None:
+        """Log a finished participation (any outcome)."""
+        self.participations.append(rec)
+
+    def record_server_step(self, rec: ServerStepRecord) -> None:
+        """Log a server model update."""
+        self.server_steps.append(rec)
+        self.step_counts[rec.task] = self.step_counts.get(rec.task, 0) + 1
+        self.last_loss[rec.task] = rec.loss
+
+    def record_active_delta(self, time: float, delta: int) -> None:
+        """Client became active (+1) or inactive (-1) at ``time``."""
+        self._active_deltas.append((time, delta))
+
+    def record_download(self, nbytes: int) -> None:
+        """Count one model download (a communication trip)."""
+        self.downloads += 1
+        self.download_bytes += nbytes
+
+    def record_upload(self, nbytes: int) -> None:
+        """Count one update upload (the paper's "communication trip")."""
+        self.uploads += 1
+        self.upload_bytes += nbytes
+
+    # -- queries ------------------------------------------------------------
+
+    def active_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """Step function of concurrently active clients over time."""
+        if not self._active_deltas:
+            return np.array([0.0]), np.array([0])
+        deltas = sorted(self._active_deltas)
+        times = np.array([t for t, _ in deltas])
+        counts = np.cumsum([d for _, d in deltas])
+        return times, counts
+
+    def mean_utilization(self, concurrency: int, t_start: float = 0.0,
+                         t_end: float | None = None) -> float:
+        """Time-averaged active clients / concurrency over a window."""
+        times, counts = self.active_series()
+        if times.size == 0 or concurrency <= 0:
+            return 0.0
+        t_end = float(times[-1]) if t_end is None else t_end
+        if t_end <= t_start:
+            return 0.0
+        # Integrate the step function over [t_start, t_end].
+        total = 0.0
+        for i in range(len(times)):
+            seg_start = max(float(times[i]), t_start)
+            seg_end = min(float(times[i + 1]) if i + 1 < len(times) else t_end, t_end)
+            if seg_end > seg_start:
+                total += counts[i] * (seg_end - seg_start)
+        return total / ((t_end - t_start) * concurrency)
+
+    def loss_curve(self, task: str | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """(times, losses) of server steps, optionally for one task."""
+        steps = [s for s in self.server_steps if task is None or s.task == task]
+        return (
+            np.array([s.time for s in steps]),
+            np.array([s.loss for s in steps]),
+        )
+
+    def time_to_loss(self, target: float, task: str | None = None) -> float | None:
+        """First simulated time the loss reached ``target`` (None if never)."""
+        for s in self.server_steps:
+            if (task is None or s.task == task) and s.loss <= target:
+                return s.time
+        return None
+
+    def steps_per_hour(self, task: str | None = None) -> float:
+        """Server model updates per simulated hour."""
+        steps = [s for s in self.server_steps if task is None or s.task == task]
+        if len(steps) < 2:
+            return 0.0
+        span = steps[-1].time - steps[0].time
+        if span <= 0:
+            return 0.0
+        return (len(steps) - 1) / span * 3600.0
+
+    def outcome_counts(self) -> dict[Outcome, int]:
+        """Participation tallies by outcome."""
+        counts: dict[Outcome, int] = {o: 0 for o in Outcome}
+        for rec in self.participations:
+            counts[rec.outcome] += 1
+        return counts
+
+    def aggregated_participations(self) -> list[ParticipationRecord]:
+        """Participations whose update actually entered a server step."""
+        return [p for p in self.participations if p.outcome is Outcome.AGGREGATED]
+
+    def staleness_values(self) -> np.ndarray:
+        """Staleness of every aggregated update."""
+        return np.array(
+            [p.staleness for p in self.aggregated_participations()], dtype=float
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data view of the whole trace (for JSON/dataframe export)."""
+        return {
+            "participations": [
+                {
+                    "device_id": p.device_id,
+                    "task": p.task,
+                    "start_time": p.start_time,
+                    "end_time": p.end_time,
+                    "n_examples": p.n_examples,
+                    "execution_time": p.execution_time,
+                    "outcome": p.outcome.value,
+                    "staleness": p.staleness,
+                }
+                for p in self.participations
+            ],
+            "server_steps": [
+                {
+                    "time": s.time,
+                    "task": s.task,
+                    "version": s.version,
+                    "num_updates": s.num_updates,
+                    "mean_staleness": s.mean_staleness,
+                    "loss": s.loss,
+                }
+                for s in self.server_steps
+            ],
+            "uploads": self.uploads,
+            "downloads": self.downloads,
+            "upload_bytes": self.upload_bytes,
+            "download_bytes": self.download_bytes,
+        }
+
+    def export_json(self, path: str) -> None:
+        """Write the trace to a JSON file."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)

@@ -1,0 +1,34 @@
+"""PAPAYA server and client runtime: Coordinator, Selectors, Aggregators.
+
+The system layer of the paper (Sections 4, 6, Appendix E), driven by the
+discrete-event simulator in :mod:`repro.sim`.
+"""
+
+from repro.system.adapters import RealTrainingAdapter, SurrogateAdapter, TrainerAdapter
+from repro.system.aggregator import AggregatorNode, FLTaskRuntime
+from repro.system.client_runtime import ClientSession
+from repro.system.coordinator import Coordinator
+from repro.system.orchestrator import (
+    FederatedSimulation,
+    RunResult,
+    SystemConfig,
+    TaskStats,
+)
+from repro.system.secure import SecureBufferedAggregator
+from repro.system.selector import Selector
+
+__all__ = [
+    "SecureBufferedAggregator",
+    "RealTrainingAdapter",
+    "SurrogateAdapter",
+    "TrainerAdapter",
+    "AggregatorNode",
+    "FLTaskRuntime",
+    "ClientSession",
+    "Coordinator",
+    "FederatedSimulation",
+    "RunResult",
+    "SystemConfig",
+    "TaskStats",
+    "Selector",
+]

@@ -1,0 +1,291 @@
+"""Aggregator node and per-task runtime (Section 6.3, Appendix E).
+
+An :class:`AggregatorNode` is persistent and stateful: it hosts one or
+more tasks for their whole lifetime (tasks move only on failure or load
+imbalance), drains an in-memory queue of uploaded updates with *sharded
+parallel aggregation* (arriving updates go to the earliest-free shard —
+the simulation analogue of hashing the aggregating thread id to an
+intermediate aggregate), heartbeats to the Coordinator, and reports
+per-task client demand.
+
+An :class:`FLTaskRuntime` owns one task: its config, its aggregation core
+(FedBuff or SyncFL — the mode switch of Appendix E.3), its trainer
+adapter, and the set of live client sessions.  It is where server steps
+trigger the paper's post-step actions: evaluating the new model, aborting
+stale clients (async) and round stragglers (sync).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.fedbuff import FedBuffAggregator
+from repro.core.staleness import PolynomialStaleness
+from repro.core.syncfl import SyncRoundAggregator
+from repro.core.types import TaskConfig, TrainingMode, TrainingResult
+from repro.system.secure import SecureBufferedAggregator
+from repro.sim.engine import Simulator
+from repro.sim.trace import MetricsTrace, Outcome, ServerStepRecord
+from repro.system.adapters import TrainerAdapter
+from repro.system.client_runtime import ClientSession
+from repro.utils.logging import EventLog
+
+__all__ = ["FLTaskRuntime", "AggregatorNode"]
+
+
+class FLTaskRuntime:
+    """Server-side runtime of one FL task."""
+
+    def __init__(
+        self,
+        config: TaskConfig,
+        adapter: TrainerAdapter,
+        sim: Simulator,
+        trace: MetricsTrace,
+        log: EventLog,
+        on_slot_free: Callable[[], None] | None = None,
+    ):
+        self.config = config
+        self.adapter = adapter
+        self.sim = sim
+        self.trace = trace
+        self.log = log
+        self.on_slot_free = on_slot_free or (lambda: None)
+
+        if config.secure_aggregation and config.mode is not TrainingMode.ASYNC:
+            raise ValueError(
+                "secure aggregation is implemented via the Asynchronous "
+                "SecAgg protocol; set mode=ASYNC (the paper's SMPC-based "
+                "synchronous SecAgg is out of scope, Section 5)"
+            )
+        if config.secure_aggregation:
+            self.core = SecureBufferedAggregator(
+                adapter.state,
+                goal=config.aggregation_goal,
+                vector_length=adapter.state.size,
+                staleness_policy=PolynomialStaleness(0.5),
+                max_staleness=config.max_staleness,
+                example_weighting=adapter.recommended_example_weighting,
+            )
+        elif config.mode is TrainingMode.ASYNC:
+            self.core = FedBuffAggregator(
+                adapter.state,
+                goal=config.aggregation_goal,
+                staleness_policy=PolynomialStaleness(0.5),
+                max_staleness=config.max_staleness,
+                example_weighting=adapter.recommended_example_weighting,
+                normalize_by=adapter.recommended_normalization,
+            )
+        else:
+            self.core = SyncRoundAggregator(
+                adapter.state,
+                goal=config.aggregation_goal,
+                over_selection=config.over_selection,
+                example_weighting=adapter.recommended_example_weighting,
+            )
+
+        self.sessions: dict[int, ClientSession] = {}
+        self.pending_assignments = 0
+        self.node: "AggregatorNode | None" = None  # set on placement
+
+    # -- demand (Section 6.2 / Appendix E.3) -----------------------------------
+
+    def demand(self) -> int:
+        """Clients this task wants right now.
+
+        Async: ``concurrency − active − pending`` (Appendix E.3).
+        Sync: the round's remaining cohort want, also capped by
+        concurrency.
+        """
+        occupied = len(self.sessions) + self.pending_assignments
+        headroom = self.config.concurrency - occupied
+        if isinstance(self.core, SyncRoundAggregator):
+            want = self.core.demand() - self.pending_assignments
+            return max(0, min(want, headroom))
+        return max(0, headroom)
+
+    # -- session lifecycle ------------------------------------------------------
+
+    def attach_session(self, session: ClientSession) -> None:
+        """A selected client confirmed its assignment and starts work."""
+        self.pending_assignments = max(0, self.pending_assignments - 1)
+        self.sessions[session.device_id] = session
+        session.begin()
+
+    def session_ended(self, session: ClientSession) -> None:
+        """Free the client's slot (any outcome) and ask for replacement."""
+        self.sessions.pop(session.device_id, None)
+        self.on_slot_free()
+
+    def active_count(self) -> int:
+        """Sessions currently attached."""
+        return len(self.sessions)
+
+    # -- upload path ------------------------------------------------------------
+
+    def upload_arrived(self, session: ClientSession, result: TrainingResult) -> None:
+        """An update reached the server; hand it to the hosting node's queue."""
+        if self.node is None or not self.node.alive:
+            # Hosting aggregator died while the update was in flight: the
+            # update is lost; the client will be re-routed next time.
+            self.core.client_failed(session.device_id)
+            session.abort(Outcome.ABORTED)
+            return
+        self.node.enqueue_update(self, session, result)
+
+    def process_update(self, session: ClientSession, result: TrainingResult) -> None:
+        """Deserialize + aggregate one update (runs on an aggregation shard)."""
+        if session.device_id not in self.sessions:
+            return  # aborted while queued
+        try:
+            update, step = self.core.receive_update(result)
+        except KeyError:
+            session.abort(Outcome.ABORTED)
+            return
+        outcome = Outcome.AGGREGATED if update.weight > 0 else Outcome.DISCARDED
+        # complete() fires on_end -> session_ended, which frees the slot.
+        session.complete(outcome, staleness=update.staleness)
+        if step is not None:
+            self._on_server_step(step)
+
+    def _on_server_step(self, step) -> None:
+        """Post-step actions: evaluate, abort stragglers/stale clients."""
+        loss = self.adapter.current_loss()
+        self.trace.record_server_step(
+            ServerStepRecord(
+                time=self.sim.now,
+                task=self.config.name,
+                version=step.version,
+                num_updates=step.num_updates,
+                mean_staleness=step.mean_staleness,
+                loss=loss,
+            )
+        )
+        self.log.emit(
+            self.sim.now, f"task:{self.config.name}", "server_step",
+            version=step.version, loss=loss,
+        )
+        # SyncFL: everyone still training when the round closed is
+        # discarded (over-selection waste).
+        for device_id in step.discarded:
+            sess = self.sessions.get(device_id)
+            if sess is not None:
+                sess.abort(Outcome.DISCARDED)
+        # AsyncFL: abort clients whose staleness exceeded the bound
+        # ("After every server model update, the aggregator aborts clients
+        # whose staleness is larger than ... maximum staleness").
+        if self.config.mode is TrainingMode.ASYNC:
+            for device_id in self.core.stale_clients():
+                self.core.client_failed(device_id)
+                sess = self.sessions.get(device_id)
+                if sess is not None:
+                    sess.abort(Outcome.ABORTED)
+
+    # -- failure handling (Appendix E.4) --------------------------------------
+
+    def on_reassigned(self) -> None:
+        """The hosting aggregator died; buffered updates and sessions are lost.
+
+        Model state and version survive (checkpointed); everything in the
+        failed node's memory does not.
+        """
+        lost, dropped = self.core.drop_buffer_and_inflight()
+        self.log.emit(
+            self.sim.now, f"task:{self.config.name}", "task_reassigned",
+            lost_buffered=lost, dropped_clients=len(dropped),
+        )
+        for session in list(self.sessions.values()):
+            session.abort(Outcome.ABORTED)
+        self.sessions.clear()
+        self.pending_assignments = 0
+        self.on_slot_free()
+
+
+class AggregatorNode:
+    """A persistent aggregator process hosting several task runtimes."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        log: EventLog,
+        n_shards: int = 4,
+        update_process_time_s: float = 0.01,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if update_process_time_s < 0:
+            raise ValueError("update_process_time_s must be non-negative")
+        self.node_id = node_id
+        self.sim = sim
+        self.log = log
+        self.n_shards = n_shards
+        self.update_process_time_s = update_process_time_s
+        self.tasks: dict[str, FLTaskRuntime] = {}
+        self.alive = True
+        self.last_heartbeat = 0.0
+        self._shard_free_at = [0.0] * n_shards
+        self.updates_processed = 0
+
+    # -- placement ------------------------------------------------------------
+
+    def host(self, task_rt: FLTaskRuntime) -> None:
+        """Take over a task (initial placement or failover)."""
+        task_rt.node = self
+        self.tasks[task_rt.config.name] = task_rt
+        self.log.emit(
+            self.sim.now, f"aggregator:{self.node_id}", "task_hosted",
+            task=task_rt.config.name,
+        )
+
+    def drop_task(self, name: str) -> FLTaskRuntime | None:
+        """Stop hosting a task (it is being moved elsewhere)."""
+        return self.tasks.pop(name, None)
+
+    def estimated_workload(self) -> float:
+        """Coordinator's placement heuristic: Σ concurrency × model size."""
+        return sum(
+            t.config.concurrency * t.config.model_size_bytes
+            for t in self.tasks.values()
+        )
+
+    # -- queue + sharded parallel aggregation ------------------------------------
+
+    def enqueue_update(
+        self, task_rt: FLTaskRuntime, session: ClientSession, result: TrainingResult
+    ) -> None:
+        """Push an uploaded update into the in-memory queue.
+
+        The draining thread pool is modeled as ``n_shards`` parallel
+        servers; an arriving update is dispatched to the earliest-free
+        shard and costs ``update_process_time_s`` of deserialization +
+        intermediate aggregation.
+        """
+        now = self.sim.now
+        shard = min(range(self.n_shards), key=lambda i: self._shard_free_at[i])
+        start = max(now, self._shard_free_at[shard])
+        done = start + self.update_process_time_s
+        self._shard_free_at[shard] = done
+        self.updates_processed += 1
+        self.sim.schedule(done - now, lambda: task_rt.process_update(session, result))
+
+    def queue_depth_seconds(self) -> float:
+        """How far behind the busiest shard is (backpressure signal)."""
+        return max(0.0, max(self._shard_free_at) - self.sim.now)
+
+    # -- liveness ------------------------------------------------------------
+
+    def demand_report(self) -> dict[str, int]:
+        """Per-task client demand, shipped with each heartbeat."""
+        return {name: rt.demand() for name, rt in self.tasks.items()}
+
+    def fail(self) -> None:
+        """Kill the node (failure-injection hook)."""
+        self.alive = False
+        self.log.emit(self.sim.now, f"aggregator:{self.node_id}", "failed")
+
+    def recover(self) -> None:
+        """Bring the node back empty (tasks were reassigned elsewhere)."""
+        self.alive = True
+        self._shard_free_at = [self.sim.now] * self.n_shards
+        self.log.emit(self.sim.now, f"aggregator:{self.node_id}", "recovered")

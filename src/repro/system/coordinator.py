@@ -1,0 +1,224 @@
+"""The Coordinator: task placement, client assignment, failure recovery.
+
+Section 4: "there is only one Coordinator"; it (1) assigns FL tasks to
+Aggregators, (2) assigns clients to FL tasks, and (3) provides centralized
+coordination and ensures tasks progress in the face of Aggregator
+failures.
+
+Client assignment follows Section 6.2 exactly:
+
+* **demand tracking** — each Aggregator reports per-task demand with its
+  heartbeats; the Coordinator pools them and *explicitly accounts for
+  clients that have been assigned but have not yet confirmed* (the
+  ``pending_assignments`` counter on each task runtime);
+* **eligibility** — a task is eligible for a client if the client is
+  compatible and the task has positive demand;
+* **assignment** — the Coordinator picks uniformly at random among
+  eligible tasks and instructs the Selector to forward the client to the
+  responsible Aggregator.
+
+Failure handling follows Appendix E.4: aggregator death is detected by
+missed heartbeats and its tasks move to the least-loaded live node;
+coordinator death pauses *new* assignments only — participating clients
+are unaffected — and recovery spends a configurable window rebuilding the
+assignment view before resuming.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.system.aggregator import AggregatorNode, FLTaskRuntime
+from repro.utils.logging import EventLog
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator:
+    """Singleton control plane of the simulated deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        log: EventLog,
+        rng: np.random.Generator,
+        heartbeat_interval_s: float = 10.0,
+        heartbeat_miss_limit: int = 3,
+        recovery_period_s: float = 30.0,
+    ):
+        if heartbeat_interval_s <= 0 or heartbeat_miss_limit < 1:
+            raise ValueError("invalid heartbeat parameters")
+        self.sim = sim
+        self.log = log
+        self.rng = rng
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_miss_limit = heartbeat_miss_limit
+        self.recovery_period_s = recovery_period_s
+
+        self.aggregators: list[AggregatorNode] = []
+        self.tasks: dict[str, FLTaskRuntime] = {}
+        self.placement: dict[str, int] = {}  # task -> node id
+        self.assignment_seq = 0  # bumped on every placement change
+        self.alive = True
+        self._recovering_until = -1.0
+        self.assignments_made = 0
+        self.assignments_rejected = 0
+
+    # -- registration / placement ------------------------------------------------
+
+    def register_aggregator(self, node: AggregatorNode) -> None:
+        """Add an aggregator to the pool."""
+        node.last_heartbeat = self.sim.now
+        self.aggregators.append(node)
+
+    def register_task(self, task_rt: FLTaskRuntime) -> None:
+        """Accept a task and place it on the least-loaded live aggregator."""
+        self.tasks[task_rt.config.name] = task_rt
+        self._place(task_rt)
+
+    def _live_nodes(self) -> list[AggregatorNode]:
+        return [a for a in self.aggregators if a.alive]
+
+    def _place(self, task_rt: FLTaskRuntime) -> None:
+        """Least-estimated-workload placement (Section 6.3)."""
+        live = self._live_nodes()
+        if not live:
+            raise RuntimeError("no live aggregators to place task on")
+        node = min(live, key=lambda a: a.estimated_workload())
+        node.host(task_rt)
+        self.placement[task_rt.config.name] = node.node_id
+        self.assignment_seq += 1
+        self.log.emit(
+            self.sim.now, "coordinator", "task_placed",
+            task=task_rt.config.name, node=node.node_id, seq=self.assignment_seq,
+        )
+
+    # -- client assignment (Section 6.2) ----------------------------------------
+
+    def assign_client(self, compatible_tasks: list[str] | None = None) -> FLTaskRuntime | None:
+        """Pick an eligible task for a checking-in client, or reject.
+
+        ``compatible_tasks`` restricts eligibility (multi-tenant clients
+        may only be able to train some models); ``None`` means all.
+        """
+        if not self.alive or self.sim.now < self._recovering_until:
+            self.assignments_rejected += 1
+            return None
+        eligible = [
+            rt
+            for name, rt in self.tasks.items()
+            if (compatible_tasks is None or name in compatible_tasks)
+            and rt.demand() > 0
+            and rt.node is not None
+            and rt.node.alive
+        ]
+        if not eligible:
+            self.assignments_rejected += 1
+            return None
+        choice = eligible[int(self.rng.integers(len(eligible)))]
+        choice.pending_assignments += 1
+        self.assignments_made += 1
+        return choice
+
+    # -- heartbeats + failure detection (Appendix E.4) ------------------------------
+
+    def on_heartbeat(self, node: AggregatorNode, demand: dict[str, int]) -> None:
+        """Record liveness and the node's per-task demand report."""
+        node.last_heartbeat = self.sim.now
+        self.log.emit(
+            self.sim.now, "coordinator", "heartbeat",
+            node=node.node_id, demand=sum(demand.values()),
+        )
+
+    def sweep_failures(self) -> list[str]:
+        """Detect dead aggregators and reassign their tasks.
+
+        Returns the names of reassigned tasks.  Called periodically by the
+        orchestrator (and directly by failure-injection tests).
+        """
+        if not self.alive:
+            return []
+        deadline = self.heartbeat_miss_limit * self.heartbeat_interval_s
+        moved: list[str] = []
+        for node in self.aggregators:
+            expired = self.sim.now - node.last_heartbeat > deadline
+            if node.alive and not expired:
+                continue
+            if not node.tasks:
+                continue
+            if not node.alive or expired:
+                node.alive = False
+                for name in list(node.tasks):
+                    task_rt = node.drop_task(name)
+                    if task_rt is None:
+                        continue
+                    task_rt.on_reassigned()
+                    self._place(task_rt)
+                    moved.append(name)
+        if moved:
+            self.log.emit(self.sim.now, "coordinator", "tasks_reassigned", tasks=moved)
+        return moved
+
+    def rebalance_overloaded(self, queue_threshold_s: float = 30.0) -> list[str]:
+        """Move tasks off overloaded aggregators (Section 6.3).
+
+        "The Coordinator moves tasks between Aggregators only when it
+        detects failed or overloaded Aggregators."  Overload is detected
+        through aggregation-queue backpressure; the lightest task of an
+        overloaded multi-task node moves to the least-loaded peer.  This
+        is a *planned* move: unlike failover, no state is lost — sessions
+        keep running and route to the new host on their next upload.
+        """
+        if not self.alive:
+            return []
+        live = self._live_nodes()
+        if len(live) < 2:
+            return []
+        moved: list[str] = []
+        for node in live:
+            if node.queue_depth_seconds() <= queue_threshold_s or len(node.tasks) < 2:
+                continue
+            name = min(
+                node.tasks,
+                key=lambda n: node.tasks[n].config.concurrency
+                * node.tasks[n].config.model_size_bytes,
+            )
+            target = min(
+                (a for a in live if a is not node),
+                key=lambda a: a.estimated_workload(),
+            )
+            task_rt = node.drop_task(name)
+            target.host(task_rt)
+            self.placement[name] = target.node_id
+            self.assignment_seq += 1
+            moved.append(name)
+            self.log.emit(
+                self.sim.now, "coordinator", "task_rebalanced",
+                task=name, source=node.node_id, target=target.node_id,
+            )
+        return moved
+
+    # -- coordinator failure (Appendix E.4) --------------------------------------
+
+    def fail(self) -> None:
+        """The Coordinator process dies.  Participating clients continue;
+        no new clients are assigned until a new leader is elected."""
+        self.alive = False
+        self.log.emit(self.sim.now, "coordinator", "failed")
+
+    def recover(self) -> None:
+        """Leader re-elected; enter the recovery period (typically 30 s)
+        rebuilding the assignment map from aggregator reports."""
+        self.alive = True
+        self._recovering_until = self.sim.now + self.recovery_period_s
+        self.assignment_seq += 1
+        self.log.emit(
+            self.sim.now, "coordinator", "recovered",
+            resuming_at=self._recovering_until,
+        )
+
+    @property
+    def accepting_assignments(self) -> bool:
+        """Whether new clients can currently be assigned."""
+        return self.alive and self.sim.now >= self._recovering_until

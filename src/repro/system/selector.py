@@ -1,0 +1,72 @@
+"""Selectors: the only components that talk to clients directly.
+
+Section 4: Selectors advertise available tasks, summarize client
+availability for the Coordinator, and route client requests to the
+Aggregator responsible for their task using an *assignment map* refreshed
+from the Coordinator.  Appendix E.4: a Selector holding a stale map (the
+Coordinator re-placed tasks since the last refresh) fails the client's
+first attempt; the client retries through a different Selector, and the
+stale Selector refreshes its map on its next report.
+
+The simulation keeps that behaviour: routing through a stale selector
+costs one extra round trip, and the retry counter is observable for the
+failure-recovery tests.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.system.aggregator import FLTaskRuntime
+from repro.system.coordinator import Coordinator
+from repro.utils.logging import EventLog
+
+__all__ = ["Selector"]
+
+
+class Selector:
+    """One stateless-ish routing frontend with a cached assignment map."""
+
+    def __init__(
+        self,
+        selector_id: int,
+        sim: Simulator,
+        coordinator: Coordinator,
+        log: EventLog,
+    ):
+        self.selector_id = selector_id
+        self.sim = sim
+        self.coordinator = coordinator
+        self.log = log
+        self._map_seq = coordinator.assignment_seq
+        self.checkins_routed = 0
+        self.stale_map_retries = 0
+
+    @property
+    def map_is_stale(self) -> bool:
+        """Whether the coordinator has re-placed tasks since our refresh."""
+        return self._map_seq != self.coordinator.assignment_seq
+
+    def refresh_map(self) -> None:
+        """Pull the latest assignment map (happens on every report)."""
+        self._map_seq = self.coordinator.assignment_seq
+
+    def route_checkin(
+        self, compatible_tasks: list[str] | None = None
+    ) -> tuple[FLTaskRuntime | None, float]:
+        """Route one client check-in.
+
+        Returns ``(task runtime or None, extra latency)``.  A stale map
+        costs one retry's worth of latency (the client re-tries through
+        another Selector); the stale Selector then refreshes.
+        """
+        extra_latency = 0.0
+        if self.map_is_stale:
+            self.stale_map_retries += 1
+            extra_latency = 0.2  # failed attempt + retry through a peer
+            self.refresh_map()
+            self.log.emit(
+                self.sim.now, f"selector:{self.selector_id}", "stale_map_retry"
+            )
+        self.checkins_routed += 1
+        task_rt = self.coordinator.assign_client(compatible_tasks)
+        return task_rt, extra_latency

@@ -1,0 +1,37 @@
+"""Shared infrastructure: RNG streams, serialization, validation, logging."""
+
+from repro.utils.logging import EventLog, EventRecord
+from repro.utils.rng import child_rng, make_rng, spawn_rngs, stable_hash64
+from repro.utils.serialization import (
+    SerializationError,
+    chunk_payload,
+    deserialize_vector,
+    reassemble_chunks,
+    serialize_vector,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_vector,
+)
+
+__all__ = [
+    "EventLog",
+    "EventRecord",
+    "child_rng",
+    "make_rng",
+    "spawn_rngs",
+    "stable_hash64",
+    "SerializationError",
+    "chunk_payload",
+    "deserialize_vector",
+    "reassemble_chunks",
+    "serialize_vector",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_vector",
+]

@@ -1,0 +1,74 @@
+"""Structured event logging for simulated system components.
+
+Production PAPAYA emits telemetry from every Coordinator/Selector/Aggregator
+interaction; the reproduction records the same events as in-memory structured
+records so tests and the experiment harness can assert on system behaviour
+(e.g. "no client was assigned to a task with zero demand") without parsing
+text logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["EventRecord", "EventLog"]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One structured telemetry event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event occurred (seconds).
+    component:
+        Emitting component, e.g. ``"coordinator"`` or ``"aggregator:0"``.
+    kind:
+        Event type, e.g. ``"client_assigned"`` or ``"heartbeat_missed"``.
+    detail:
+        Free-form payload for assertions and debugging.
+    """
+
+    time: float
+    component: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only in-memory event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[EventRecord] = []
+
+    def emit(self, time: float, component: str, kind: str, **detail: Any) -> None:
+        """Append one event."""
+        self._records.append(EventRecord(time, component, kind, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._records)
+
+    def of_kind(self, kind: str) -> list[EventRecord]:
+        """All events with the given ``kind``, in emission order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def from_component(self, component: str) -> list[EventRecord]:
+        """All events emitted by ``component``, in emission order."""
+        return [r for r in self._records if r.component == component]
+
+    def where(self, predicate: Callable[[EventRecord], bool]) -> list[EventRecord]:
+        """All events matching an arbitrary predicate."""
+        return [r for r in self._records if predicate(r)]
+
+    def count(self, kind: str) -> int:
+        """Number of events of the given kind."""
+        return sum(1 for r in self._records if r.kind == kind)
+
+    def clear(self) -> None:
+        """Drop all records (used between experiment repetitions)."""
+        self._records.clear()

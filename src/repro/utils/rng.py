@@ -1,0 +1,70 @@
+"""Deterministic, hierarchical random-number streams.
+
+Every stochastic component in the reproduction (device population, data
+generation, client training, dropout injection, secure-aggregation seeds)
+draws from an independent, seeded stream so that experiments are exactly
+repeatable and components can be re-seeded in isolation.
+
+The scheme is a seed tree: a root :class:`numpy.random.SeedSequence` is
+spawned into named children, so ``child_rng(seed, "population")`` and
+``child_rng(seed, "data", 42)`` are independent streams that never collide
+regardless of call order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["make_rng", "child_rng", "stable_hash64", "spawn_rngs"]
+
+
+def stable_hash64(*parts: object) -> int:
+    """Hash arbitrary labels to a stable 64-bit integer.
+
+    Python's builtin ``hash`` is salted per process, which would break
+    run-to-run determinism, so we hash the ``repr`` of each part with
+    SHA-256 instead.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(repr(part).encode("utf-8"))
+        h.update(b"\x00")
+    return int.from_bytes(h.digest()[:8], "little")
+
+
+def make_rng(seed: int | None = 0) -> np.random.Generator:
+    """Create the root generator for an experiment.
+
+    Parameters
+    ----------
+    seed:
+        Root seed. ``None`` draws entropy from the OS (non-reproducible;
+        only useful for exploratory runs).
+    """
+    return np.random.default_rng(seed)
+
+
+def child_rng(seed: int, *labels: object) -> np.random.Generator:
+    """Derive an independent generator from ``seed`` and a label path.
+
+    The same ``(seed, labels)`` pair always yields the same stream, and
+    distinct label paths yield streams that are independent to the quality
+    of PCG64 streams seeded from distinct SeedSequence entropy.
+
+    Examples
+    --------
+    >>> r1 = child_rng(0, "population")
+    >>> r2 = child_rng(0, "population")
+    >>> float(r1.random()) == float(r2.random())
+    True
+    """
+    entropy = (seed & 0xFFFFFFFFFFFFFFFF, stable_hash64(*labels))
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def spawn_rngs(seed: int, label: object, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent generators under one label, one per index."""
+    return [child_rng(seed, label, i) for i in range(n)]

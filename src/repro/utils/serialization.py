@@ -1,0 +1,95 @@
+"""Serialization of model updates for the simulated wire protocol.
+
+PAPAYA clients upload serialized model updates in chunks (Section 6.1,
+stage 4), and Aggregators deserialize them off an in-memory queue
+(Section 6.3).  This module provides the byte-level encoding used by the
+simulated transport: a small header (dtype tag, element count, CRC32) plus
+the raw little-endian vector payload, and helpers to split/reassemble the
+payload into fixed-size chunks.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "serialize_vector",
+    "deserialize_vector",
+    "chunk_payload",
+    "reassemble_chunks",
+    "SerializationError",
+]
+
+_MAGIC = b"PAPY"
+_DTYPE_TAGS = {"<f4": 1, "<f8": 2, "<u4": 3, "<u8": 4, "<i4": 5, "<i8": 6}
+_TAG_DTYPES = {v: k for k, v in _DTYPE_TAGS.items()}
+_HEADER = struct.Struct("<4sBQI")  # magic, dtype tag, count, crc32
+
+
+class SerializationError(ValueError):
+    """Raised when a payload fails structural or integrity checks."""
+
+
+def serialize_vector(vec: np.ndarray) -> bytes:
+    """Encode a 1-D vector as ``header || raw little-endian data``.
+
+    The header carries a CRC32 of the payload so the simulated transport
+    (and the tamper-injection tests) can detect corruption exactly like a
+    production wire format would.
+    """
+    if vec.ndim != 1:
+        raise SerializationError(f"expected 1-D vector, got shape {vec.shape}")
+    data = np.ascontiguousarray(vec).astype(vec.dtype.newbyteorder("<"), copy=False)
+    key = data.dtype.str
+    if key not in _DTYPE_TAGS:
+        raise SerializationError(f"unsupported dtype {vec.dtype}")
+    payload = data.tobytes()
+    header = _HEADER.pack(_MAGIC, _DTYPE_TAGS[key], data.size, zlib.crc32(payload))
+    return header + payload
+
+
+def deserialize_vector(blob: bytes) -> np.ndarray:
+    """Decode a payload produced by :func:`serialize_vector`.
+
+    Raises
+    ------
+    SerializationError
+        If the magic, dtype tag, length, or CRC32 do not check out.
+    """
+    if len(blob) < _HEADER.size:
+        raise SerializationError("payload shorter than header")
+    magic, tag, count, crc = _HEADER.unpack_from(blob)
+    if magic != _MAGIC:
+        raise SerializationError("bad magic")
+    if tag not in _TAG_DTYPES:
+        raise SerializationError(f"unknown dtype tag {tag}")
+    dtype = np.dtype(_TAG_DTYPES[tag])
+    payload = blob[_HEADER.size :]
+    if len(payload) != count * dtype.itemsize:
+        raise SerializationError("payload length mismatch")
+    if zlib.crc32(payload) != crc:
+        raise SerializationError("CRC mismatch: payload corrupted")
+    return np.frombuffer(payload, dtype=dtype).copy()
+
+
+def chunk_payload(blob: bytes, chunk_size: int) -> list[bytes]:
+    """Split a payload into chunks of at most ``chunk_size`` bytes.
+
+    Mirrors the client upload protocol: "the client uploads the model in
+    chunks" (Section 6.1).  An empty payload yields one empty chunk so the
+    receiver always observes at least one message.
+    """
+    if chunk_size <= 0:
+        raise SerializationError("chunk_size must be positive")
+    if not blob:
+        return [b""]
+    return [blob[i : i + chunk_size] for i in range(0, len(blob), chunk_size)]
+
+
+def reassemble_chunks(chunks: Sequence[bytes]) -> bytes:
+    """Concatenate chunks back into the original payload."""
+    return b"".join(chunks)

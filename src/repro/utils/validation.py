@@ -1,0 +1,56 @@
+"""Small argument-validation helpers shared across the library.
+
+Centralizing these keeps error messages consistent and the call sites
+one-liners, in the spirit of scikit-learn's ``check_*`` utilities.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_vector",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``; return it for chaining."""
+    if not isinstance(value, numbers.Real) or not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0``; return it for chaining."""
+    if not isinstance(value, numbers.Real) or value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``; return it for chaining."""
+    if not isinstance(value, numbers.Real) or not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Require ``low <= value <= high``; return it for chaining."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_vector(arr: np.ndarray, name: str, size: int | None = None) -> np.ndarray:
+    """Require a 1-D ndarray (optionally of a given size); return it."""
+    if not isinstance(arr, np.ndarray) or arr.ndim != 1:
+        raise ValueError(f"{name} must be a 1-D ndarray")
+    if size is not None and arr.size != size:
+        raise ValueError(f"{name} must have size {size}, got {arr.size}")
+    return arr

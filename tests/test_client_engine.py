@@ -1,0 +1,173 @@
+"""Tests for the Edge Training Engine (Example Store + Executor)."""
+
+import numpy as np
+import pytest
+
+from repro.client import (
+    ExampleStore,
+    Executor,
+    NextWordTask,
+    RetentionPolicy,
+    TopicClassificationTask,
+)
+from repro.data import CorpusSpec, TopicMarkovCorpus
+from repro.nn import ModelConfig
+from repro.utils import child_rng
+
+
+def seq_example(rng, length=6, vocab=16):
+    x = rng.integers(0, vocab, length).astype(np.int32)
+    y = np.roll(x, -1).astype(np.int32)
+    return x, y
+
+
+class TestRetentionPolicy:
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            RetentionPolicy(max_age_s=0)
+        with pytest.raises(ValueError):
+            RetentionPolicy(max_examples=0)
+
+
+class TestExampleStore:
+    def test_ingest_and_read(self):
+        store = ExampleStore()
+        rng = child_rng(0, "store")
+        for t in range(5):
+            x, y = seq_example(rng)
+            store.ingest(x, y, now=float(t))
+        xs, ys = store.training_arrays(now=10.0)
+        assert xs.shape[0] == 5 and ys.shape[0] == 5
+
+    def test_age_expiry(self):
+        store = ExampleStore(RetentionPolicy(max_age_s=100.0, max_examples=None))
+        rng = child_rng(1, "store")
+        for t in (0.0, 50.0, 120.0):
+            x, y = seq_example(rng)
+            store.ingest(x, y, now=t)
+        # At t=160: the t=0 and t=50 examples are beyond the 100s window.
+        assert store.count(now=160.0) == 1
+        assert store.total_expired == 2
+
+    def test_expiry_enforced_on_read_path(self):
+        store = ExampleStore(RetentionPolicy(max_age_s=10.0, max_examples=None))
+        rng = child_rng(2, "store")
+        x, y = seq_example(rng)
+        store.ingest(x, y, now=0.0)
+        with pytest.raises(ValueError, match="no live examples"):
+            store.training_arrays(now=1000.0)
+
+    def test_count_eviction_oldest_first(self):
+        store = ExampleStore(RetentionPolicy(max_age_s=None, max_examples=3))
+        rng = child_rng(3, "store")
+        first_x, first_y = seq_example(rng)
+        store.ingest(first_x, first_y, now=0.0)
+        for t in range(1, 4):
+            x, y = seq_example(rng)
+            store.ingest(x, y, now=float(t))
+        xs, _ = store.training_arrays(now=5.0)
+        assert xs.shape[0] == 3
+        assert not any(np.array_equal(row, first_x) for row in xs)
+
+    def test_task_permission_enforced(self):
+        store = ExampleStore(
+            RetentionPolicy(allowed_tasks=frozenset({"next-word"}))
+        )
+        rng = child_rng(4, "store")
+        x, y = seq_example(rng)
+        store.ingest(x, y, now=0.0)
+        with pytest.raises(PermissionError):
+            store.training_arrays(now=1.0, task="ads-ranking")
+        with pytest.raises(PermissionError):
+            store.training_arrays(now=1.0)  # anonymous reader also barred
+        xs, _ = store.training_arrays(now=1.0, task="next-word")
+        assert xs.shape[0] == 1
+
+    def test_time_must_be_monotone(self):
+        store = ExampleStore()
+        rng = child_rng(5, "store")
+        x, y = seq_example(rng)
+        store.ingest(x, y, now=10.0)
+        with pytest.raises(ValueError):
+            store.ingest(x, y, now=5.0)
+
+    def test_ingest_batch(self):
+        store = ExampleStore()
+        rng = child_rng(6, "store")
+        xs = rng.integers(0, 16, (4, 6)).astype(np.int32)
+        ys = np.roll(xs, -1, axis=1).astype(np.int32)
+        store.ingest_batch(xs, ys, now=0.0)
+        assert store.count(0.0) == 4
+
+
+class TestExecutorTaskSwap:
+    def test_next_word_task_trains(self):
+        task = NextWordTask(ModelConfig(vocab_size=16, embed_dim=6, hidden_dim=8))
+        ex = Executor(task, lr=1.0, batch_size=4, epochs=3, seed=0)
+        rng = child_rng(7, "exec")
+        x = rng.integers(0, 16, (12, 6)).astype(np.int32)
+        y = np.roll(x, -1, axis=1).astype(np.int32)
+        flat = task.init_params(seed=1)
+        before = task.evaluate(flat, x, y)
+        res = ex.run(flat, x, y, client_id=3)
+        after = task.evaluate(flat + res.delta, x, y)
+        assert after < before
+        assert res.num_examples == 12
+
+    def test_topic_classification_task_trains(self):
+        corpus = TopicMarkovCorpus(
+            CorpusSpec(vocab_size=24, n_topics=3, seq_len=10,
+                       topic_concentration=0.1, topic_sharpness=8.0),
+            seed=2,
+        )
+        xs, labels = [], []
+        for cid in range(40):
+            x, _ = corpus.generate_sequences(cid, 4)
+            label = int(np.argmax(corpus.client_topic_mixture(cid)))
+            xs.append(x)
+            labels.extend([label] * 4)
+        x = np.concatenate(xs)
+        y = np.array(labels, dtype=np.int64)
+
+        task = TopicClassificationTask(vocab_size=24, n_classes=3)
+        ex = Executor(task, lr=2.0, batch_size=16, epochs=20, seed=0)
+        flat = task.init_params(seed=0)
+        res = ex.run(flat, x, y)
+        acc = task.accuracy(flat + res.delta, x, y)
+        assert acc > 0.5  # well above the 1/3 chance level
+
+    def test_same_executor_runs_both_tasks(self):
+        # The swap the paper's Executor exists for: same engine, two tasks.
+        rng = child_rng(8, "exec")
+        lm = NextWordTask(ModelConfig(vocab_size=16, embed_dim=4, hidden_dim=6))
+        clf = TopicClassificationTask(vocab_size=16, n_classes=2)
+        for task, y in (
+            (lm, np.roll(rng.integers(0, 16, (8, 5)), -1, axis=1).astype(np.int32)),
+            (clf, rng.integers(0, 2, 8).astype(np.int64)),
+        ):
+            x = rng.integers(0, 16, (8, 5)).astype(np.int32)
+            ex = Executor(task, lr=0.5, batch_size=4, seed=0)
+            res = ex.run(task.init_params(0), x, y)
+            assert res.delta.shape == (task.num_params,)
+
+    def test_executor_from_store_respects_policy(self):
+        task = NextWordTask(ModelConfig(vocab_size=16, embed_dim=4, hidden_dim=6))
+        ex = Executor(task, lr=0.5, batch_size=4, seed=0)
+        store = ExampleStore(RetentionPolicy(allowed_tasks=frozenset({"lm"})))
+        rng = child_rng(9, "exec")
+        xs = rng.integers(0, 16, (6, 5)).astype(np.int32)
+        store.ingest_batch(xs, np.roll(xs, -1, axis=1).astype(np.int32), now=0.0)
+        flat = task.init_params(0)
+        res = ex.run_from_store(flat, store, now=1.0, task_name="lm")
+        assert res.num_examples == 6
+        with pytest.raises(PermissionError):
+            ex.run_from_store(flat, store, now=1.0, task_name="other")
+
+    def test_executor_validation(self):
+        task = TopicClassificationTask(vocab_size=8, n_classes=2)
+        with pytest.raises(ValueError):
+            Executor(task, batch_size=0)
+        with pytest.raises(ValueError):
+            Executor(task, epochs=0)
+        with pytest.raises(ValueError):
+            TopicClassificationTask(vocab_size=1, n_classes=2)

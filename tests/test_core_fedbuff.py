@@ -1,0 +1,193 @@
+"""Tests for FedBuff buffered asynchronous aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstantStaleness,
+    FedBuffAggregator,
+    FedSGD,
+    GlobalModelState,
+    HardCutoffStaleness,
+    PolynomialStaleness,
+    TrainingResult,
+)
+
+
+def make_state(dim=4):
+    return GlobalModelState(np.zeros(dim, dtype=np.float32), FedSGD(lr=1.0))
+
+
+def result(cid, delta, n=1, version=0):
+    return TrainingResult(
+        client_id=cid,
+        delta=np.asarray(delta, dtype=np.float32),
+        num_examples=n,
+        train_loss=1.0,
+        initial_version=version,
+    )
+
+
+class TestBuffering:
+    def test_no_step_before_goal(self):
+        agg = FedBuffAggregator(make_state(), goal=3)
+        for cid in range(2):
+            agg.register_download(cid)
+            _, info = agg.receive_update(result(cid, [1, 0, 0, 0]))
+            assert info is None
+        assert agg.version == 0
+        assert agg.buffered_count == 2
+
+    def test_step_at_goal(self):
+        agg = FedBuffAggregator(make_state(), goal=2)
+        for cid in range(2):
+            agg.register_download(cid)
+            _, info = agg.receive_update(result(cid, [2, 0, 0, 0]))
+        assert info is not None
+        assert info.version == 1
+        assert agg.version == 1
+        assert agg.buffered_count == 0
+        np.testing.assert_allclose(agg.state.current(), [2, 0, 0, 0])
+
+    def test_weighted_mean_by_examples(self):
+        # Client A: n=3, delta=1; client B: n=1, delta=5 -> mean=(3*1+1*5)/4=2
+        agg = FedBuffAggregator(make_state(1), goal=2)
+        agg.register_download(0)
+        agg.register_download(1)
+        agg.receive_update(result(0, [1.0], n=3))
+        _, info = agg.receive_update(result(1, [5.0], n=1))
+        assert info is not None
+        np.testing.assert_allclose(agg.state.current(), [2.0])
+
+    def test_multiple_steps(self):
+        agg = FedBuffAggregator(make_state(1), goal=2)
+        for step in range(3):
+            for cid in (2 * step, 2 * step + 1):
+                agg.register_download(cid)
+                agg.receive_update(result(cid, [1.0], version=step))
+        assert agg.version == 3
+        assert len(agg.step_history) == 3
+        assert agg.updates_received == 6
+
+    def test_unregistered_client_rejected(self):
+        agg = FedBuffAggregator(make_state(), goal=2)
+        with pytest.raises(KeyError):
+            agg.receive_update(result(9, [0, 0, 0, 0]))
+
+    def test_version_mismatch_rejected(self):
+        agg = FedBuffAggregator(make_state(), goal=2)
+        agg.register_download(0)
+        with pytest.raises(ValueError, match="initial version"):
+            agg.receive_update(result(0, [0, 0, 0, 0], version=5))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            FedBuffAggregator(make_state(), goal=0)
+        with pytest.raises(ValueError):
+            FedBuffAggregator(make_state(), goal=1, example_weighting="bogus")
+        with pytest.raises(ValueError):
+            FedBuffAggregator(make_state(), goal=1, normalize_by="bogus")
+
+
+class TestStalenessHandling:
+    def test_staleness_recorded(self):
+        agg = FedBuffAggregator(make_state(1), goal=1)
+        # Client 0 downloads at v0; two other clients advance the model twice.
+        agg.register_download(0)
+        for cid in (1, 2):
+            agg.register_download(cid)
+            agg.receive_update(result(cid, [0.0], version=agg.version))
+        assert agg.version == 2
+        upd, info = agg.receive_update(result(0, [1.0], version=0))
+        assert upd.staleness == 2
+        assert info.mean_staleness == 2.0
+
+    def test_stale_update_downweighted(self):
+        # One fresh (n=1, delta=0) and one stale update (n=1, delta=3, s=3):
+        # weights 1 and 1/2 -> weighted mean = 3*(0.5)/1.5 = 1.
+        agg = FedBuffAggregator(make_state(1), goal=2,
+                                staleness_policy=PolynomialStaleness(0.5))
+        agg.register_download(0)  # will become stale
+        for v in range(3):
+            agg2_cid = 10 + v
+            agg.register_download(agg2_cid)
+            # goal=2 needs pairs; use a second aggregator-free trick: bump
+            # version by feeding pairs of zero updates.
+            agg.register_download(100 + v)
+            agg.receive_update(result(agg2_cid, [0.0], version=v))
+            agg.receive_update(result(100 + v, [0.0], version=v))
+        assert agg.version == 3
+        agg.register_download(1)
+        agg.receive_update(result(1, [0.0], version=3))  # fresh, weight 1
+        upd, info = agg.receive_update(result(0, [3.0], version=0))  # stale s=3
+        assert upd.weight == pytest.approx(0.5)
+        np.testing.assert_allclose(agg.state.current(), [1.0], rtol=1e-6)
+
+    def test_stale_clients_reported(self):
+        agg = FedBuffAggregator(make_state(1), goal=1, max_staleness=2)
+        agg.register_download(0)
+        for v in range(4):
+            cid = 10 + v
+            agg.register_download(cid)
+            agg.receive_update(result(cid, [0.0], version=v))
+        assert agg.version == 4  # client 0 staleness now 4 > 2
+        assert agg.stale_clients() == [0]
+
+    def test_client_failed_removes_in_flight(self):
+        agg = FedBuffAggregator(make_state(), goal=2)
+        agg.register_download(0)
+        assert agg.in_flight_count() == 1
+        agg.client_failed(0)
+        assert agg.in_flight_count() == 0
+        with pytest.raises(KeyError):
+            agg.receive_update(result(0, [0, 0, 0, 0]))
+
+    def test_hard_cutoff_zero_weight_buffer_still_steps(self):
+        agg = FedBuffAggregator(make_state(1), goal=1,
+                                staleness_policy=HardCutoffStaleness(cutoff=0),
+                                normalize_by="weight_sum")
+        # Make client 0 stale by 1 before it reports.
+        agg.register_download(0)
+        agg.register_download(1)
+        agg.receive_update(result(1, [0.0], version=0))
+        assert agg.version == 1
+        _, info = agg.receive_update(result(0, [9.0], version=0))
+        assert info is not None and agg.version == 2
+        np.testing.assert_allclose(agg.state.current(), [0.0])
+
+
+class TestNormalizationModes:
+    def test_goal_normalization_divides_by_k(self):
+        agg = FedBuffAggregator(make_state(1), goal=4, example_weighting="none",
+                                normalize_by="goal",
+                                staleness_policy=ConstantStaleness())
+        for cid in range(4):
+            agg.register_download(cid)
+            agg.receive_update(result(cid, [2.0]))
+        np.testing.assert_allclose(agg.state.current(), [2.0])
+
+    def test_log_example_weighting(self):
+        agg = FedBuffAggregator(make_state(1), goal=2, example_weighting="log")
+        agg.register_download(0)
+        agg.register_download(1)
+        upd0, _ = agg.receive_update(result(0, [1.0], n=10))
+        upd1, _ = agg.receive_update(result(1, [1.0], n=10))
+        assert upd0.weight == pytest.approx(np.log1p(10))
+
+    def test_none_example_weighting(self):
+        agg = FedBuffAggregator(make_state(1), goal=1, example_weighting="none")
+        agg.register_download(0)
+        upd, _ = agg.receive_update(result(0, [1.0], n=1000))
+        assert upd.weight == 1.0
+
+
+class TestStepHistory:
+    def test_contributors_recorded(self):
+        agg = FedBuffAggregator(make_state(1), goal=2)
+        agg.register_download(5)
+        agg.register_download(7)
+        agg.receive_update(result(5, [0.0]))
+        _, info = agg.receive_update(result(7, [0.0]))
+        assert info.contributors == (5, 7)
+        assert info.discarded == ()
+        assert info.num_updates == 2

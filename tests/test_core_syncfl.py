@@ -1,0 +1,128 @@
+"""Tests for synchronous rounds with over-selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedSGD, GlobalModelState, SyncRoundAggregator, TrainingResult
+
+
+def make_state(dim=1):
+    return GlobalModelState(np.zeros(dim, dtype=np.float32), FedSGD(lr=1.0))
+
+
+def result(cid, delta, n=1, version=0):
+    return TrainingResult(
+        client_id=cid,
+        delta=np.asarray(delta, dtype=np.float32),
+        num_examples=n,
+        train_loss=1.0,
+        initial_version=version,
+    )
+
+
+class TestRounds:
+    def test_round_closes_at_goal(self):
+        agg = SyncRoundAggregator(make_state(), goal=3)
+        infos = []
+        for cid in range(3):
+            agg.register_download(cid)
+            _, info = agg.receive_update(result(cid, [1.0]))
+            infos.append(info)
+        assert infos[:2] == [None, None]
+        assert infos[2].version == 1
+        np.testing.assert_allclose(agg.state.current(), [1.0])
+
+    def test_example_weighted_average(self):
+        agg = SyncRoundAggregator(make_state(), goal=2)
+        agg.register_download(0)
+        agg.register_download(1)
+        agg.receive_update(result(0, [0.0], n=9))
+        _, info = agg.receive_update(result(1, [10.0], n=1))
+        np.testing.assert_allclose(agg.state.current(), [1.0])
+        assert info.total_weight == 10.0
+
+    def test_overselected_stragglers_aborted_at_close(self):
+        # Goal 2, cohort 3: third client still training when round closes.
+        agg = SyncRoundAggregator(make_state(), goal=2, over_selection=0.5)
+        for cid in range(3):
+            agg.register_download(cid)
+        agg.receive_update(result(0, [1.0]))
+        _, info = agg.receive_update(result(1, [1.0]))
+        assert info.discarded == (2,)
+        assert agg.updates_discarded == 1
+        assert agg.in_flight_count() == 0
+
+    def test_late_update_from_closed_round_discarded(self):
+        agg = SyncRoundAggregator(make_state(), goal=1)
+        agg.register_download(0)
+        agg.register_download(1)  # joins round 0
+        agg.receive_update(result(0, [1.0]))  # closes round 0
+        # Client 1 somehow uploads after the round closed: must be discarded.
+        agg.register_download(1)
+        agg._in_flight[1] = 0  # simulate stale-round membership
+        upd, info = agg.receive_update(result(1, [100.0], version=0))
+        assert info is None and upd.weight == 0.0
+        np.testing.assert_allclose(agg.state.current(), [1.0])
+
+    def test_mid_round_replacement_allowed(self):
+        # Device E drops, Device C replaces it (Figure 1 caption).
+        agg = SyncRoundAggregator(make_state(), goal=2)
+        agg.register_download(0)
+        agg.register_download(1)
+        agg.client_failed(1)
+        agg.register_download(2)  # replacement joins the SAME round
+        agg.receive_update(result(0, [1.0]))
+        _, info = agg.receive_update(result(2, [1.0]))
+        assert info is not None and info.version == 1
+        assert set(info.contributors) == {0, 2}
+
+    def test_staleness_always_zero(self):
+        agg = SyncRoundAggregator(make_state(), goal=1)
+        agg.register_download(0)
+        _, info = agg.receive_update(result(0, [1.0]))
+        assert info.mean_staleness == 0.0 and info.max_staleness == 0
+        assert agg.stale_clients() == []
+
+    def test_cohort_size(self):
+        agg = SyncRoundAggregator(make_state(), goal=1000, over_selection=0.3)
+        assert agg.cohort_size == 1300
+
+
+class TestDemand:
+    def test_demand_at_round_start(self):
+        agg = SyncRoundAggregator(make_state(), goal=10, over_selection=0.3)
+        assert agg.demand() == 13
+
+    def test_demand_shrinks_as_updates_arrive(self):
+        agg = SyncRoundAggregator(make_state(), goal=4, over_selection=0.0)
+        for cid in range(4):
+            agg.register_download(cid)
+        assert agg.demand() == 0
+        agg.receive_update(result(0, [1.0]))
+        # 3 outstanding, 3 in flight -> no extra demand.
+        assert agg.demand() == 0
+        agg.client_failed(1)
+        assert agg.demand() == 1
+
+    def test_demand_resets_after_round(self):
+        agg = SyncRoundAggregator(make_state(), goal=2)
+        agg.register_download(0)
+        agg.register_download(1)
+        agg.receive_update(result(0, [1.0]))
+        agg.receive_update(result(1, [1.0]))
+        assert agg.demand() == 2  # fresh round wants a fresh cohort
+
+
+class TestValidation:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SyncRoundAggregator(make_state(), goal=0)
+        with pytest.raises(ValueError):
+            SyncRoundAggregator(make_state(), goal=1, over_selection=1.0)
+        with pytest.raises(ValueError):
+            SyncRoundAggregator(make_state(), goal=1, example_weighting="x")
+
+    def test_unknown_client_rejected(self):
+        agg = SyncRoundAggregator(make_state(), goal=1)
+        with pytest.raises(KeyError):
+            agg.receive_update(result(3, [1.0]))

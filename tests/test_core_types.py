@@ -1,0 +1,123 @@
+"""Tests for core datatypes and staleness policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConstantStaleness,
+    HardCutoffStaleness,
+    ModelUpdate,
+    PolynomialStaleness,
+    TaskConfig,
+    TrainingMode,
+    TrainingResult,
+)
+
+
+def make_result(cid=0, n=10, version=0):
+    return TrainingResult(
+        client_id=cid,
+        delta=np.zeros(3, dtype=np.float32),
+        num_examples=n,
+        train_loss=1.0,
+        initial_version=version,
+    )
+
+
+class TestTaskConfig:
+    def test_defaults_valid(self):
+        cfg = TaskConfig()
+        assert cfg.mode is TrainingMode.ASYNC
+
+    def test_cohort_size_with_over_selection(self):
+        cfg = TaskConfig(mode=TrainingMode.SYNC, aggregation_goal=1000,
+                         over_selection=0.3, concurrency=1300)
+        assert cfg.cohort_size == 1300
+
+    def test_cohort_size_rounds_up(self):
+        cfg = TaskConfig(mode=TrainingMode.SYNC, aggregation_goal=10,
+                         over_selection=0.25, concurrency=13)
+        assert cfg.cohort_size == 13  # ceil(12.5)
+
+    def test_async_goal_above_concurrency_rejected(self):
+        with pytest.raises(ValueError, match="deadlock"):
+            TaskConfig(mode=TrainingMode.ASYNC, concurrency=10, aggregation_goal=20)
+
+    def test_sync_goal_above_concurrency_allowed(self):
+        # Sync replaces clients between rounds so this is not a deadlock.
+        TaskConfig(mode=TrainingMode.SYNC, concurrency=10, aggregation_goal=20)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"concurrency": 0},
+            {"aggregation_goal": 0},
+            {"over_selection": 1.0},
+            {"over_selection": -0.1},
+            {"max_staleness": -1},
+            {"client_timeout_s": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        base = dict(mode=TrainingMode.SYNC)
+        with pytest.raises(ValueError):
+            TaskConfig(**base, **kwargs)
+
+    def test_with_updates(self):
+        cfg = TaskConfig(concurrency=100, aggregation_goal=10)
+        cfg2 = cfg.with_updates(aggregation_goal=20)
+        assert cfg2.aggregation_goal == 20 and cfg.aggregation_goal == 10
+
+    def test_with_updates_revalidates(self):
+        cfg = TaskConfig(concurrency=100, aggregation_goal=10)
+        with pytest.raises(ValueError):
+            cfg.with_updates(aggregation_goal=500)
+
+
+class TestTrainingResult:
+    def test_zero_examples_rejected(self):
+        with pytest.raises(ValueError):
+            make_result(n=0)
+
+    def test_staleness_computed(self):
+        upd = ModelUpdate(result=make_result(version=3), arrival_version=7, weight=1.0)
+        assert upd.staleness == 4
+
+
+class TestStalenessPolicies:
+    def test_polynomial_matches_paper_formula(self):
+        # w = 1/sqrt(1+s), Appendix E.2.
+        pol = PolynomialStaleness(0.5)
+        assert pol(0) == 1.0
+        assert pol(3) == pytest.approx(0.5)
+        assert pol(99) == pytest.approx(0.1)
+
+    def test_polynomial_monotone_decreasing(self):
+        pol = PolynomialStaleness(0.5)
+        ws = [pol(s) for s in range(20)]
+        assert all(a >= b for a, b in zip(ws, ws[1:]))
+
+    def test_constant_always_one(self):
+        pol = ConstantStaleness()
+        assert pol(0) == pol(50) == 1.0
+
+    def test_hard_cutoff(self):
+        pol = HardCutoffStaleness(cutoff=5)
+        assert pol(5) == 1.0 and pol(6) == 0.0
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialStaleness()(-1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            PolynomialStaleness(-1)
+        with pytest.raises(ValueError):
+            HardCutoffStaleness(-1)
+
+    @given(st.integers(0, 10_000))
+    def test_weights_always_in_unit_interval(self, s):
+        for pol in (PolynomialStaleness(0.5), ConstantStaleness(), HardCutoffStaleness(10)):
+            assert 0.0 <= pol(s) <= 1.0

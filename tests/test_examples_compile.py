@@ -1,0 +1,45 @@
+"""Every example script must at least compile and import its dependencies.
+
+Full example runs take tens of seconds each; this keeps `pytest tests/`
+fast while still catching broken imports or syntax rot in the examples.
+"""
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_parses_and_imports_resolve(path):
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+
+    # Collect imports and verify each module resolves.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                importlib.import_module(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module} has no attribute {alias.name}"
+                )
+
+
+def test_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "secure_aggregation_demo.py",
+            "fairness_overselection.py"}.issubset(names)
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard_and_docstring(path):
+    source = path.read_text()
+    assert '__name__ == "__main__"' in source, f"{path.name} missing main guard"
+    assert ast.get_docstring(ast.parse(source)), f"{path.name} missing docstring"

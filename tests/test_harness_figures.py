@@ -1,0 +1,117 @@
+"""Structural tests of the figure regenerators at a tiny scale.
+
+The benchmarks assert the paper's quantitative shapes at the SMOKE scale;
+these tests assert the *structural contracts* of every regenerator (fields
+populated, series aligned, invariants hold) at an even smaller scale so
+``pytest tests/`` exercises the whole harness quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import figure7, figure8, figure9, figure10, figure11, figure12, figure13
+from repro.harness.configs import Scale
+
+TINY = Scale(
+    name="tiny",
+    base_concurrency=12,
+    base_goal=3,
+    concurrency_sweep=(6, 12),
+    goal_sweep=(3, 6, 12),
+    population=3000,
+    sim_hours=1.0,
+    critical_goal=5.0,
+)
+
+
+@pytest.fixture(scope="module")
+def fig9_result():
+    return figure9(scale=TINY, target_loss=2.8)
+
+
+class TestFigure7Structure:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return figure7(scale=TINY, duration_h=0.4)
+
+    def test_series_aligned(self, res):
+        assert len(res.sync_times) == len(res.sync_active)
+        assert len(res.async_times) == len(res.async_active)
+
+    def test_utilizations_in_unit_interval(self, res):
+        assert 0.0 <= res.sync_utilization <= 1.0
+        assert 0.0 <= res.async_utilization <= 1.0
+
+    def test_async_sustains_more(self, res):
+        assert res.async_utilization > res.sync_utilization
+
+
+class TestFigure8Structure:
+    def test_rates_positive_and_async_wins(self):
+        res = figure8(scale=TINY, duration_h=0.4)
+        assert len(res.sync_steps_per_hour) == len(TINY.concurrency_sweep)
+        for s, a in zip(res.sync_steps_per_hour, res.async_steps_per_hour):
+            assert s > 0 and a > s
+
+
+class TestFigure9Structure:
+    def test_rows_complete(self, fig9_result):
+        assert [r.concurrency for r in fig9_result.rows] == list(TINY.concurrency_sweep)
+        for r in fig9_result.rows:
+            assert r.sync_hours is None or r.sync_hours > 0
+            assert r.async_hours is None or r.async_hours > 0
+
+    def test_trips_counted_up_to_target_only(self, fig9_result):
+        for r in fig9_result.rows:
+            assert r.sync_trips >= 0 and r.async_trips >= 0
+
+    def test_async_not_slower(self, fig9_result):
+        for r in fig9_result.rows:
+            if r.speedup is not None:
+                assert r.speedup > 0.8
+
+
+class TestFigure10Structure:
+    def test_goal_sweep_capped_by_concurrency(self):
+        res = figure10(scale=TINY, target_loss=2.8)
+        assert all(r.goal <= TINY.base_concurrency for r in res.rows)
+        assert all(r.steps_per_hour > 0 for r in res.rows)
+
+
+class TestFigure11Structure:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return figure11(scale=TINY, duration_h=1.5)
+
+    def test_samples_nonempty(self, res):
+        for arr in (res.truth_exec, res.sync_os_exec, res.async_exec,
+                    res.truth_examples, res.sync_os_examples, res.async_examples):
+            assert len(arr) > 0
+
+    def test_ks_results_valid(self, res):
+        for ks in (res.ks_async_exec, res.ks_sync_os_exec,
+                   res.ks_async_examples, res.ks_sync_os_examples):
+            assert 0.0 <= ks.statistic <= 1.0
+            assert 0.0 <= ks.pvalue <= 1.0
+
+    def test_os_bias_direction(self, res):
+        # Even at tiny scale over-selection must skew toward fast clients.
+        assert res.sync_os_exec.mean() < res.truth_exec.mean()
+
+
+class TestFigure12And13Structure:
+    def test_figure12_has_four_curves(self):
+        res = figure12(scale=TINY, duration_h=0.5)
+        assert len(res.curves) == 4
+        for name, (t, l) in res.curves.items():
+            assert len(t) == len(l)
+            assert len(t) > 0, name
+            assert np.all(np.diff(t) >= 0)
+
+    def test_figure13_reports_all_configs(self):
+        res = figure13(scale=TINY, target_loss=2.8)
+        assert set(res.hours) == {
+            "async_small_k", "async_big_k", "sync_with_os", "sync_without_os"
+        }
+        reached = {k: v for k, v in res.hours.items() if v is not None}
+        assert "async_small_k" in reached

@@ -1,0 +1,138 @@
+"""Gradient-correctness tests for the NumPy layers (finite differences)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import layers
+from repro.utils import child_rng
+
+
+def numerical_grad(f, x, eps=1e-4):
+    """Central-difference gradient of scalar f at array x (float64)."""
+    g = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = f()
+        flat[i] = orig - eps
+        down = f()
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return g
+
+
+@pytest.fixture
+def rng():
+    return child_rng(0, "layer-tests")
+
+
+class TestSigmoid:
+    def test_range(self, rng):
+        # Mathematically (0, 1); float32 rounds the extremes to the bounds.
+        x = rng.standard_normal(100).astype(np.float32) * 10
+        y = layers.sigmoid(x)
+        assert np.all(y >= 0) and np.all(y <= 1)
+        mid = np.abs(x) < 5
+        assert np.all(y[mid] > 0) and np.all(y[mid] < 1)
+
+    def test_extremes_stable(self):
+        y = layers.sigmoid(np.array([-1e4, 1e4], dtype=np.float32))
+        assert np.isfinite(y).all()
+        assert y[0] < 1e-6 and y[1] > 1 - 1e-6
+
+    def test_symmetry(self, rng):
+        x = rng.standard_normal(50).astype(np.float32)
+        np.testing.assert_allclose(
+            layers.sigmoid(x) + layers.sigmoid(-x), 1.0, atol=1e-6
+        )
+
+
+class TestEmbedding:
+    def test_forward_shape_and_lookup(self, rng):
+        params = layers.init_embedding(rng, vocab=11, dim=5)
+        tokens = np.array([[1, 2], [3, 10]])
+        out, _ = layers.embedding_forward(params, tokens)
+        assert out.shape == (2, 2, 5)
+        np.testing.assert_array_equal(out[1, 1], params["weight"][10])
+
+    def test_backward_scatters(self, rng):
+        params = layers.init_embedding(rng, vocab=6, dim=3)
+        tokens = np.array([[2, 2, 4]])
+        _, cache = layers.embedding_forward(params, tokens)
+        d_out = np.ones((1, 3, 3), dtype=np.float32)
+        grads = layers.embedding_backward(cache, d_out)
+        # Token 2 appears twice: its gradient row is the sum of both slots.
+        np.testing.assert_array_equal(grads["weight"][2], 2 * np.ones(3))
+        np.testing.assert_array_equal(grads["weight"][4], np.ones(3))
+        np.testing.assert_array_equal(grads["weight"][0], np.zeros(3))
+
+
+class TestLinearGradients:
+    def test_grad_matches_finite_difference(self, rng):
+        params = layers.init_linear(rng, 4, 3)
+        params = {k: v.astype(np.float64) for k, v in params.items()}
+        x = rng.standard_normal((2, 5, 4))
+
+        def loss():
+            y, _ = layers.linear_forward(params, x)
+            return float((y**2).sum())
+
+        y, cache = layers.linear_forward(params, x)
+        d_x, grads = layers.linear_backward(cache, 2 * y)
+
+        for name in ("weight", "bias"):
+            num = numerical_grad(loss, params[name])
+            np.testing.assert_allclose(grads[name], num, rtol=1e-4, atol=1e-5)
+        num_x = numerical_grad(loss, x)
+        np.testing.assert_allclose(d_x, num_x, rtol=1e-4, atol=1e-5)
+
+
+class TestLSTMGradients:
+    def test_forward_shapes(self, rng):
+        params = layers.init_lstm(rng, d_in=3, d_hidden=4)
+        x = rng.standard_normal((2, 6, 3)).astype(np.float32)
+        hs, _ = layers.lstm_forward(params, x)
+        assert hs.shape == (2, 6, 4)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        params = layers.init_lstm(rng, d_in=3, d_hidden=4)
+        np.testing.assert_array_equal(params["bias"][4:8], 1.0)
+        np.testing.assert_array_equal(params["bias"][:4], 0.0)
+
+    def test_hidden_state_bounded(self, rng):
+        params = layers.init_lstm(rng, d_in=3, d_hidden=4)
+        x = (rng.standard_normal((4, 20, 3)) * 50).astype(np.float32)
+        hs, _ = layers.lstm_forward(params, x)
+        assert np.all(np.abs(hs) <= 1.0 + 1e-6)  # |o * tanh(c)| <= 1
+
+    def test_grad_matches_finite_difference(self, rng):
+        params = layers.init_lstm(rng, d_in=3, d_hidden=4)
+        params = {k: v.astype(np.float64) for k, v in params.items()}
+        x = rng.standard_normal((2, 5, 3))
+
+        def loss():
+            hs, _ = layers.lstm_forward(params, x)
+            return float((hs**2).sum())
+
+        hs, cache = layers.lstm_forward(params, x)
+        d_x, grads = layers.lstm_backward(cache, 2 * hs)
+
+        for name in ("w_x", "w_h", "bias"):
+            num = numerical_grad(loss, params[name])
+            np.testing.assert_allclose(
+                grads[name], num, rtol=2e-3, atol=1e-4,
+                err_msg=f"LSTM grad mismatch for {name}",
+            )
+        num_x = numerical_grad(loss, x)
+        np.testing.assert_allclose(d_x, num_x, rtol=2e-3, atol=1e-4)
+
+    def test_initial_state_respected(self, rng):
+        params = layers.init_lstm(rng, d_in=2, d_hidden=3)
+        x = rng.standard_normal((1, 4, 2)).astype(np.float32)
+        h0 = np.ones((1, 3), dtype=np.float32) * 0.5
+        c0 = np.ones((1, 3), dtype=np.float32)
+        hs_with, _ = layers.lstm_forward(params, x, h0, c0)
+        hs_zero, _ = layers.lstm_forward(params, x)
+        assert not np.allclose(hs_with[:, 0], hs_zero[:, 0])

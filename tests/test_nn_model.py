@@ -1,0 +1,314 @@
+"""Tests for the LSTM language model, loss, and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    LSTMLanguageModel,
+    ModelConfig,
+    ParamSpec,
+    cross_entropy,
+    perplexity,
+    softmax,
+    zeros_like_flat,
+)
+from repro.utils import child_rng
+
+
+@pytest.fixture
+def model():
+    return LSTMLanguageModel(ModelConfig(vocab_size=16, embed_dim=6, hidden_dim=8), seed=0)
+
+
+@pytest.fixture
+def batch():
+    # Learnable structure: the target is the input shifted by one position,
+    # i.e. "predict the token you just saw" — trivially learnable by an LSTM.
+    rng = child_rng(0, "model-test-batch")
+    x = rng.integers(0, 16, size=(4, 7)).astype(np.int32)
+    y = np.roll(x, -1, axis=1).astype(np.int32)
+    y[:, -1] = x[:, -1]
+    return x, y
+
+
+class TestParamSpec:
+    def test_flatten_unflatten_roundtrip(self):
+        rng = child_rng(0, "spec")
+        params = {"b": rng.standard_normal((2, 3)).astype(np.float32),
+                  "a": rng.standard_normal(4).astype(np.float32)}
+        spec = ParamSpec.from_params(params)
+        flat = spec.flatten(params)
+        out = spec.unflatten(flat)
+        for k in params:
+            np.testing.assert_array_equal(out[k], params[k])
+
+    def test_canonical_order_is_sorted(self):
+        params = {"z": np.zeros(1, np.float32), "a": np.zeros(2, np.float32)}
+        spec = ParamSpec.from_params(params)
+        assert spec.names == ("a", "z")
+        assert spec.size == 3
+
+    def test_slot_addresses_parameter(self):
+        params = {"a": np.arange(3, dtype=np.float32), "b": np.arange(2, dtype=np.float32)}
+        spec = ParamSpec.from_params(params)
+        flat = spec.flatten(params)
+        np.testing.assert_array_equal(flat[spec.slot("b")], [0, 1])
+
+    def test_shape_mismatch_rejected(self):
+        params = {"a": np.zeros(3, np.float32)}
+        spec = ParamSpec.from_params(params)
+        with pytest.raises(ValueError):
+            spec.flatten({"a": np.zeros(4, np.float32)})
+
+    def test_wrong_size_vector_rejected(self):
+        spec = ParamSpec.from_params({"a": np.zeros(3, np.float32)})
+        with pytest.raises(ValueError):
+            spec.unflatten(np.zeros(5, np.float32))
+
+    def test_zeros_like_flat(self):
+        spec = ParamSpec.from_params({"a": np.ones((2, 2), np.float32)})
+        z = zeros_like_flat(spec)
+        assert z.shape == (4,) and z.dtype == np.float32 and not z.any()
+
+
+class TestLoss:
+    def test_softmax_rows_sum_to_one(self):
+        rng = child_rng(0, "sm")
+        p = softmax(rng.standard_normal((5, 9)))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_uniform_logits_loss_is_log_v(self):
+        logits = np.zeros((3, 4, 10), dtype=np.float32)
+        targets = np.zeros((3, 4), dtype=np.int64)
+        loss, _ = cross_entropy(logits, targets)
+        assert loss == pytest.approx(np.log(10), rel=1e-5)
+
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.full((1, 1, 5), -100.0, dtype=np.float32)
+        logits[0, 0, 2] = 100.0
+        loss, _ = cross_entropy(logits, np.array([[2]]))
+        assert loss < 1e-6
+
+    def test_gradient_sums_to_zero_per_row(self):
+        rng = child_rng(1, "ce")
+        logits = rng.standard_normal((6, 11)).astype(np.float32)
+        targets = rng.integers(0, 11, 6)
+        _, d = cross_entropy(logits, targets)
+        np.testing.assert_allclose(d.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_gradient_matches_finite_difference(self):
+        rng = child_rng(2, "ce-fd")
+        logits = rng.standard_normal((3, 5)).astype(np.float64)
+        targets = rng.integers(0, 5, 3)
+        _, d = cross_entropy(logits.copy(), targets)
+        eps = 1e-5
+        for i in range(3):
+            for j in range(5):
+                up = logits.copy(); up[i, j] += eps
+                down = logits.copy(); down[i, j] -= eps
+                lu, _ = cross_entropy(up, targets, with_grad=False)
+                ld, _ = cross_entropy(down, targets, with_grad=False)
+                assert d[i, j] == pytest.approx((lu - ld) / (2 * eps), abs=1e-5)
+
+    def test_target_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_perplexity_of_log_v(self):
+        assert perplexity(np.log(60.0)) == pytest.approx(60.0, rel=1e-9)
+
+    def test_perplexity_clipped(self):
+        assert np.isfinite(perplexity(1e9))
+
+
+class TestModel:
+    def test_forward_shape(self, model, batch):
+        x, _ = batch
+        logits, _ = model.forward(x)
+        assert logits.shape == (4, 7, 16)
+
+    def test_deterministic_init(self, batch):
+        cfg = ModelConfig(vocab_size=16, embed_dim=6, hidden_dim=8)
+        m1, m2 = LSTMLanguageModel(cfg, seed=5), LSTMLanguageModel(cfg, seed=5)
+        np.testing.assert_array_equal(m1.get_flat(), m2.get_flat())
+
+    def test_different_seeds_differ(self):
+        cfg = ModelConfig(vocab_size=16, embed_dim=6, hidden_dim=8)
+        assert not np.array_equal(
+            LSTMLanguageModel(cfg, seed=1).get_flat(),
+            LSTMLanguageModel(cfg, seed=2).get_flat(),
+        )
+
+    def test_flat_roundtrip(self, model):
+        vec = model.get_flat()
+        model.set_flat(vec * 2)
+        np.testing.assert_allclose(model.get_flat(), vec * 2, rtol=1e-6)
+
+    def test_clone_independent(self, model):
+        clone = model.clone()
+        np.testing.assert_array_equal(clone.get_flat(), model.get_flat())
+        clone.set_flat(clone.get_flat() + 1)
+        assert not np.array_equal(clone.get_flat(), model.get_flat())
+
+    def test_initial_loss_near_uniform(self, model, batch):
+        x, y = batch
+        loss = model.evaluate(x, y)
+        assert abs(loss - np.log(16)) < 0.5
+
+    def test_grad_shape_matches_params(self, model, batch):
+        x, y = batch
+        _, g = model.loss_and_grad(x, y)
+        assert g.shape == (model.num_params,)
+        assert np.isfinite(g).all()
+
+    def test_training_reduces_loss(self, model, batch):
+        x, y = batch
+        opt = SGD(lr=1.0)
+        first = model.evaluate(x, y)
+        vec = model.get_flat()
+        for _ in range(60):
+            loss, g = model.loss_and_grad(x, y)
+            vec = opt.step(vec, g)
+            model.set_flat(vec)
+        assert model.evaluate(x, y) < first - 0.5
+
+    def test_model_grad_matches_finite_difference_sample(self, batch):
+        # Spot-check a handful of coordinates end-to-end through the model.
+        cfg = ModelConfig(vocab_size=8, embed_dim=4, hidden_dim=5)
+        model = LSTMLanguageModel(cfg, seed=3)
+        x = np.array([[1, 2, 3, 4]], dtype=np.int32)
+        y = np.array([[2, 3, 4, 5]], dtype=np.int32)
+        _, g = model.loss_and_grad(x, y)
+        vec = model.get_flat().astype(np.float64)
+        rng = child_rng(0, "fd-idx")
+        eps = 1e-3
+        for idx in rng.choice(vec.size, size=12, replace=False):
+            up, down = vec.copy(), vec.copy()
+            up[idx] += eps
+            down[idx] -= eps
+            model.set_flat(up.astype(np.float32))
+            lu = model.evaluate(x, y)
+            model.set_flat(down.astype(np.float32))
+            ld = model.evaluate(x, y)
+            num = (lu - ld) / (2 * eps)
+            assert g[idx] == pytest.approx(num, rel=0.05, abs=2e-3)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig(vocab_size=0)
+        with pytest.raises(ValueError):
+            ModelConfig(num_layers=0)
+
+
+class TestStackedLSTM:
+    def test_two_layer_forward_shape(self):
+        cfg = ModelConfig(vocab_size=12, embed_dim=5, hidden_dim=7, num_layers=2)
+        model = LSTMLanguageModel(cfg, seed=0)
+        x = np.arange(12).reshape(2, 6).astype(np.int32) % 12
+        logits, _ = model.forward(x)
+        assert logits.shape == (2, 6, 12)
+
+    def test_deeper_model_has_more_params(self):
+        shallow = LSTMLanguageModel(ModelConfig(16, 6, 8, num_layers=1), seed=0)
+        deep = LSTMLanguageModel(ModelConfig(16, 6, 8, num_layers=2), seed=0)
+        assert deep.num_params > shallow.num_params
+
+    def test_two_layer_grad_matches_finite_difference(self):
+        cfg = ModelConfig(vocab_size=8, embed_dim=4, hidden_dim=5, num_layers=2)
+        model = LSTMLanguageModel(cfg, seed=3)
+        x = np.array([[1, 2, 3, 4]], dtype=np.int32)
+        y = np.array([[2, 3, 4, 5]], dtype=np.int32)
+        _, g = model.loss_and_grad(x, y)
+        vec = model.get_flat().astype(np.float64)
+        rng = child_rng(0, "fd-idx-2l")
+        eps = 1e-3
+        for idx in rng.choice(vec.size, size=10, replace=False):
+            up, down = vec.copy(), vec.copy()
+            up[idx] += eps
+            down[idx] -= eps
+            model.set_flat(up.astype(np.float32))
+            lu = model.evaluate(x, y)
+            model.set_flat(down.astype(np.float32))
+            ld = model.evaluate(x, y)
+            assert g[idx] == pytest.approx((lu - ld) / (2 * eps), rel=0.05, abs=2e-3)
+
+    def test_two_layer_model_trains(self):
+        cfg = ModelConfig(vocab_size=12, embed_dim=5, hidden_dim=7, num_layers=2)
+        model = LSTMLanguageModel(cfg, seed=0)
+        rng = child_rng(1, "2l-batch")
+        x = rng.integers(0, 12, (4, 6)).astype(np.int32)
+        y = np.roll(x, -1, axis=1).astype(np.int32)
+        opt = SGD(lr=1.0)
+        before = model.evaluate(x, y)
+        vec = model.get_flat()
+        for _ in range(40):
+            _, g = model.loss_and_grad(x, y)
+            vec = opt.step(vec, g)
+            model.set_flat(vec)
+        assert model.evaluate(x, y) < before - 0.3
+
+
+class TestOptimizers:
+    def test_sgd_step_direction(self):
+        opt = SGD(lr=0.1)
+        p = np.zeros(3, dtype=np.float32)
+        g = np.array([1.0, -1.0, 0.0], dtype=np.float32)
+        np.testing.assert_allclose(opt.step(p, g), [-0.1, 0.1, 0.0], rtol=1e-6)
+
+    def test_sgd_momentum_accumulates(self):
+        opt = SGD(lr=1.0, momentum=0.9)
+        p = np.zeros(1, dtype=np.float32)
+        g = np.ones(1, dtype=np.float32)
+        p = opt.step(p, g)   # v=1, p=-1
+        p = opt.step(p, g)   # v=1.9, p=-2.9
+        assert p[0] == pytest.approx(-2.9, rel=1e-6)
+
+    def test_sgd_clipping(self):
+        opt = SGD(lr=1.0, clip_norm=1.0)
+        p = np.zeros(2, dtype=np.float32)
+        g = np.array([3.0, 4.0], dtype=np.float32)  # norm 5 -> scaled to 1
+        out = opt.step(p, g)
+        assert np.linalg.norm(out) == pytest.approx(1.0, rel=1e-5)
+
+    def test_sgd_reset_clears_velocity(self):
+        opt = SGD(lr=1.0, momentum=0.9)
+        p = opt.step(np.zeros(1, np.float32), np.ones(1, np.float32))
+        opt.reset()
+        p2 = opt.step(np.zeros(1, np.float32), np.ones(1, np.float32))
+        assert p2[0] == pytest.approx(-1.0)
+
+    def test_sgd_invalid_args(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+
+    def test_adam_first_step_size_is_lr(self):
+        opt = Adam(lr=0.01)
+        p = np.zeros(3, dtype=np.float32)
+        out = opt.step(p, np.array([1.0, -2.0, 0.5], dtype=np.float32))
+        # Bias-corrected Adam moves ~lr in the sign direction on step 1.
+        np.testing.assert_allclose(out, [-0.01, 0.01, -0.01], rtol=1e-4)
+
+    def test_adam_converges_on_quadratic(self):
+        opt = Adam(lr=0.1)
+        p = np.array([5.0, -3.0], dtype=np.float32)
+        for _ in range(300):
+            p = opt.step(p, 2 * p)
+        assert np.abs(p).max() < 0.05
+
+    def test_adam_step_count(self):
+        opt = Adam()
+        assert opt.step_count == 0
+        opt.step(np.zeros(1, np.float32), np.ones(1, np.float32))
+        assert opt.step_count == 1
+        opt.reset()
+        assert opt.step_count == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.1).step(np.zeros(2, np.float32), np.zeros(3, np.float32))
+        with pytest.raises(ValueError):
+            Adam().step(np.zeros(2, np.float32), np.zeros(3, np.float32))

@@ -1,0 +1,51 @@
+"""The public API surface: everything advertised must import and exist."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.data",
+    "repro.nn",
+    "repro.secagg",
+    "repro.sim",
+    "repro.system",
+    "repro.client",
+    "repro.harness",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} must declare __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} is advertised but missing"
+
+
+def test_top_level_exports_resolve():
+    import repro
+
+    for symbol in repro.__all__:
+        assert hasattr(repro, symbol)
+    assert repro.__version__
+
+
+def test_headline_workflow_symbols_are_top_level():
+    import repro
+
+    for symbol in ("FederatedSimulation", "TaskConfig", "TrainingMode",
+                   "LSTMLanguageModel", "DevicePopulation"):
+        assert symbol in repro.__all__
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES + ["repro"])
+def test_every_public_item_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} missing module docstring"
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if callable(obj) or isinstance(obj, type):
+            assert obj.__doc__, f"{name}.{symbol} missing docstring"

@@ -1,0 +1,122 @@
+"""Tests for trusted-binary releases and public log auditing (Appendix C.2)."""
+
+import pytest
+
+from repro.secagg import (
+    AuditFailure,
+    BinaryReleaseProcess,
+    LogAuditor,
+    LogSnapshot,
+    SecAggClient,
+    build_deployment,
+)
+from repro.secagg.merkle import VerifiableLog
+from repro.utils import child_rng
+import numpy as np
+
+
+class TestBinaryRelease:
+    def test_release_appends_to_log(self):
+        proc = BinaryReleaseProcess()
+        idx = proc.release(b"tsa-v1", manifest="initial release")
+        assert idx == 0
+        assert proc.snapshot().size == 1
+
+    def test_rereleasing_same_binary_is_idempotent(self):
+        proc = BinaryReleaseProcess()
+        assert proc.release(b"tsa-v1") == proc.release(b"tsa-v1")
+        assert proc.snapshot().size == 1
+
+    def test_bundle_verifies_for_released_binary(self):
+        proc = BinaryReleaseProcess()
+        proc.release(b"tsa-v1")
+        proc.release(b"tsa-v2")
+        bundle = proc.bundle_for(b"tsa-v2")
+        LogAuditor().check_bundle(bundle)  # no raise
+
+    def test_unreleased_binary_has_no_bundle(self):
+        proc = BinaryReleaseProcess()
+        proc.release(b"tsa-v1")
+        with pytest.raises(KeyError):
+            proc.bundle_for(b"never-released")
+
+    def test_old_bundles_still_verify_after_updates(self):
+        # A client holding a v1 bundle from an older snapshot is fine; new
+        # releases don't invalidate historical proofs against their root.
+        proc = BinaryReleaseProcess()
+        proc.release(b"tsa-v1")
+        bundle_v1 = proc.bundle_for(b"tsa-v1")
+        for v in range(2, 6):
+            proc.release(f"tsa-v{v}".encode())
+        LogAuditor().check_bundle(bundle_v1)
+
+
+class TestLogAuditor:
+    def test_honest_growth_accepted(self):
+        proc = BinaryReleaseProcess()
+        auditor = LogAuditor()
+        for v in range(1, 5):
+            old = auditor.trusted
+            proc.release(f"tsa-v{v}".encode())
+            snap = proc.snapshot()
+            auditor.observe(snap, proc.consistency_proof(old.size))
+        assert auditor.trusted.size == 4
+        assert auditor.audits_performed == 4
+
+    def test_history_rewrite_caught(self):
+        proc = BinaryReleaseProcess()
+        proc.release(b"tsa-v1")
+        proc.release(b"tsa-v2")
+        auditor = LogAuditor()
+        auditor.observe(proc.snapshot(), proc.consistency_proof(0))
+
+        # Malicious operator rebuilds the log with a backdoored v1.
+        evil = BinaryReleaseProcess()
+        evil.release(b"tsa-v1-backdoored")
+        evil.release(b"tsa-v2")
+        evil.release(b"tsa-v3")
+        with pytest.raises(AuditFailure, match="consistency"):
+            auditor.observe(evil.snapshot(), evil.consistency_proof(2))
+
+    def test_shrinking_log_caught(self):
+        proc = BinaryReleaseProcess()
+        for v in range(3):
+            proc.release(f"tsa-v{v}".encode())
+        auditor = LogAuditor()
+        auditor.observe(proc.snapshot(), proc.consistency_proof(0))
+        with pytest.raises(AuditFailure, match="shrank"):
+            auditor.observe(LogSnapshot(size=1, root=b"\x00" * 32), [])
+
+    def test_bogus_bundle_caught(self):
+        proc = BinaryReleaseProcess()
+        proc.release(b"tsa-v1")
+        bundle = proc.bundle_for(b"tsa-v1")
+        from dataclasses import replace
+
+        with pytest.raises(AuditFailure, match="inclusion"):
+            LogAuditor().check_bundle(replace(bundle, entry=b"binary:forged"))
+
+    def test_initial_trust_is_empty_log(self):
+        auditor = LogAuditor()
+        assert auditor.trusted.size == 0
+        assert auditor.trusted.root == VerifiableLog().root(0)
+
+
+class TestEndToEndBinaryUpdate:
+    def test_client_accepts_binary_released_through_process(self):
+        # Wire a release-process bundle into a live deployment: the client
+        # verifies the same inclusion proof the auditor does.
+        proc = BinaryReleaseProcess()
+        dep = build_deployment(vector_length=4, threshold=1,
+                               trusted_binary=b"papaya-tsa-v2")
+        proc.release(b"papaya-tsa-v0")
+        proc.release(b"papaya-tsa-v2", manifest="fixes CVE-2022-XXXX")
+        bundle = proc.bundle_for(b"papaya-tsa-v2")
+
+        client = SecAggClient(
+            0, dep.codec, dep.authority, dep.tsa.binary_hash,
+            dep.tsa.params_hash, child_rng(0, "audit-client"),
+        )
+        sub = client.participate(np.zeros(4), dep.server.assign_leg(),
+                                 log_bundle=bundle)
+        assert dep.server.submit(sub) is True

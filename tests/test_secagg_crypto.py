@@ -1,0 +1,159 @@
+"""Tests for DH key exchange, sealed boxes, and attestation."""
+
+import pytest
+
+from repro.secagg import (
+    AttestationError,
+    DH_PRIME,
+    DHKeyPair,
+    SealError,
+    SigningAuthority,
+    hash_binary,
+    hash_params,
+    open_sealed,
+    seal,
+    shared_key,
+)
+from repro.utils import child_rng
+
+
+class TestDiffieHellman:
+    def test_key_agreement(self):
+        a = DHKeyPair.generate(child_rng(0, "dh-a"))
+        b = DHKeyPair.generate(child_rng(0, "dh-b"))
+        assert shared_key(a.private, b.public) == shared_key(b.private, a.public)
+
+    def test_different_pairs_different_keys(self):
+        a = DHKeyPair.generate(child_rng(0, "dh-a"))
+        b = DHKeyPair.generate(child_rng(0, "dh-b"))
+        c = DHKeyPair.generate(child_rng(0, "dh-c"))
+        assert shared_key(a.private, b.public) != shared_key(a.private, c.public)
+
+    def test_public_value_in_group(self):
+        pair = DHKeyPair.generate(child_rng(1, "dh"))
+        assert 1 < pair.public < DH_PRIME
+
+    def test_degenerate_public_rejected(self):
+        pair = DHKeyPair.generate(child_rng(2, "dh"))
+        for bad in (0, 1, DH_PRIME - 1, DH_PRIME):
+            with pytest.raises(ValueError):
+                shared_key(pair.private, bad)
+
+    def test_deterministic_generation(self):
+        p1 = DHKeyPair.generate(child_rng(3, "dh"))
+        p2 = DHKeyPair.generate(child_rng(3, "dh"))
+        assert p1.private == p2.private and p1.public == p2.public
+
+    def test_repr_hides_private(self):
+        pair = DHKeyPair.generate(child_rng(4, "dh"))
+        assert hex(pair.private)[3:10] not in repr(pair)
+
+    def test_shared_key_is_32_bytes(self):
+        a = DHKeyPair.generate(child_rng(5, "dh-a"))
+        b = DHKeyPair.generate(child_rng(5, "dh-b"))
+        assert len(shared_key(a.private, b.public)) == 32
+
+
+class TestSealedBox:
+    KEY = b"k" * 32
+
+    def test_roundtrip(self):
+        box = seal(self.KEY, b"sixteen byte msg", seq=3)
+        assert open_sealed(self.KEY, box) == b"sixteen byte msg"
+
+    def test_ciphertext_differs_from_plaintext(self):
+        box = seal(self.KEY, b"sixteen byte msg")
+        assert box.ciphertext != b"sixteen byte msg"
+
+    def test_wrong_key_rejected(self):
+        box = seal(self.KEY, b"payload")
+        with pytest.raises(SealError):
+            open_sealed(b"x" * 32, box)
+
+    def test_tampered_ciphertext_rejected(self):
+        box = seal(self.KEY, b"payload")
+        bad = box.tampered_with(ciphertext=bytes([box.ciphertext[0] ^ 1]) + box.ciphertext[1:])
+        with pytest.raises(SealError):
+            open_sealed(self.KEY, bad)
+
+    def test_tampered_tag_rejected(self):
+        box = seal(self.KEY, b"payload")
+        bad = box.tampered_with(tag=bytes([box.tag[0] ^ 1]) + box.tag[1:])
+        with pytest.raises(SealError):
+            open_sealed(self.KEY, bad)
+
+    def test_sequence_number_bound(self):
+        box = seal(self.KEY, b"payload", seq=1)
+        replayed = box.tampered_with(seq=2)
+        with pytest.raises(SealError):
+            open_sealed(self.KEY, replayed)
+
+    def test_distinct_sequences_distinct_ciphertexts(self):
+        b1 = seal(self.KEY, b"payload", seq=1)
+        b2 = seal(self.KEY, b"payload", seq=2)
+        assert b1.ciphertext != b2.ciphertext
+
+    def test_empty_payload(self):
+        box = seal(self.KEY, b"")
+        assert open_sealed(self.KEY, box) == b""
+
+    def test_long_payload_spans_keystream_blocks(self):
+        msg = bytes(range(256)) * 2
+        box = seal(self.KEY, msg)
+        assert open_sealed(self.KEY, box) == msg
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            seal(b"short", b"x")
+        with pytest.raises(ValueError):
+            seal(self.KEY, b"x", seq=-1)
+
+
+class TestAttestation:
+    def test_issue_and_verify(self):
+        auth = SigningAuthority()
+        bh, ph = hash_binary(b"bin"), hash_params(t=5)
+        quote = auth.issue(bh, ph, b"payload")
+        auth.verify(quote, bh, ph)  # no raise
+
+    def test_forged_signature_rejected(self):
+        auth = SigningAuthority()
+        rogue = SigningAuthority(secret=b"not-intel")
+        bh, ph = hash_binary(b"bin"), hash_params(t=5)
+        quote = rogue.issue(bh, ph, b"payload")
+        with pytest.raises(AttestationError, match="signature"):
+            auth.verify(quote, bh, ph)
+
+    def test_wrong_binary_rejected(self):
+        auth = SigningAuthority()
+        bh, ph = hash_binary(b"bin"), hash_params(t=5)
+        quote = auth.issue(bh, ph, b"payload")
+        with pytest.raises(AttestationError, match="binary"):
+            auth.verify(quote, hash_binary(b"evil-bin"), ph)
+
+    def test_wrong_params_rejected(self):
+        # The server claims different public parameters than were attested
+        # — e.g. a lower threshold t to weaken privacy.
+        auth = SigningAuthority()
+        bh = hash_binary(b"bin")
+        quote = auth.issue(bh, hash_params(t=100), b"payload")
+        with pytest.raises(AttestationError, match="parameter"):
+            auth.verify(quote, bh, hash_params(t=1))
+
+    def test_payload_covered_by_signature(self):
+        # Swapping the DH initial message inside a quote must break it.
+        from dataclasses import replace
+
+        auth = SigningAuthority()
+        bh, ph = hash_binary(b"bin"), hash_params(t=5)
+        quote = auth.issue(bh, ph, b"dh-public-A")
+        swapped = replace(quote, payload=b"dh-public-EVIL")
+        with pytest.raises(AttestationError):
+            auth.verify(swapped, bh, ph)
+
+    def test_params_hash_canonical_order(self):
+        assert hash_params(a=1, b=2) == hash_params(b=2, a=1)
+        assert hash_params(a=1) != hash_params(a=2)
+
+    def test_binary_hash_distinct(self):
+        assert hash_binary(b"v1") != hash_binary(b"v2")

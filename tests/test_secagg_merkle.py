@@ -1,0 +1,178 @@
+"""Tests for the verifiable log (RFC 6962-style Merkle tree)."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.secagg import (
+    VerifiableLog,
+    leaf_hash,
+    node_hash,
+    verify_consistency,
+    verify_inclusion,
+)
+
+
+def build_log(n):
+    log = VerifiableLog()
+    for i in range(n):
+        log.append(f"binary-release-{i}".encode())
+    return log
+
+
+class TestRootComputation:
+    def test_empty_root_is_hash_of_empty_string(self):
+        assert VerifiableLog().root() == hashlib.sha256(b"").digest()
+
+    def test_single_leaf_root(self):
+        log = build_log(1)
+        assert log.root() == leaf_hash(b"binary-release-0")
+
+    def test_two_leaf_root(self):
+        log = build_log(2)
+        expected = node_hash(leaf_hash(b"binary-release-0"), leaf_hash(b"binary-release-1"))
+        assert log.root() == expected
+
+    def test_root_changes_on_append(self):
+        log = build_log(3)
+        before = log.root()
+        log.append(b"binary-release-3")
+        assert log.root() != before
+
+    def test_prefix_roots_stable(self):
+        # The root over the first k entries never changes as the log grows.
+        log = build_log(5)
+        r3 = log.root(3)
+        log.append(b"more")
+        assert log.root(3) == r3
+
+    def test_entry_retrieval(self):
+        log = build_log(4)
+        assert log.entry(2) == b"binary-release-2"
+
+    def test_root_size_validation(self):
+        with pytest.raises(ValueError):
+            build_log(2).root(5)
+
+
+class TestInclusionProofs:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+    def test_all_entries_verifiable(self, size):
+        log = build_log(size)
+        root = log.root()
+        for i in range(size):
+            proof = log.inclusion_proof(i)
+            assert verify_inclusion(log.entry(i), i, size, proof, root), (i, size)
+
+    def test_wrong_entry_rejected(self):
+        log = build_log(8)
+        proof = log.inclusion_proof(3)
+        assert not verify_inclusion(b"not-the-entry", 3, 8, proof, log.root())
+
+    def test_wrong_index_rejected(self):
+        log = build_log(8)
+        proof = log.inclusion_proof(3)
+        assert not verify_inclusion(log.entry(3), 4, 8, proof, log.root())
+
+    def test_wrong_root_rejected(self):
+        log = build_log(8)
+        proof = log.inclusion_proof(3)
+        assert not verify_inclusion(log.entry(3), 3, 8, proof, b"\x00" * 32)
+
+    def test_truncated_proof_rejected(self):
+        log = build_log(8)
+        proof = log.inclusion_proof(3)[:-1]
+        assert not verify_inclusion(log.entry(3), 3, 8, proof, log.root())
+
+    def test_proof_against_historical_snapshot(self):
+        log = build_log(10)
+        root5 = log.root(5)
+        proof = log.inclusion_proof(2, size=5)
+        assert verify_inclusion(log.entry(2), 2, 5, proof, root5)
+
+    def test_out_of_range_rejected(self):
+        log = build_log(4)
+        with pytest.raises(ValueError):
+            log.inclusion_proof(4)
+        assert not verify_inclusion(b"x", 5, 4, [], log.root())
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 64))
+    def test_inclusion_property(self, size):
+        log = build_log(size)
+        root = log.root()
+        for i in {0, size // 2, size - 1}:
+            proof = log.inclusion_proof(i)
+            assert verify_inclusion(log.entry(i), i, size, proof, root)
+
+
+class TestConsistencyProofs:
+    @pytest.mark.parametrize(
+        "old,new", [(1, 2), (2, 4), (3, 7), (4, 8), (5, 13), (8, 8), (1, 1), (7, 16)]
+    )
+    def test_honest_growth_verifies(self, old, new):
+        log = build_log(new)
+        proof = log.consistency_proof(old, new)
+        assert verify_consistency(old, new, log.root(old), log.root(new), proof)
+
+    def test_rewritten_history_rejected(self):
+        log1 = build_log(8)
+        old_root = log1.root(4)
+        # A second log that shares no prefix.
+        log2 = VerifiableLog()
+        for i in range(8):
+            log2.append(f"EVIL-{i}".encode())
+        proof = log2.consistency_proof(4, 8)
+        assert not verify_consistency(4, 8, old_root, log2.root(), proof)
+
+    def test_equal_sizes_need_equal_roots(self):
+        log = build_log(4)
+        assert verify_consistency(4, 4, log.root(), log.root(), [])
+        assert not verify_consistency(4, 4, b"\x01" * 32, log.root(), [])
+
+    def test_shrinking_rejected(self):
+        log = build_log(8)
+        assert not verify_consistency(8, 4, log.root(8), log.root(4), [])
+
+    def test_empty_old_tree_trivially_consistent(self):
+        log = build_log(5)
+        assert verify_consistency(0, 5, log.root(0), log.root(5), [])
+
+    def test_truncated_proof_rejected(self):
+        log = build_log(13)
+        proof = log.consistency_proof(5, 13)
+        if proof:
+            assert not verify_consistency(5, 13, log.root(5), log.root(13), proof[:-1])
+
+    def test_padded_proof_rejected(self):
+        log = build_log(13)
+        proof = log.consistency_proof(5, 13) + [b"\x00" * 32]
+        assert not verify_consistency(5, 13, log.root(5), log.root(13), proof)
+
+    def test_size_validation(self):
+        log = build_log(4)
+        with pytest.raises(ValueError):
+            log.consistency_proof(5, 4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 48), st.integers(0, 16))
+    def test_consistency_property(self, old, extra):
+        new = old + extra
+        log = build_log(new)
+        proof = log.consistency_proof(old, new)
+        assert verify_consistency(old, new, log.root(old), log.root(new), proof)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 32), st.integers(1, 16))
+    def test_tampered_midlog_rejected_property(self, old, extra):
+        new = old + extra
+        honest = build_log(new)
+        # Tamper with one entry inside the old prefix, keep the rest.
+        evil = VerifiableLog()
+        for i in range(new):
+            entry = honest.entry(i)
+            evil.append(b"TAMPERED" if i == old // 2 else entry)
+        proof = evil.consistency_proof(old, new)
+        assert not verify_consistency(old, new, honest.root(old), evil.root(new), proof)

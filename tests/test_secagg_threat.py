@@ -1,0 +1,163 @@
+"""Threat-model tests: the attacks of Appendix B/C must all fail."""
+
+import numpy as np
+import pytest
+
+from repro.secagg import (
+    AttestationError,
+    PowerOfTwoGroup,
+    SecAggClient,
+    SigningAuthority,
+    build_deployment,
+    hash_binary,
+    hash_params,
+)
+from repro.secagg.threat import (
+    bump_sequence_number,
+    flip_sealed_ciphertext_bit,
+    flip_tag_bit,
+    masked_update_uniformity_pvalue,
+)
+from repro.utils import child_rng
+
+
+def make_client(dep, cid=0):
+    return SecAggClient(
+        cid,
+        dep.codec,
+        dep.authority,
+        dep.tsa.binary_hash,
+        dep.tsa.params_hash,
+        child_rng(0, "threat-client", cid),
+    )
+
+
+class TestServerTampering:
+    """"The server cannot successfully tamper with the data that is meant
+    to be sent into the enclave" (Appendix C.1)."""
+
+    def test_flipped_ciphertext_rejected(self):
+        dep = build_deployment(vector_length=8, threshold=1)
+        sub = make_client(dep).participate(np.zeros(8), dep.server.assign_leg())
+        assert dep.server.submit(flip_sealed_ciphertext_bit(sub)) is False
+
+    def test_flipped_tag_rejected(self):
+        dep = build_deployment(vector_length=8, threshold=1)
+        sub = make_client(dep).participate(np.zeros(8), dep.server.assign_leg())
+        assert dep.server.submit(flip_tag_bit(sub)) is False
+
+    def test_replayed_sequence_rejected(self):
+        dep = build_deployment(vector_length=8, threshold=1)
+        sub = make_client(dep).participate(np.zeros(8), dep.server.assign_leg())
+        assert dep.server.submit(bump_sequence_number(sub)) is False
+
+    def test_rejected_submission_not_aggregated(self):
+        # A rejected blob must not poison the masked running sum.
+        dep = build_deployment(vector_length=8, threshold=1)
+        c0, c1 = make_client(dep, 0), make_client(dep, 1)
+        bad = flip_sealed_ciphertext_bit(
+            c0.participate(np.full(8, 9.0), dep.server.assign_leg())
+        )
+        assert dep.server.submit(bad) is False
+        good = c1.participate(np.full(8, 0.25), dep.server.assign_leg())
+        assert dep.server.submit(good) is True
+        agg = dep.server.finalize(max_abs=10.0)
+        np.testing.assert_allclose(agg, np.full(8, 0.25), atol=1e-3)
+
+    def test_second_enclave_cannot_open_seed(self):
+        # "the encrypted seed and the response is not accepted by another
+        # enclave instance" — a different TSA has different leg keys.
+        dep_a = build_deployment(vector_length=8, threshold=1, seed=1)
+        dep_b = build_deployment(vector_length=8, threshold=1, seed=2)
+        sub = make_client(dep_a).participate(np.zeros(8), dep_a.server.assign_leg())
+        # Forward client A's blob to enclave B (same leg index exists there).
+        accepted = dep_b.tsa.process_client(
+            sub.leg_index, sub.completing_message, sub.sealed_seed
+        )
+        assert accepted is False
+
+
+class TestClientSideChecks:
+    """Clients abort unless the enclave proves identity and parameters
+    (Figure 19) and log inclusion (Figure 20)."""
+
+    def test_client_aborts_on_wrong_binary(self):
+        dep = build_deployment(vector_length=4, threshold=1)
+        client = SecAggClient(
+            0, dep.codec, dep.authority, hash_binary(b"expected-other-binary"),
+            dep.tsa.params_hash, child_rng(0, "c"),
+        )
+        with pytest.raises(AttestationError):
+            client.participate(np.zeros(4), dep.server.assign_leg())
+
+    def test_client_aborts_on_parameter_downgrade(self):
+        dep = build_deployment(vector_length=4, threshold=3)
+        client = SecAggClient(
+            0, dep.codec, dep.authority, dep.tsa.binary_hash,
+            hash_params(group_bits=32, vector_length=4, threshold=1000),
+            child_rng(0, "c"),
+        )
+        with pytest.raises(AttestationError):
+            client.participate(np.zeros(4), dep.server.assign_leg())
+
+    def test_client_aborts_on_rogue_authority(self):
+        dep = build_deployment(vector_length=4, threshold=1)
+        rogue = SigningAuthority(secret=b"rogue")
+        fake_quote = rogue.issue(dep.tsa.binary_hash, dep.tsa.params_hash, b"\x02" * 256)
+        from repro.secagg.tsa import KeyExchangeLeg
+
+        fake_leg = KeyExchangeLeg(index=0, quote=fake_quote)
+        with pytest.raises(AttestationError):
+            make_client(dep).participate(np.zeros(4), fake_leg)
+
+    def test_client_aborts_on_unlogged_binary(self):
+        from dataclasses import replace
+
+        dep = build_deployment(vector_length=4, threshold=1)
+        bad_bundle = replace(dep.log_bundle, entry=b"manifest|unlogged-binary")
+        with pytest.raises(AttestationError, match="log"):
+            make_client(dep).participate(
+                np.zeros(4), dep.server.assign_leg(), log_bundle=bad_bundle
+            )
+
+    def test_client_accepts_honest_deployment(self):
+        dep = build_deployment(vector_length=4, threshold=1)
+        sub = make_client(dep).participate(
+            np.zeros(4), dep.server.assign_leg(), log_bundle=dep.log_bundle
+        )
+        assert dep.server.submit(sub) is True
+
+
+class TestPrivacy:
+    def test_masked_update_statistically_uniform(self):
+        # Extremely structured plaintext (all zeros, then a ramp): the
+        # masked wire value must look uniform over the group.
+        dep = build_deployment(vector_length=4096, threshold=1)
+        group = PowerOfTwoGroup(32)
+        for payload in (np.zeros(4096), np.linspace(-1, 1, 4096)):
+            sub = make_client(dep, cid=int(payload[0]) + 7).participate(
+                payload, dep.server.assign_leg()
+            )
+            p = masked_update_uniformity_pvalue(sub.masked_update, group)
+            assert p > 0.01, "masked update is distinguishable from noise"
+
+    def test_two_updates_same_plaintext_look_unrelated(self):
+        dep = build_deployment(vector_length=256, threshold=2)
+        s0 = make_client(dep, 0).participate(np.ones(256), dep.server.assign_leg())
+        s1 = make_client(dep, 1).participate(np.ones(256), dep.server.assign_leg())
+        # Identical plaintexts, yet ciphertexts share no structure.
+        same = int((s0.masked_update == s1.masked_update).sum())
+        assert same <= 2  # chance collisions only
+
+    def test_aggregate_reveals_only_the_sum(self):
+        updates = [np.full(16, 1.0), np.full(16, -1.0), np.full(16, 0.5)]
+        from repro.secagg import run_secure_aggregation
+
+        agg, dep = run_secure_aggregation(updates)
+        np.testing.assert_allclose(agg, np.full(16, 0.5), atol=1e-3)
+        # The transcript the server holds is masked; no accepted submission
+        # decodes to any client's plaintext.
+        for sub in dep.server.accepted_submissions:
+            decoded = dep.codec.decode(sub.masked_update)
+            for u in updates:
+                assert not np.allclose(decoded, u, atol=0.2)

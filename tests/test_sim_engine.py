@@ -1,0 +1,139 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.5, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [5.5]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(10.0, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [10.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_past_absolute_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run_until_idle()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append("x"))
+        h.cancel()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.run_until_idle()
+        h.cancel()
+        assert fired == ["x"]
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        end = sim.run_until(5.0)
+        assert fired == [1]
+        assert end == 5.0
+        assert sim.now == 5.0
+        assert sim.pending == 1  # the t=10 event remains queued
+
+    def test_stop_predicate_halts_early(self):
+        sim = Simulator()
+        fired = []
+        for t in range(1, 6):
+            sim.schedule(float(t), lambda t=t: fired.append(t))
+        sim.run_until(100.0, stop=lambda: len(fired) >= 2)
+        assert fired == [1, 2]
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run_until(1e9, max_events=50)
+        assert count[0] == 50
+
+    def test_run_until_idle_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run_until_idle(max_events=100)
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(float(t), lambda: None)
+        sim.run_until_idle()
+        assert sim.events_fired == 5

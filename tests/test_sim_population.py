@@ -1,0 +1,182 @@
+"""Tests for the heterogeneous device population and network model."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DevicePopulation, NetworkModel, PopulationConfig
+from repro.utils import child_rng
+
+
+@pytest.fixture(scope="module")
+def pop():
+    return DevicePopulation(PopulationConfig(n_devices=20_000), seed=7)
+
+
+class TestProfiles:
+    def test_deterministic(self, pop):
+        a, b = pop.profile(42), pop.profile(42)
+        assert a == b
+
+    def test_cached_identity(self, pop):
+        assert pop.profile(43) is pop.profile(43)
+
+    def test_out_of_range_rejected(self, pop):
+        with pytest.raises(ValueError):
+            pop.profile(20_000)
+        with pytest.raises(ValueError):
+            pop.profile(-1)
+
+    def test_examples_bounded(self, pop):
+        profs = pop.sample_profiles(500, child_rng(0, "t"))
+        for p in profs:
+            assert 1 <= p.n_examples <= pop.config.max_examples
+
+    def test_execution_time_formula(self, pop):
+        p = pop.profile(1)
+        t = p.execution_time(overhead_s=2.0)
+        assert t == pytest.approx(2.0 + p.n_examples * p.sec_per_example)
+        assert p.execution_time(2.0, epochs=2) > t
+
+    def test_heterogeneity_spans_orders_of_magnitude(self, pop):
+        # Figure 2: the execution-time distribution spans >2 orders.
+        stats = pop.execution_time_stats(2000)
+        assert stats["spread_orders_of_magnitude"] > 2.0
+
+    def test_straggler_tail(self, pop):
+        # Mean >> median under a heavy right tail.
+        stats = pop.execution_time_stats(2000)
+        assert stats["mean"] > 1.5 * stats["median"]
+        assert stats["p99"] > 5 * stats["median"]
+
+    def test_slow_devices_have_more_data(self, pop):
+        # Figure 11's mechanism: positive speed/data correlation.
+        profs = pop.sample_profiles(3000, child_rng(1, "t"))
+        sec = np.array([p.sec_per_example for p in profs])
+        n = np.array([p.n_examples for p in profs])
+        corr = np.corrcoef(np.log(sec), np.log(n))[0, 1]
+        assert corr > 0.3
+
+    def test_zero_correlation_config(self):
+        pop0 = DevicePopulation(
+            PopulationConfig(n_devices=5000, speed_data_correlation=0.0), seed=1
+        )
+        profs = pop0.sample_profiles(2000, child_rng(2, "t"))
+        sec = np.array([p.sec_per_example for p in profs])
+        n = np.array([p.n_examples for p in profs])
+        corr = np.corrcoef(np.log(sec), np.log(n))[0, 1]
+        assert abs(corr) < 0.15
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_devices=0)
+        with pytest.raises(ValueError):
+            PopulationConfig(speed_data_correlation=1.5)
+        with pytest.raises(ValueError):
+            PopulationConfig(dropout_rate=-0.1)
+        with pytest.raises(ValueError):
+            PopulationConfig(eligibility_rate=0.0)
+        with pytest.raises(ValueError):
+            PopulationConfig(mean_examples=0)
+
+
+class TestStochasticBehaviour:
+    def test_dropout_rate_approximate(self, pop):
+        drops = sum(
+            pop.dropout_point(d, 0) is not None for d in range(2000)
+        )
+        assert 0.06 < drops / 2000 < 0.14  # config rate is 0.1
+
+    def test_dropout_fraction_in_range(self, pop):
+        for d in range(300):
+            frac = pop.dropout_point(d, 0)
+            if frac is not None:
+                assert 0.0 < frac < 1.0
+
+    def test_dropout_deterministic_per_participation(self, pop):
+        assert pop.dropout_point(5, 3) == pop.dropout_point(5, 3)
+
+    def test_eligibility_rate_approximate(self, pop):
+        ok = sum(pop.is_eligible(d, 0) for d in range(2000))
+        assert 0.74 < ok / 2000 < 0.86  # config rate is 0.8
+
+    def test_eligibility_varies_per_checkin(self, pop):
+        rolls = {pop.is_eligible(11, c) for c in range(50)}
+        assert rolls == {True, False}
+
+
+class TestDiurnalAvailability:
+    @pytest.fixture(scope="class")
+    def diurnal_pop(self):
+        return DevicePopulation(
+            PopulationConfig(n_devices=5000, eligibility_rate=0.5,
+                             diurnal_amplitude=0.6),
+            seed=3,
+        )
+
+    def test_rate_peaks_at_night(self, diurnal_pop):
+        night = diurnal_pop.eligibility_rate_at(3 * 3600.0)   # 3 am
+        afternoon = diurnal_pop.eligibility_rate_at(15 * 3600.0)  # 3 pm
+        assert night > afternoon
+        assert night == pytest.approx(0.5 * 1.6, rel=1e-6)
+        assert afternoon == pytest.approx(0.5 * 0.4, rel=1e-6)
+
+    def test_rate_is_24h_periodic(self, diurnal_pop):
+        day = 24 * 3600.0
+        assert diurnal_pop.eligibility_rate_at(7 * 3600.0) == pytest.approx(
+            diurnal_pop.eligibility_rate_at(7 * 3600.0 + 5 * day)
+        )
+
+    def test_rate_clipped_to_unit_interval(self):
+        pop = DevicePopulation(
+            PopulationConfig(n_devices=10, eligibility_rate=0.9,
+                             diurnal_amplitude=0.9),
+            seed=0,
+        )
+        for h in range(24):
+            assert 0.0 <= pop.eligibility_rate_at(h * 3600.0) <= 1.0
+
+    def test_acceptance_tracks_rate(self, diurnal_pop):
+        def rate(t):
+            ok = sum(diurnal_pop.is_eligible(d, 0, time_s=t) for d in range(2000))
+            return ok / 2000
+
+        assert rate(3 * 3600.0) > rate(15 * 3600.0) + 0.3
+
+    def test_zero_amplitude_time_invariant(self, pop):
+        assert pop.eligibility_rate_at(0.0) == pop.eligibility_rate_at(50_000.0)
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(diurnal_amplitude=1.0)
+
+
+class TestNetworkModel:
+    def test_download_faster_than_upload(self, pop):
+        net = NetworkModel()
+        p = pop.profile(0)
+        nbytes = 20 * 1024 * 1024
+        assert net.download_time(p, nbytes) < net.upload_time(p, nbytes)
+
+    def test_chunked_upload_pays_per_chunk_rtt(self, pop):
+        net = NetworkModel(rtt_s=0.1, chunk_bytes=1024)
+        p = pop.profile(0)
+        t_small = net.upload_time(p, 1024)
+        t_big = net.upload_time(p, 10 * 1024)
+        assert t_big > t_small + 8 * 0.1  # ~9 extra chunks
+
+    def test_zero_bytes_costs_rtt(self, pop):
+        net = NetworkModel(rtt_s=0.2)
+        assert net.download_time(pop.profile(0), 0) == pytest.approx(0.2)
+
+    def test_negative_bytes_rejected(self, pop):
+        net = NetworkModel()
+        with pytest.raises(ValueError):
+            net.download_time(pop.profile(0), -1)
+        with pytest.raises(ValueError):
+            net.upload_time(pop.profile(0), -1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NetworkModel(rtt_s=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(chunk_bytes=0)

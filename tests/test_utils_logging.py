@@ -1,0 +1,47 @@
+"""Tests for the structured event log."""
+
+from repro.utils import EventLog
+
+
+class TestEventLog:
+    def test_emit_and_len(self):
+        log = EventLog()
+        log.emit(1.0, "coordinator", "client_assigned", client=3)
+        assert len(log) == 1
+
+    def test_of_kind_filters(self):
+        log = EventLog()
+        log.emit(1.0, "a", "x")
+        log.emit(2.0, "a", "y")
+        log.emit(3.0, "b", "x")
+        assert [r.time for r in log.of_kind("x")] == [1.0, 3.0]
+
+    def test_from_component_filters(self):
+        log = EventLog()
+        log.emit(1.0, "aggregator:0", "k")
+        log.emit(2.0, "aggregator:1", "k")
+        assert len(log.from_component("aggregator:1")) == 1
+
+    def test_where_predicate(self):
+        log = EventLog()
+        for t in range(5):
+            log.emit(float(t), "c", "tick")
+        assert len(log.where(lambda r: r.time >= 3)) == 2
+
+    def test_count(self):
+        log = EventLog()
+        log.emit(0.0, "c", "a")
+        log.emit(0.0, "c", "a")
+        assert log.count("a") == 2 and log.count("b") == 0
+
+    def test_detail_payload(self):
+        log = EventLog()
+        log.emit(0.0, "c", "assign", task="lm", client=7)
+        rec = next(iter(log))
+        assert rec.detail == {"task": "lm", "client": 7}
+
+    def test_clear(self):
+        log = EventLog()
+        log.emit(0.0, "c", "a")
+        log.clear()
+        assert len(log) == 0

@@ -1,0 +1,72 @@
+"""Tests for deterministic hierarchical RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import child_rng, make_rng, spawn_rngs, stable_hash64
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash64("population", 3) == stable_hash64("population", 3)
+
+    def test_distinct_labels_differ(self):
+        assert stable_hash64("a") != stable_hash64("b")
+
+    def test_label_order_matters(self):
+        assert stable_hash64("a", "b") != stable_hash64("b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) must not collide with ("a", "b").
+        assert stable_hash64("ab") != stable_hash64("a", "b")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= stable_hash64("x", 123, (1, 2)) < 2**64
+
+    @given(st.lists(st.integers(), min_size=1, max_size=5))
+    def test_hashes_arbitrary_int_labels(self, labels):
+        h = stable_hash64(*labels)
+        assert h == stable_hash64(*labels)
+
+
+class TestChildRng:
+    def test_same_path_same_stream(self):
+        a = child_rng(0, "data", 1).random(8)
+        b = child_rng(0, "data", 1).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_stream(self):
+        a = child_rng(0, "data").random(8)
+        b = child_rng(1, "data").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_labels_different_stream(self):
+        a = child_rng(0, "data").random(8)
+        b = child_rng(0, "population").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_independent_of_call_order(self):
+        first = child_rng(0, "x").random()
+        child_rng(0, "y").random(100)
+        again = child_rng(0, "x").random()
+        assert first == again
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    def test_any_seed_valid(self, seed):
+        rng = child_rng(seed, "prop")
+        assert 0.0 <= rng.random() < 1.0
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, "clients", 5)) == 5
+
+    def test_spawned_streams_independent(self):
+        rngs = spawn_rngs(0, "clients", 3)
+        draws = [r.random(4).tolist() for r in rngs]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_make_rng_reproducible(self):
+        assert make_rng(7).random() == make_rng(7).random()

@@ -1,0 +1,93 @@
+"""Tests for the wire serialization of model updates."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils import (
+    SerializationError,
+    chunk_payload,
+    deserialize_vector,
+    reassemble_chunks,
+    serialize_vector,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dtype", ["<f4", "<f8", "<u4", "<u8", "<i4", "<i8"])
+    def test_roundtrip_dtypes(self, dtype):
+        vec = np.arange(17).astype(dtype)
+        out = deserialize_vector(serialize_vector(vec))
+        np.testing.assert_array_equal(out, vec)
+        assert out.dtype == np.dtype(dtype)
+
+    def test_roundtrip_empty(self):
+        vec = np.array([], dtype=np.float32)
+        out = deserialize_vector(serialize_vector(vec))
+        assert out.size == 0
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize_vector(np.zeros((2, 2), dtype=np.float32))
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize_vector(np.zeros(3, dtype=np.float16))
+
+    @given(
+        hnp.arrays(
+            dtype=np.float32,
+            shape=st.integers(0, 200),
+            elements=st.floats(-1e6, 1e6, width=32),
+        )
+    )
+    def test_roundtrip_property(self, vec):
+        np.testing.assert_array_equal(deserialize_vector(serialize_vector(vec)), vec)
+
+
+class TestIntegrity:
+    def test_truncated_header_rejected(self):
+        with pytest.raises(SerializationError, match="header"):
+            deserialize_vector(b"PAPY")
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(serialize_vector(np.ones(4, dtype=np.float32)))
+        blob[0] = ord("X")
+        with pytest.raises(SerializationError, match="magic"):
+            deserialize_vector(bytes(blob))
+
+    def test_flipped_payload_byte_detected(self):
+        blob = bytearray(serialize_vector(np.ones(16, dtype=np.float32)))
+        blob[-1] ^= 0xFF
+        with pytest.raises(SerializationError, match="CRC"):
+            deserialize_vector(bytes(blob))
+
+    def test_truncated_payload_detected(self):
+        blob = serialize_vector(np.ones(16, dtype=np.float32))
+        with pytest.raises(SerializationError, match="length"):
+            deserialize_vector(blob[:-4])
+
+
+class TestChunking:
+    def test_chunks_cover_payload(self):
+        blob = bytes(range(256)) * 3
+        chunks = chunk_payload(blob, 100)
+        assert all(len(c) <= 100 for c in chunks)
+        assert reassemble_chunks(chunks) == blob
+
+    def test_empty_payload_single_chunk(self):
+        assert chunk_payload(b"", 10) == [b""]
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(SerializationError):
+            chunk_payload(b"abc", 0)
+
+    @given(st.binary(max_size=500), st.integers(1, 64))
+    def test_chunk_roundtrip_property(self, blob, size):
+        assert reassemble_chunks(chunk_payload(blob, size)) == blob
+
+    def test_chunk_count(self):
+        blob = b"x" * 1000
+        assert len(chunk_payload(blob, 256)) == 4
