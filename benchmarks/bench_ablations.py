@@ -6,7 +6,6 @@ threshold, K as a fraction of concurrency) and check the trade-offs the
 paper's prose asserts.
 """
 
-import numpy as np
 
 from repro.core import (
     ConstantStaleness,
@@ -19,7 +18,6 @@ from repro.core import (
 )
 from repro.harness import SMOKE, build_async, build_sync, make_population
 from repro.harness.report import print_table
-from repro.sim import Outcome
 
 
 class TestStalenessPolicyAblation:

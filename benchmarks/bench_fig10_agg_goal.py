@@ -6,7 +6,6 @@ Paper claims reproduced here (fixed concurrency, K swept up to C):
   bigger but less frequent steps, and large cohorts waste updates).
 """
 
-import numpy as np
 
 from repro.harness import SMOKE, figure10
 from repro.harness.figures import print_figure10

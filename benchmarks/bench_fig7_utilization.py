@@ -8,7 +8,6 @@ Paper claims reproduced here (both at the same max concurrency):
   variance higher.
 """
 
-import numpy as np
 
 from repro.harness import SMOKE, figure7
 from repro.harness.figures import print_figure7

@@ -7,12 +7,11 @@ Paper claims reproduced here (Async vs Sync at each concurrency):
   (paper: 2× → 8×).
 """
 
-from repro.harness import SMOKE, figure9
 from repro.harness.figures import print_figure9
 
 
-def test_fig9_async_beats_sync_increasingly(once, benchmark):
-    res = once(figure9, scale=SMOKE)
+def test_fig9_async_beats_sync_increasingly(cached_run, benchmark):
+    res = cached_run("fig9")
     print_figure9(res)
 
     rows = [r for r in res.rows if r.speedup is not None]

@@ -8,7 +8,6 @@ performance regressions in the substrate that every experiment runs on.
 """
 
 import numpy as np
-import pytest
 
 from repro.data import CorpusSpec, FederatedDataset, TopicMarkovCorpus
 from repro.nn import LSTMLanguageModel, ModelConfig

@@ -21,7 +21,6 @@ from repro.core import (
 from repro.data import CorpusSpec, FederatedDataset, TopicMarkovCorpus
 from repro.harness import print_table
 from repro.nn import LSTMLanguageModel, ModelConfig
-from repro.utils import child_rng
 
 
 def train_with_dp(noise_multiplier: float, steps: int = 25, goal: int = 8):

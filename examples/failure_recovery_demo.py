@@ -15,7 +15,6 @@ Run:
     python examples/failure_recovery_demo.py
 """
 
-import numpy as np
 
 from repro.core import TaskConfig, TrainingMode
 from repro.harness import print_series, print_table

@@ -19,7 +19,7 @@ both real-gradient and surrogate experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,4 +1,20 @@
-"""Experiment harness: regenerate every figure and table of the paper."""
+"""Experiment harness: regenerate every figure and table of the paper.
+
+Experiments are first-class :class:`~repro.harness.registry.ExperimentSpec`
+entries in a process-wide registry; ``repro.harness.sweep`` fans
+(experiment × seed × operating point) grids out across worker processes
+with a content-addressed on-disk result cache and mean/std/min-max
+multi-seed aggregation.  From the command line::
+
+    python -m repro.harness fig9 --scale default
+    python -m repro.harness sweep fig9 --seeds 0..4 --jobs 8
+    python -m repro.harness sweep all --seeds 0,1,2 --json sweep.json
+
+CI runs the tier-1 test suite, a smoke-scale figure regeneration, and a
+one-cell sweep of this subsystem on every push (see
+``.github/workflows/ci.yml``); the ``--json`` sweep reports are uploaded
+as per-run artifacts so the performance trajectory is tracked per-PR.
+"""
 
 from repro.harness.configs import DEFAULT, PAPER, SMOKE, Scale
 from repro.harness.figures import (
@@ -26,7 +42,24 @@ from repro.harness.figures import (
     table1,
 )
 from repro.harness.ks import KSResult, ks_two_sample
-from repro.harness.report import format_series, format_table, print_series, print_table
+from repro.harness.registry import ExperimentSpec
+from repro.harness.report import (
+    format_aggregate,
+    format_series,
+    format_table,
+    print_aggregate,
+    print_series,
+    print_table,
+)
+from repro.harness.cache import ResultCache, cell_fingerprint
+from repro.harness.sweep import (
+    SweepCell,
+    SweepResult,
+    aggregate_payloads,
+    build_cells,
+    expand_grid,
+    run_sweep,
+)
 from repro.harness.runner import (
     DEFAULT_TARGET_LOSS,
     build_async,
@@ -65,8 +98,19 @@ __all__ = [
     "table1",
     "KSResult",
     "ks_two_sample",
+    "ExperimentSpec",
+    "ResultCache",
+    "cell_fingerprint",
+    "SweepCell",
+    "SweepResult",
+    "aggregate_payloads",
+    "build_cells",
+    "expand_grid",
+    "run_sweep",
+    "format_aggregate",
     "format_series",
     "format_table",
+    "print_aggregate",
     "print_series",
     "print_table",
     "DEFAULT_TARGET_LOSS",

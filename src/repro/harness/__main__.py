@@ -1,70 +1,301 @@
 """Command-line regeneration of the paper's figures and tables.
 
-Usage::
+Single experiments (one seed, rendered immediately)::
 
     python -m repro.harness fig9                 # one experiment, smoke scale
     python -m repro.harness fig9 --scale default # 10x larger operating points
     python -m repro.harness all                  # the whole evaluation section
     python -m repro.harness table1 --seed 3
+
+Multi-seed parallel sweeps (cached, aggregated mean/std/min-max)::
+
+    python -m repro.harness sweep fig9 --seeds 0..4 --jobs 8
+    python -m repro.harness sweep fig9 fig10 --seeds 0,1,2 --scale smoke
+    python -m repro.harness sweep all --seeds 0..2 --json sweep.json
+    python -m repro.harness sweep fig9 --grid target_loss=2.5,2.6 --jobs 4
+
+Sweep cells are cached content-addressed under ``.sweep-cache/`` (or
+``$REPRO_SWEEP_CACHE``), so re-runs and resumes only pay for missing
+cells; aggregated output is identical whatever ``--jobs`` is.  ``--json``
+dumps the machine-readable sweep report CI uploads as an artifact.
+
+Failures in an ``all`` run no longer abort the remaining experiments:
+each failure is reported on stderr and the process exits nonzero.
+
+Experiments are dispatched through the :mod:`repro.harness.registry`;
+``--list`` shows everything registered.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+import traceback
 
-from repro.harness import configs, figures
-
-_EXPERIMENTS = {
-    "fig2": (lambda scale, seed: figures.figure2(seed=seed), figures.print_figure2),
-    "fig3": (lambda scale, seed: figures.figure3(scale=scale, seed=seed), figures.print_figure3),
-    "fig6": (lambda scale, seed: figures.figure6(), figures.print_figure6),
-    "fig7": (lambda scale, seed: figures.figure7(scale=scale, seed=seed), figures.print_figure7),
-    "fig8": (lambda scale, seed: figures.figure8(scale=scale, seed=seed), figures.print_figure8),
-    "fig9": (lambda scale, seed: figures.figure9(scale=scale, seed=seed), figures.print_figure9),
-    "fig10": (lambda scale, seed: figures.figure10(scale=scale, seed=seed), figures.print_figure10),
-    "fig11": (lambda scale, seed: figures.figure11(scale=scale, seed=seed), figures.print_figure11),
-    "fig12": (lambda scale, seed: figures.figure12(scale=scale, seed=seed), figures.print_figure12),
-    "fig13": (lambda scale, seed: figures.figure13(scale=scale, seed=seed), figures.print_figure13),
-    "table1": (lambda scale, seed: figures.table1(update_budget=800, server_lr=0.05, seed=seed),
-               figures.print_table1),
-}
+from repro.harness import configs, registry
+from repro.harness import figures  # noqa: F401  (imports register the experiments)
+from repro.harness.cache import ResultCache
+from repro.harness.report import print_aggregate
+from repro.harness.sweep import SweepError, build_cells, run_sweep
 
 _SCALES = {"smoke": configs.SMOKE, "default": configs.DEFAULT, "paper": configs.PAPER}
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
-    parser = argparse.ArgumentParser(
+def parse_seeds(text: str) -> list[int]:
+    """Parse ``--seeds``: comma-separated ints and/or inclusive ``a..b`` ranges.
+
+    ``"0,1,2"`` → [0, 1, 2]; ``"0..4"`` → [0, 1, 2, 3, 4]; ``"0,2..4"`` →
+    [0, 2, 3, 4].  Duplicates are dropped, order preserved.
+    """
+    seeds: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ".." in part:
+            lo_s, _, hi_s = part.partition("..")
+            lo, hi = int(lo_s), int(hi_s)
+            if hi < lo:
+                raise ValueError(f"empty seed range {part!r}")
+            seeds.extend(range(lo, hi + 1))
+        else:
+            seeds.append(int(part))
+    if not seeds:
+        raise ValueError(f"no seeds in {text!r}")
+    return list(dict.fromkeys(seeds))
+
+
+def parse_grid(entries: list[str]) -> dict[str, list]:
+    """Parse repeated ``--grid key=v1,v2`` flags into a param grid."""
+    grid: dict[str, list] = {}
+    for entry in entries:
+        key, sep, rest = entry.partition("=")
+        if not sep or not key or not rest:
+            raise ValueError(f"--grid expects key=v1,v2,..., got {entry!r}")
+        # Dedup like parse_seeds does: a repeated value would run the same
+        # cell twice and double-weight that point in the aggregate.
+        values = list(dict.fromkeys(_coerce(v) for v in rest.split(",") if v != ""))
+        if not values:
+            # An empty axis would make the cell product empty and the
+            # sweep a silent no-op; fail loudly instead.
+            raise ValueError(f"--grid axis {key!r} has no values: {entry!r}")
+        key = key.strip()
+        if key in grid:
+            # Last-flag-wins would silently shrink the sweep.
+            raise ValueError(f"--grid axis {key!r} given twice")
+        grid[key] = values
+    return grid
+
+
+def _coerce(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _resolve_experiments(names: list[str]) -> list[str]:
+    known = registry.names()
+    for name in names:
+        if name != "all" and name not in known:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from: {', '.join(known + ['all'])}"
+            )
+    if "all" in names:
+        return known
+    return list(dict.fromkeys(names))
+
+
+def _run_main(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    failures = []
+    for name in _resolve_experiments([args.experiment]):
+        spec = registry.get(name)
+        print(f"=== {name} (scale={scale.name}, seed={args.seed}) ===")
+        start = time.perf_counter()
+        try:
+            result = spec.run(scale, args.seed)
+            spec.printer(result)  # a broken renderer is a failure too
+        except Exception:
+            failures.append(name)
+            print(f"ERROR: {name} failed:\n{traceback.format_exc()}", file=sys.stderr)
+            continue
+        print(f"[{name} took {time.perf_counter() - start:.1f}s]\n")
+    if failures:
+        print(f"FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _write_report(path, sweep, scale, seeds, failures=None) -> None:
+    """Dump the machine-readable sweep report (shared by success/failure paths)."""
+    report = sweep.to_jsonable()
+    report["scale"] = scale.name
+    report["seeds"] = seeds
+    if failures is not None:
+        report["failures"] = failures
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+
+
+def _sweep_main(args: argparse.Namespace) -> int:
+    scale = _SCALES[args.scale]
+    try:
+        seeds = parse_seeds(args.seeds)
+        grid = parse_grid(args.grid) if args.grid else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    experiments = _resolve_experiments(args.experiments)
+    if grid and len(experiments) > 1:
+        # Grid keys are runner keywords, and runners differ per experiment;
+        # applying one grid to all of them would TypeError mid-sweep.
+        print("error: --grid requires exactly one experiment", file=sys.stderr)
+        return 2
+    cells = build_cells(experiments, scale, seeds, grid=grid)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    print(
+        f"=== sweep {' '.join(experiments)} (scale={scale.name}, "
+        f"seeds={seeds}, cells={len(cells)}, jobs={args.jobs}) ==="
+    )
+
+    try:
+        sweep = run_sweep(cells, jobs=args.jobs, cache=cache,
+                          use_cache=not args.no_cache, progress=print)
+    except SweepError as err:
+        print(f"ERROR: {err}", file=sys.stderr)
+        for tb in err.tracebacks:
+            print(tb, file=sys.stderr)
+        # The sibling cells that succeeded are still worth a report.
+        if args.json and err.result is not None:
+            _write_report(args.json, err.result, scale, seeds,
+                          failures=[cell.label() for cell, _ in err.failures])
+            print(f"[wrote partial sweep report to {args.json}]", file=sys.stderr)
+        return 1
+    except Exception:
+        print(f"ERROR: sweep failed:\n{traceback.format_exc()}", file=sys.stderr)
+        return 1
+
+    print(f"[swept {len(cells)} cells in {sweep.duration_s:.1f}s: "
+          f"{sweep.hits} cached, {sweep.misses} ran]\n")
+
+    # Write the machine-readable report before rendering: a broken
+    # renderer must not cost CI its artifact — the results are computed.
+    if args.json:
+        _write_report(args.json, sweep, scale, seeds)
+        print(f"[wrote sweep report to {args.json}]")
+
+    render_failures = []
+    for group in sweep.groups():
+        try:
+            if len(group.cells) == 1:
+                spec = registry.get(group.experiment)
+                print(f"--- {group.describe()} ---")
+                spec.printer(group.cells[0].result())
+            else:
+                print_aggregate(
+                    group.aggregate,
+                    title=f"--- {group.describe()} (mean/std/min/max over "
+                          f"{len(group.cells)} seeds) ---",
+                )
+        except Exception:
+            render_failures.append(group.experiment)
+            print(f"ERROR: rendering {group.describe()} failed:\n"
+                  f"{traceback.format_exc()}", file=sys.stderr)
+
+    if render_failures:
+        print(f"FAILED rendering: {', '.join(render_failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _build_parsers() -> tuple[argparse.ArgumentParser, argparse.ArgumentParser]:
+    run_parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate figures/tables of the PAPAYA paper.",
+        epilog=(
+            "Other forms: 'python -m repro.harness sweep ... ' runs "
+            "multi-seed parallel sweeps (see 'sweep --help'); "
+            "'python -m repro.harness --list' shows every registered "
+            "experiment."
+        ),
     )
-    parser.add_argument(
+    run_parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"],
+        nargs="?",
+        choices=registry.names() + ["all"],
         help="which figure/table to regenerate",
     )
-    parser.add_argument(
+    run_parser.add_argument(
+        "--list", action="store_true",
+        help="list every registered experiment and exit",
+    )
+    run_parser.add_argument(
         "--scale",
         choices=sorted(_SCALES),
         default="smoke",
         help="operating-point scale (paper values are divided down; "
         "shapes are scale-free)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
-    args = parser.parse_args(argv)
+    run_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
 
-    scale = _SCALES[args.scale]
-    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        run, show = _EXPERIMENTS[name]
-        print(f"=== {name} (scale={scale.name}, seed={args.seed}) ===")
-        start = time.perf_counter()
-        result = run(scale, args.seed)
-        show(result)
-        print(f"[{name} took {time.perf_counter() - start:.1f}s]\n")
-    return 0
+    sweep_parser = argparse.ArgumentParser(
+        prog="python -m repro.harness sweep",
+        description="Multi-seed parallel sweep with caching and aggregation.",
+    )
+    sweep_parser.add_argument(
+        "experiments", nargs="+", metavar="experiment",
+        help=f"experiments to sweep ({', '.join(registry.names() + ['all'])})",
+    )
+    sweep_parser.add_argument(
+        "--scale", choices=sorted(_SCALES), default="smoke",
+        help="operating-point scale for every cell",
+    )
+    sweep_parser.add_argument(
+        "--seeds", default="0",
+        help="comma list and/or inclusive ranges, e.g. 0,1,2 or 0..4",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for cache misses (1 = in-process)",
+    )
+    sweep_parser.add_argument(
+        "--grid", action="append", default=[], metavar="KEY=V1,V2",
+        help="parameter grid axis (repeatable); overrides the spec default",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default .sweep-cache or $REPRO_SWEEP_CACHE)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true", help="neither read nor write the cache"
+    )
+    sweep_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable sweep report here",
+    )
+    return run_parser, sweep_parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    run_parser, sweep_parser = _build_parsers()
+    if argv[:1] == ["sweep"]:
+        return _sweep_main(sweep_parser.parse_args(argv[1:]))
+    args = run_parser.parse_args(argv)
+    if args.list:
+        for spec in registry.specs():
+            print(f"{spec.name:8s} {spec.description}")
+        return 0
+    if args.experiment is None:
+        run_parser.error("an experiment name (or 'all', or --list) is required")
+    return _run_main(args)
 
 
 if __name__ == "__main__":

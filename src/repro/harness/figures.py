@@ -26,7 +26,7 @@ Index (paper → function):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.core.surrogate import SurrogateParams
 from repro.core.types import TaskConfig, TrainingMode
 from repro.data.federated import FederatedDataset
 from repro.data.synthetic_text import CorpusSpec, TopicMarkovCorpus
+from repro.harness import registry
 from repro.harness.configs import DEFAULT, OVER_SELECTION, Scale, MODEL_BYTES_20MB
 from repro.harness.ks import KSResult, ks_two_sample
 from repro.harness.report import print_series, print_table
@@ -841,3 +842,103 @@ def print_table1(res: Table1Result) -> None:
         ],
         title="Table 1 — test perplexity by data-volume percentile",
     )
+
+
+# ---------------------------------------------------------------------------
+# Registry wiring — every figure/table becomes a first-class experiment
+# ---------------------------------------------------------------------------
+#
+# The runners below are module-level so sweep worker processes can pickle
+# and re-import them; each normalizes the registry calling convention
+# ``runner(scale, seed, **params)`` onto the figure function's signature.
+
+def _run_fig2(scale: Scale, seed: int, **params) -> Fig2Result:
+    return figure2(seed=seed, **params)
+
+
+def _run_fig3(scale: Scale, seed: int, **params) -> Fig3Result:
+    return figure3(scale=scale, seed=seed, **params)
+
+
+def _run_fig6(scale: Scale, seed: int, **params) -> Fig6Result:
+    return figure6(**params)
+
+
+def _run_fig7(scale: Scale, seed: int, **params) -> Fig7Result:
+    return figure7(scale=scale, seed=seed, **params)
+
+
+def _run_fig8(scale: Scale, seed: int, **params) -> Fig8Result:
+    return figure8(scale=scale, seed=seed, **params)
+
+
+def _run_fig9(scale: Scale, seed: int, **params) -> Fig9Result:
+    return figure9(scale=scale, seed=seed, **params)
+
+
+def _run_fig10(scale: Scale, seed: int, **params) -> Fig10Result:
+    return figure10(scale=scale, seed=seed, **params)
+
+
+def _run_fig11(scale: Scale, seed: int, **params) -> Fig11Result:
+    return figure11(scale=scale, seed=seed, **params)
+
+
+def _run_fig12(scale: Scale, seed: int, **params) -> Fig12Result:
+    return figure12(scale=scale, seed=seed, **params)
+
+
+def _run_fig13(scale: Scale, seed: int, **params) -> Fig13Result:
+    return figure13(scale=scale, seed=seed, **params)
+
+
+def _run_table1(scale: Scale, seed: int, **params) -> Table1Result:
+    params.setdefault("update_budget", 800)
+    params.setdefault("server_lr", 0.05)
+    return table1(seed=seed, **params)
+
+
+def _register_all() -> None:
+    specs = [
+        registry.ExperimentSpec(
+            "fig2", _run_fig2, print_figure2, Fig2Result,
+            description="client execution-time distribution vs round duration",
+            uses_scale=False),
+        registry.ExperimentSpec(
+            "fig3", _run_fig3, print_figure3, Fig3Result,
+            description="SyncFL time-to-target & comm trips vs concurrency"),
+        registry.ExperimentSpec(
+            "fig6", _run_fig6, print_figure6, Fig6Result,
+            description="host-TEE transfer time vs aggregation goal",
+            uses_seed=False, uses_scale=False),
+        registry.ExperimentSpec(
+            "fig7", _run_fig7, print_figure7, Fig7Result,
+            description="active clients over time, Sync vs Async"),
+        registry.ExperimentSpec(
+            "fig8", _run_fig8, print_figure8, Fig8Result,
+            description="server model updates per hour vs concurrency"),
+        registry.ExperimentSpec(
+            "fig9", _run_fig9, print_figure9, Fig9Result,
+            description="time-to-target, speedup, comm trips vs concurrency"),
+        registry.ExperimentSpec(
+            "fig10", _run_fig10, print_figure10, Fig10Result,
+            description="time-to-target & update rate vs aggregation goal K"),
+        registry.ExperimentSpec(
+            "fig11", _run_fig11, print_figure11, Fig11Result,
+            description="participant distributions ± over-selection, KS tests"),
+        registry.ExperimentSpec(
+            "fig12", _run_fig12, print_figure12, Fig12Result,
+            description="training curves for the four configurations"),
+        registry.ExperimentSpec(
+            "fig13", _run_fig13, print_figure13, Fig13Result,
+            description="hours-to-target for the four configurations"),
+        registry.ExperimentSpec(
+            "table1", _run_table1, print_table1, Table1Result,
+            description="test perplexity by data-volume percentile",
+            uses_scale=False),
+    ]
+    for spec in specs:
+        registry.register(spec, replace=True)
+
+
+_register_all()

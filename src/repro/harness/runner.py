@@ -5,7 +5,6 @@ from __future__ import annotations
 from repro.core.surrogate import SurrogateParams
 from repro.core.types import TaskConfig, TrainingMode
 from repro.harness.configs import CLIENT_TIMEOUT_S, OVER_SELECTION
-from repro.sim.network import NetworkModel
 from repro.sim.population import DevicePopulation, PopulationConfig
 from repro.system.adapters import SurrogateAdapter
 from repro.system.orchestrator import FederatedSimulation, RunResult, SystemConfig

@@ -1,0 +1,460 @@
+"""Parallel experiment-sweep executor with multi-seed aggregation.
+
+A sweep fans a grid of cells — (experiment × seed × operating point) —
+out across worker processes, caches every cell result as content-addressed
+JSON (see :mod:`repro.harness.cache`), and folds the per-seed results into
+mean / stddev / min-max aggregates that the text renderers and CI
+artifacts consume.
+
+Typical use::
+
+    from repro.harness import SMOKE
+    from repro.harness.sweep import build_cells, run_sweep
+
+    cells = build_cells(["fig9"], SMOKE, seeds=[0, 1, 2])
+    sweep = run_sweep(cells, jobs=4)
+    for group in sweep.groups():
+        print(group.describe())
+
+Determinism: each cell is seeded independently, so the aggregated output
+of a sweep is identical whatever ``jobs`` is, and re-runs are free once
+the cache is warm.  The CLI front-end lives in ``repro.harness.__main__``
+(``python -m repro.harness sweep fig9 --seeds 0..4 --jobs 8``).
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib
+import itertools
+import math
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.harness import registry
+from repro.harness.cache import CACHE_VERSION, ResultCache, cell_fingerprint
+from repro.harness.configs import Scale
+
+__all__ = [
+    "SweepCell",
+    "CellResult",
+    "SweepGroup",
+    "SweepResult",
+    "SweepError",
+    "cell_payload",
+    "expand_grid",
+    "build_cells",
+    "run_sweep",
+    "aggregate_payloads",
+]
+
+
+# ---------------------------------------------------------------------------
+# Cells
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: an experiment at one (scale, seed, params).
+
+    ``runner_module`` records where the experiment's runner is defined so
+    worker processes on spawn-start platforms (macOS/Windows) can import
+    it — importing the defining module re-runs its ``registry.register``
+    side effect, which fork-start workers get for free by inheritance.
+    It does not participate in the cache fingerprint.
+    """
+
+    experiment: str
+    scale: Scale
+    seed: int
+    params: tuple[tuple[str, Any], ...] = ()
+    runner_module: str | None = None
+
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def fingerprint(self) -> str:
+        return cell_fingerprint(self.experiment, self.scale, self.seed, self.params_dict)
+
+    def label(self) -> str:
+        extra = "".join(f" {k}={v}" for k, v in self.params)
+        return f"{self.experiment} scale={self.scale.name} seed={self.seed}{extra}"
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]] | None) -> list[dict[str, Any]]:
+    """Cartesian product of a param grid; ``{}``/``None`` yields one empty point."""
+    if not grid:
+        return [{}]
+    keys = sorted(grid)
+    return [dict(zip(keys, combo)) for combo in itertools.product(*(grid[k] for k in keys))]
+
+
+def build_cells(
+    experiments: Iterable[str],
+    scale: Scale,
+    seeds: Sequence[int],
+    grid: Mapping[str, Sequence[Any]] | None = None,
+) -> list[SweepCell]:
+    """The full cell list for a sweep.
+
+    ``grid`` overrides each spec's ``default_grid``; cells are ordered
+    (experiment, operating point, seed) so serial runs group naturally.
+    """
+    cells = []
+    for name in experiments:
+        spec = registry.get(name)  # raises KeyError for unknown names up-front
+        points = expand_grid(grid if grid is not None else spec.default_grid)
+        # A seed-invariant experiment gets exactly one cell per point.
+        seed_axis = list(seeds) if spec.uses_seed else list(seeds)[:1]
+        for params in points:
+            for seed in seed_axis:
+                cells.append(
+                    SweepCell(
+                        experiment=name,
+                        scale=scale,
+                        seed=int(seed),
+                        params=tuple(sorted(params.items())),
+                        runner_module=getattr(spec.runner, "__module__", None),
+                    )
+                )
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+class SweepError(RuntimeError):
+    """One or more sweep cells failed (successful cells were still cached).
+
+    ``result`` holds the partial :class:`SweepResult` over the cells that
+    did complete, so callers (the CLI's ``--json`` path, CI) can still
+    report the work that succeeded.
+    """
+
+    def __init__(
+        self,
+        failures: list[tuple["SweepCell", Exception]],
+        result: "SweepResult | None" = None,
+    ):
+        self.failures = failures
+        self.result = result
+        # Full tracebacks (including the worker-side remote traceback,
+        # which ProcessPoolExecutor chains via __cause__) for diagnosis;
+        # the message itself stays a short summary.
+        self.tracebacks = [
+            "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+            for _, exc in failures
+        ]
+        lines = [f"{len(failures)} sweep cell(s) failed:"]
+        lines += [f"  {cell.label()}: {exc!r}" for cell, exc in failures]
+        super().__init__("\n".join(lines))
+
+
+def cell_payload(cell: SweepCell, result: Any, elapsed_s: float) -> dict:
+    """The canonical cached-payload document for one finished cell.
+
+    Every cache writer (sweep workers, the benchmark ``cached_run``
+    fixture) must build payloads through this function so the schema
+    cannot drift between them.
+    """
+    return {
+        "version": CACHE_VERSION,
+        "experiment": cell.experiment,
+        "scale": cell.scale.name,
+        "seed": cell.seed,
+        "params": cell.params_dict,
+        "elapsed_s": elapsed_s,
+        "result": registry.get(cell.experiment).serialize(result),
+    }
+
+
+def _execute_cell(cell: SweepCell) -> dict:
+    """Run one cell and return its JSON payload (runs in worker processes)."""
+    if cell.runner_module and cell.experiment not in registry.names():
+        # Spawn-start workers only have the registrations that package
+        # imports perform; importing the runner's defining module re-runs
+        # its register() side effect.
+        importlib.import_module(cell.runner_module)
+    spec = registry.get(cell.experiment)
+    start = time.perf_counter()
+    result = spec.run(cell.scale, cell.seed, **cell.params_dict)
+    return cell_payload(cell, result, time.perf_counter() - start)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One finished cell: its JSON payload plus provenance."""
+
+    cell: SweepCell
+    payload: dict
+    cached: bool
+
+    @property
+    def elapsed_s(self) -> float:
+        return float(self.payload.get("elapsed_s", 0.0))
+
+    def result(self) -> Any:
+        """The reconstructed result object (for ``print_*`` renderers)."""
+        return registry.get(self.cell.experiment).deserialize(self.payload["result"])
+
+
+@dataclass(frozen=True)
+class SweepGroup:
+    """All seeds of one (experiment × operating point), plus their aggregate."""
+
+    experiment: str
+    scale: Scale
+    params: tuple[tuple[str, Any], ...]
+    cells: list[CellResult]
+
+    @property
+    def seeds(self) -> list[int]:
+        return [c.cell.seed for c in self.cells]
+
+    @functools.cached_property
+    def aggregate(self) -> Any:
+        """Mean/std/min/max over seeds of every numeric field of the result."""
+        return aggregate_payloads([c.payload["result"] for c in self.cells])
+
+    def describe(self) -> str:
+        extra = "".join(f" {k}={v}" for k, v in self.params)
+        return (
+            f"{self.experiment} scale={self.scale.name}{extra} "
+            f"seeds={self.seeds}"
+        )
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced."""
+
+    cells: list[CellResult]
+    jobs: int
+    duration_s: float
+    hits: int = 0
+    misses: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @functools.cached_property
+    def _groups(self) -> list[SweepGroup]:
+        keyed: dict[tuple, list[CellResult]] = {}
+        order: list[tuple] = []
+        for c in self.cells:
+            key = (c.cell.experiment, c.cell.scale, c.cell.params)
+            if key not in keyed:
+                keyed[key] = []
+                order.append(key)
+            keyed[key].append(c)
+        return [
+            SweepGroup(experiment=k[0], scale=k[1], params=k[2], cells=keyed[k])
+            for k in order
+        ]
+
+    def groups(self) -> list[SweepGroup]:
+        """Cells grouped by (experiment, params), seeds aggregated together.
+
+        Memoized so renderers and :meth:`to_jsonable` share group
+        instances (and therefore each group's cached aggregate).
+        """
+        return self._groups
+
+    def to_jsonable(self) -> dict:
+        """Machine-readable sweep report (dumped by ``--json`` and CI)."""
+        return {
+            "jobs": self.jobs,
+            "duration_s": self.duration_s,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cells": [
+                {**c.payload, "cached": c.cached, "fingerprint": c.cell.fingerprint}
+                for c in self.cells
+            ],
+            "aggregates": [
+                {
+                    "experiment": g.experiment,
+                    "scale": g.scale.name,
+                    "params": dict(g.params),
+                    "seeds": g.seeds,
+                    "aggregate": g.aggregate,
+                }
+                for g in self.groups()
+            ],
+        }
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    use_cache: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Execute a sweep, fanning cache misses out over ``jobs`` processes.
+
+    With ``jobs <= 1`` everything runs in-process (easier to debug, and
+    what the determinism tests compare the parallel path against).  Cell
+    order in the returned result matches the input order regardless of
+    completion order.
+
+    A failing cell does not abandon its siblings: every other cell still
+    runs and is cached, then a :class:`SweepError` naming the failed
+    cells is raised — so a resume after fixing the bug only pays for the
+    cells that actually failed.
+    """
+    say = progress or (lambda _msg: None)
+    cache = cache if cache is not None else (ResultCache() if use_cache else None)
+    start = time.perf_counter()
+
+    results: dict[int, CellResult] = {}
+    pending: list[int] = []
+    hits = 0
+    for i, cell in enumerate(cells):
+        payload = cache.load(cell.fingerprint) if cache is not None else None
+        if payload is not None:
+            results[i] = CellResult(cell=cell, payload=payload, cached=True)
+            hits += 1
+            say(f"[cache hit ] {cell.label()}")
+        else:
+            pending.append(i)
+
+    def finish(i: int, payload: dict) -> None:
+        cell = cells[i]
+        if cache is not None:
+            try:
+                cache.store(cell.fingerprint, payload)
+            except OSError as exc:
+                # A cache-write problem must not discard a computed result
+                # or masquerade as an experiment failure.
+                say(f"[cache-store failed] {cell.label()}: {exc!r}")
+        results[i] = CellResult(cell=cell, payload=payload, cached=False)
+        say(f"[ran {payload['elapsed_s']:6.1f}s] {cell.label()}")
+
+    failures: list[tuple[SweepCell, Exception]] = []
+    if pending and jobs > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(_execute_cell, cells[i]): i for i in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i = futures[fut]
+                    try:
+                        finish(i, fut.result())
+                    except Exception as exc:
+                        failures.append((cells[i], exc))
+                        say(f"[FAILED    ] {cells[i].label()}: {exc!r}")
+    else:
+        for i in pending:
+            try:
+                finish(i, _execute_cell(cells[i]))
+            except Exception as exc:
+                failures.append((cells[i], exc))
+                say(f"[FAILED    ] {cells[i].label()}: {exc!r}")
+
+    if failures:
+        partial = SweepResult(
+            cells=[results[i] for i in sorted(results)],
+            jobs=jobs,
+            duration_s=time.perf_counter() - start,
+            hits=hits,
+            # Failed cells produced no result; count only completed runs.
+            misses=len(results) - hits,
+        )
+        raise SweepError(failures, result=partial)
+
+    return SweepResult(
+        cells=[results[i] for i in range(len(cells))],
+        jobs=jobs,
+        duration_s=time.perf_counter() - start,
+        hits=hits,
+        misses=len(pending),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-seed aggregation
+# ---------------------------------------------------------------------------
+
+def _is_number(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _scalar_stat(values: list) -> dict:
+    """Mean/std/min/max over seeds, ``None`` entries counted as missing."""
+    present = [float(v) for v in values if _is_number(v)]
+    n = len(present)
+    if n == 0:
+        return {"kind": "scalar", "mean": None, "std": None, "min": None,
+                "max": None, "n": 0, "n_missing": len(values)}
+    mean = sum(present) / n
+    var = sum((v - mean) ** 2 for v in present) / n
+    return {
+        "kind": "scalar",
+        "mean": mean,
+        "std": math.sqrt(var),
+        "min": min(present),
+        "max": max(present),
+        "n": n,
+        "n_missing": len(values) - n,
+    }
+
+
+def aggregate_payloads(payloads: Sequence[Any]) -> Any:
+    """Fold structurally-identical JSON results from several seeds into one.
+
+    Numeric leaves become ``{"kind": "scalar", mean, std, min, max, n}``;
+    equal-length numeric lists become elementwise band series
+    ``{"kind": "series", mean, std, min, max}``; ragged numeric lists are
+    summarized by their length and per-seed mean.  Containers recurse;
+    non-numeric leaves keep the first seed's value.
+    """
+    if not payloads:
+        return None
+    first = payloads[0]
+
+    if all(v is None or _is_number(v) for v in payloads):
+        return _scalar_stat(list(payloads))
+
+    if isinstance(first, dict):
+        return {k: aggregate_payloads([p[k] for p in payloads]) for k in first}
+
+    if isinstance(first, list):
+        numeric = all(
+            isinstance(p, list) and all(v is None or _is_number(v) for v in p)
+            for p in payloads
+        )
+        if numeric:
+            lengths = {len(p) for p in payloads}
+            if lengths == {len(first)} and first:
+                cols = [_scalar_stat([p[j] for p in payloads]) for j in range(len(first))]
+                return {
+                    "kind": "series",
+                    "length": len(first),
+                    "mean": [c["mean"] for c in cols],
+                    "std": [c["std"] for c in cols],
+                    "min": [c["min"] for c in cols],
+                    "max": [c["max"] for c in cols],
+                }
+            per_seed_mean = []
+            for p in payloads:
+                nums = [v for v in p if _is_number(v)]
+                # A seed with no numeric entries is missing, not 0.0.
+                per_seed_mean.append(sum(nums) / len(nums) if nums else None)
+            return {
+                "kind": "ragged",
+                "length": _scalar_stat([len(p) for p in payloads]),
+                "per_seed_mean": _scalar_stat(per_seed_mean),
+            }
+        if all(isinstance(p, list) and len(p) == len(first) for p in payloads):
+            return [
+                aggregate_payloads([p[j] for p in payloads]) for j in range(len(first))
+            ]
+        return {"kind": "ragged", "length": _scalar_stat([len(p) for p in payloads])}
+
+    return {"kind": "const", "value": first}

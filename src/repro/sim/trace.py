@@ -10,7 +10,7 @@ analysis (Figure 11, Table 1) is computed.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

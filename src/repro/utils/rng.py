@@ -14,8 +14,6 @@ regardless of call order.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable
-
 import numpy as np
 
 __all__ = ["make_rng", "child_rng", "stable_hash64", "spawn_rngs"]

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.data import (
     BOS_ID,
-    ClientDataset,
     CorpusSpec,
     FederatedDataset,
     TopicMarkovCorpus,

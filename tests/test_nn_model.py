@@ -274,7 +274,7 @@ class TestOptimizers:
 
     def test_sgd_reset_clears_velocity(self):
         opt = SGD(lr=1.0, momentum=0.9)
-        p = opt.step(np.zeros(1, np.float32), np.ones(1, np.float32))
+        opt.step(np.zeros(1, np.float32), np.ones(1, np.float32))
         opt.reset()
         p2 = opt.step(np.zeros(1, np.float32), np.ones(1, np.float32))
         assert p2[0] == pytest.approx(-1.0)

@@ -1,9 +1,8 @@
 """Unit tests for Coordinator, Selector, and AggregatorNode in isolation."""
 
-import numpy as np
 import pytest
 
-from repro.core import FedSGD, GlobalModelState, TaskConfig, TrainingMode
+from repro.core import TaskConfig, TrainingMode
 from repro.sim import MetricsTrace, Simulator
 from repro.system import SurrogateAdapter
 from repro.system.aggregator import AggregatorNode, FLTaskRuntime
@@ -185,7 +184,6 @@ class TestOverloadRebalancing:
         b = make_runtime(sim, log, "b", concurrency=2)
         coord.register_task(a)
         host = a.node
-        b_host = nodes[1 - host.node_id]
         coord.register_task(b)
         if b.node is not host:
             b.node.drop_task("b")
