@@ -1,0 +1,50 @@
+"""Cohort execution engine benchmark: batched vs scalar local training.
+
+Regenerates the ``cohort`` experiment (see ``repro/harness/perf.py``)
+through the registry/cache layer, asserts the engine's two contractual
+properties — differential equivalence within 1e-8 at every cohort size,
+and a multiple-x wall-clock speedup once cohorts reach simulation-
+relevant sizes (K >= 16) — and records the full operating curve in the
+JSON report CI uploads.
+
+The speedup floors asserted here are deliberately below the locally
+measured values (~3x at K in the 32-64 range on the fig9 real-training
+workload): shared CI runners are noisy, and the benchmark must fail only
+on real regressions, not scheduling jitter.  The measured numbers land in
+``extra_info`` so the artifact tracks the true trajectory per run.
+"""
+
+from repro.harness import registry
+from repro.harness import perf  # noqa: F401  (registers the cohort experiment)
+
+
+class TestCohortEngine:
+    def test_cohort_speedup_and_equivalence(self, cached_run, benchmark):
+        res = cached_run("cohort")
+        by_k = {p.cohort_size: p for p in res.points}
+
+        for point in res.points:
+            # The differential guarantee: every cohort size, bit-equal in
+            # practice, and never beyond the 1e-8 contract.
+            assert point.equivalent, (
+                f"K={point.cohort_size}: batched/scalar divergence "
+                f"{point.max_delta_diff:.2e} exceeds 1e-8"
+            )
+            benchmark.extra_info[f"speedup_k{point.cohort_size}"] = round(
+                point.speedup, 3
+            )
+            benchmark.extra_info[f"scalar_ms_k{point.cohort_size}"] = round(
+                point.scalar_s * 1e3, 2
+            )
+            benchmark.extra_info[f"batched_ms_k{point.cohort_size}"] = round(
+                point.batched_s * 1e3, 2
+            )
+
+        # Simulation-relevant cohorts must be decisively faster than the
+        # scalar path (locally ~2.5x at K=16 rising to ~3x+ by K=32-64).
+        assert by_k[16].speedup >= 1.5
+        assert by_k[32].speedup >= 2.0
+        assert by_k[64].speedup >= 2.0
+        best = max(p.speedup for p in res.points if p.cohort_size >= 16)
+        benchmark.extra_info["best_speedup_k16plus"] = round(best, 3)
+        assert best >= 2.25

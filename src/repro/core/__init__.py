@@ -7,6 +7,7 @@ discrete-event system layer in :mod:`repro.system`.
 """
 
 from repro.core.client_trainer import LocalTrainer
+from repro.core.cohort import CohortRequest, CohortTrainer
 from repro.core.dp import (
     DPConfig,
     DPFedBuffAggregator,
@@ -28,6 +29,8 @@ from repro.core.types import ModelUpdate, TaskConfig, TrainingMode, TrainingResu
 
 __all__ = [
     "LocalTrainer",
+    "CohortRequest",
+    "CohortTrainer",
     "DPConfig",
     "DPFedBuffAggregator",
     "ZCDPAccountant",

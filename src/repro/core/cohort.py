@@ -1,0 +1,255 @@
+"""Batched cohort execution engine for client-side local training.
+
+:class:`CohortTrainer` is the vectorized counterpart of
+:class:`repro.core.client_trainer.LocalTrainer`: it stacks K clients'
+parameter vectors and mini-batches along a leading cohort axis and runs
+the whole cohort's local SGD through one set of batched LSTM kernels
+(:mod:`repro.nn.layers`) per step, instead of K scalar Python loops.
+
+Equivalence guarantee
+---------------------
+For every client, the delta, per-batch losses, and reported
+``train_loss`` are **bit-identical** to what ``LocalTrainer.train`` would
+produce for the same ``(initial_model, dataset, initial_version,
+participation)``: the same shuffling stream, the same batch sequence, the
+same float32 kernels (batched contractions execute the identical per-slice
+GEMMs), and the same per-client clipped-SGD arithmetic.  The differential
+suite in ``tests/test_batched_equivalence.py`` checks this across
+randomized cohorts; it is what lets the system layer swap the engines
+freely without touching any experimental result.
+
+Clients in one cohort are fully independent — they may carry different
+initial models (e.g. different download versions under FedBuff), dataset
+sizes, and participation counters.  Ragged mini-batches (realistic
+populations give most clients a single partial batch, each a different
+size) are handled by exact row padding: every still-training client's
+current batch is zero-padded to the step's max row count and the padded
+positions are masked out of the loss and the weight-gradient contractions
+(see :mod:`repro.nn.layers`), so one batched call advances the whole
+cohort regardless of shape mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.types import TrainingResult
+from repro.data.federated import ClientDataset
+from repro.nn.model import BatchedLSTMLanguageModel, ModelConfig
+from repro.nn.optim import CohortSGD
+from repro.utils.rng import child_rng
+
+__all__ = ["CohortRequest", "CohortTrainer"]
+
+
+@dataclass(frozen=True)
+class CohortRequest:
+    """One client's deferred training request, as the dispatch layer sees it.
+
+    ``initial_model`` is the flat float32 vector the client downloaded;
+    requests within a cohort need not share it (async clients hold
+    different model versions).
+    """
+
+    initial_model: np.ndarray
+    dataset: ClientDataset
+    initial_version: int
+    participation: int = 0
+
+
+@dataclass
+class _ClientRun:
+    """Mutable per-client state while the cohort trains in lockstep."""
+
+    request: CohortRequest
+    batches: list[tuple[np.ndarray, np.ndarray]]
+    losses: list[float] = field(default_factory=list)
+
+
+class CohortTrainer:
+    """Executes local training for whole cohorts of clients at once.
+
+    Constructor arguments mirror :class:`~repro.core.client_trainer.
+    LocalTrainer` exactly — the two are interchangeable backends for "run
+    this client's local SGD", one scalar, one batched.
+
+    Parameters
+    ----------
+    model_config:
+        Architecture of the global model (all clients share it).
+    lr, batch_size, epochs, clip_norm, seed:
+        Local-training hyperparameters, identical in meaning (and in
+        resulting arithmetic) to ``LocalTrainer``'s.
+    """
+
+    def __init__(
+        self,
+        model_config: ModelConfig,
+        lr: float = 0.5,
+        batch_size: int = 32,
+        epochs: int = 1,
+        clip_norm: float | None = 5.0,
+        seed: int = 0,
+    ):
+        if batch_size < 1 or epochs < 1:
+            raise ValueError("batch_size and epochs must be at least 1")
+        self.model_config = model_config
+        self.lr = lr
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.clip_norm = clip_norm
+        self.seed = seed
+        # Stateless across steps (no momentum in the client protocol), so
+        # one optimizer serves every shape group.
+        self._opt = CohortSGD(lr=lr, clip_norm=clip_norm)
+        # Batched model workspaces keyed by cohort-slot count: shape
+        # groups recur constantly (full batches dominate), so the K param
+        # stacks are allocated once per distinct group size.
+        self._models: dict[int, BatchedLSTMLanguageModel] = {}
+
+    @property
+    def num_params(self) -> int:
+        """Scalar parameter count of the shared architecture."""
+        return self._model_for(1).num_params
+
+    def _model_for(self, cohort_size: int) -> BatchedLSTMLanguageModel:
+        model = self._models.get(cohort_size)
+        if model is None:
+            model = BatchedLSTMLanguageModel(self.model_config, cohort_size)
+            self._models[cohort_size] = model
+        return model
+
+    # -- the batched engine -------------------------------------------------
+
+    def train_cohort(self, requests: list[CohortRequest]) -> list[TrainingResult]:
+        """Train every client in ``requests``; results align with the input.
+
+        Each client follows exactly the ``LocalTrainer`` protocol: its own
+        shuffling stream (salted by client id and participation), one SGD
+        step per mini-batch for ``epochs`` local epochs, delta =
+        trained − initial.
+        """
+        if not requests:
+            return []
+        runs: list[_ClientRun] = []
+        for req in requests:
+            rng = child_rng(
+                self.seed, "local-shuffle", req.dataset.client_id, req.participation
+            )
+            batches: list[tuple[np.ndarray, np.ndarray]] = []
+            for _ in range(self.epochs):
+                batches.extend(req.dataset.train_batches(self.batch_size, rng))
+            runs.append(_ClientRun(request=req, batches=batches))
+
+        # Current parameter vector of every client, one row each.
+        vecs = np.stack(
+            [r.request.initial_model.astype(np.float32, copy=True) for r in runs]
+        )
+
+        # Advance every client through its own batch queue, one round at a
+        # time.  Clients are independent, so only each client's own batch
+        # order matters — which lets a round group clients by the shape of
+        # their *next* batch: same-shape groups run on the fully dense
+        # kernels (full-size mini-batches cluster naturally), and the
+        # shape-unique tails share one padded ragged call instead of K
+        # scalar-sized ones.
+        pos = [0] * len(runs)
+        while True:
+            by_shape: dict[tuple[int, ...], list[int]] = {}
+            for idx, run in enumerate(runs):
+                if pos[idx] < len(run.batches):
+                    by_shape.setdefault(run.batches[pos[idx]][0].shape, []).append(idx)
+            if not by_shape:
+                break
+            all_members = [idx for members in by_shape.values() for idx in members]
+            if len(by_shape) == 1 or self._merge_ragged(all_members, by_shape):
+                # One call for everyone: either uniform (dense kernels) or
+                # small enough that a single padded ragged call beats the
+                # per-group fixed costs.
+                self._step_group(runs, vecs, sorted(all_members), pos)
+            else:
+                ragged: list[int] = []
+                for members in by_shape.values():
+                    if len(members) > 1:
+                        self._step_group(runs, vecs, members, pos)
+                    else:
+                        ragged.extend(members)
+                if ragged:
+                    self._step_group(runs, vecs, ragged, pos)
+            for idx in all_members:
+                pos[idx] += 1
+
+        results = []
+        for idx, run in enumerate(runs):
+            req = run.request
+            delta = (vecs[idx] - req.initial_model).astype(np.float32)
+            results.append(
+                TrainingResult(
+                    client_id=req.dataset.client_id,
+                    delta=delta,
+                    num_examples=req.dataset.num_train_examples,
+                    train_loss=(
+                        float(np.mean(run.losses)) if run.losses else float("nan")
+                    ),
+                    initial_version=req.initial_version,
+                )
+            )
+        return results
+
+    # Below this many LSTM-gate elements per step, kernel-call overhead —
+    # not array math — dominates, and one merged padded call is cheaper
+    # than splitting into dense shape groups.  Purely a performance
+    # heuristic: both strategies produce bit-identical results.
+    _MERGE_GATE_ELEMS = 1 << 19
+
+    def _merge_ragged(
+        self, members: list[int], by_shape: dict[tuple[int, ...], list[int]]
+    ) -> bool:
+        """Whether this round's clients should share one padded ragged call.
+
+        Merging only pays when the work is overhead-bound AND no single
+        shape dominates — a dominant same-shape group is faster on the
+        dense path, with just the leftovers sharing a ragged call.
+        """
+        dominant = max(len(group) for group in by_shape.values())
+        if 2 * dominant >= len(members) and dominant > 1:
+            return False
+        b_max = max(shape[0] for shape in by_shape)
+        seq_len = next(iter(by_shape))[1]
+        gate_elems = len(members) * b_max * seq_len * 4 * self.model_config.hidden_dim
+        return gate_elems <= self._MERGE_GATE_ELEMS
+
+    def _step_group(
+        self,
+        runs: list[_ClientRun],
+        vecs: np.ndarray,
+        members: list[int],
+        pos: list[int],
+    ) -> None:
+        """One SGD step advancing ``members`` through their next batches."""
+        model = self._model_for(len(members))
+        picked = [runs[idx].batches[pos[idx]] for idx in members]
+        shapes = {bx.shape for bx, _ in picked}
+        if len(shapes) == 1:
+            tokens = np.stack([bx for bx, _ in picked])
+            targets = np.stack([by for _, by in picked])
+            valid = None
+        else:
+            if len({s[1] for s in shapes}) != 1:
+                raise ValueError("cohort clients must share one sequence length")
+            seq_len = picked[0][0].shape[1]
+            rows = np.array([bx.shape[0] for bx, _ in picked])
+            b_max = int(rows.max())
+            tokens = np.zeros((len(members), b_max, seq_len), dtype=np.int64)
+            targets = np.zeros_like(tokens)
+            for row, (bx, by) in enumerate(picked):
+                tokens[row, : bx.shape[0]] = bx
+                targets[row, : by.shape[0]] = by
+            valid = rows
+        model.set_flat_stack(vecs[members])
+        losses, grads = model.loss_and_grad(tokens, targets, valid_rows=valid)
+        vecs[members] = self._opt.step(vecs[members], grads)
+        for row, idx in enumerate(members):
+            runs[idx].losses.append(float(losses[row]))

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.fedbuff import FedBuffAggregator, ServerStepInfo
-from repro.core.types import ModelUpdate, TrainingResult
+from repro.core.types import TrainingResult
 from repro.utils.rng import child_rng
 
 __all__ = ["DPConfig", "ZCDPAccountant", "clip_by_l2_norm", "DPFedBuffAggregator"]
@@ -122,17 +122,18 @@ class DPFedBuffAggregator(FedBuffAggregator):
         self.accountant = ZCDPAccountant(dp)
         self._noise_rng = child_rng(seed, "dp-noise")
 
-    def receive_update(
-        self, result: TrainingResult
-    ) -> tuple[ModelUpdate, ServerStepInfo | None]:
-        clipped = TrainingResult(
+    def _transform_result(self, result: TrainingResult) -> TrainingResult:
+        # Clip every delta on admission; routing through the parent's
+        # transform hook keeps receive_update and receive_update_block on
+        # one clipping definition (a block path that skipped clipping
+        # would silently void the sensitivity bound).
+        return TrainingResult(
             client_id=result.client_id,
             delta=clip_by_l2_norm(result.delta, self.dp.clip_norm),
             num_examples=result.num_examples,
             train_loss=result.train_loss,
             initial_version=result.initial_version,
         )
-        return super().receive_update(clipped)
 
     def _server_step(self) -> ServerStepInfo:
         # Add the calibrated Gaussian noise directly into the buffer so the

@@ -157,15 +157,17 @@ class FedBuffAggregator:
             return float(np.log1p(num_examples))
         return 1.0
 
-    def receive_update(
-        self, result: TrainingResult
-    ) -> tuple[ModelUpdate, ServerStepInfo | None]:
-        """Buffer one client update; maybe trigger a server step.
+    def _transform_result(self, result: TrainingResult) -> TrainingResult:
+        """Hook applied to every incoming result before weighting/buffering.
 
-        Returns the recorded :class:`ModelUpdate` (with the weight that was
-        applied) and, if the aggregation goal was reached, the
-        :class:`ServerStepInfo` for the step it triggered.
+        The base aggregator is a pass-through; subclasses use it for
+        per-update preprocessing (e.g. DP clipping) so that both the
+        single-update and the vectorized block path share one definition.
         """
+        return result
+
+    def _admit(self, result: TrainingResult) -> tuple[TrainingResult, ModelUpdate]:
+        """Validate in-flight state and compute one update's weight."""
         initial = self._in_flight.pop(result.client_id, None)
         if initial is None:
             raise KeyError(
@@ -177,25 +179,83 @@ class FedBuffAggregator:
                 f"client {result.client_id} reported initial version "
                 f"{result.initial_version}, aggregator recorded {initial}"
             )
+        result = self._transform_result(result)
         staleness = self.version - result.initial_version
         weight = self._example_weight(result.num_examples) * self.staleness_policy(
             staleness
         )
         update = ModelUpdate(result=result, arrival_version=self.version, weight=weight)
-
-        if self._buffer is None:
-            self._buffer = np.zeros_like(result.delta, dtype=np.float64)
-        self._buffer += weight * result.delta.astype(np.float64)
         self._weight_sum += weight
         self._count += 1
         self.updates_received += 1
         self._staleness_acc.append(staleness)
         self._contributors.append(result.client_id)
+        return result, update
+
+    def receive_update(
+        self, result: TrainingResult
+    ) -> tuple[ModelUpdate, ServerStepInfo | None]:
+        """Buffer one client update; maybe trigger a server step.
+
+        Returns the recorded :class:`ModelUpdate` (with the weight that was
+        applied) and, if the aggregation goal was reached, the
+        :class:`ServerStepInfo` for the step it triggered.
+        """
+        result, update = self._admit(result)
+        if self._buffer is None:
+            self._buffer = np.zeros_like(result.delta, dtype=np.float64)
+        self._buffer += update.weight * result.delta.astype(np.float64)
 
         info = None
         if self._count >= self.goal:
             info = self._server_step()
         return update, info
+
+    def receive_update_block(
+        self, results: list[TrainingResult]
+    ) -> list[tuple[ModelUpdate, ServerStepInfo | None]]:
+        """Buffer a vectorized block of client updates.
+
+        Semantically identical to calling :meth:`receive_update` once per
+        result, in order — including any server steps triggered mid-block
+        (staleness of later updates is measured against the version those
+        steps produced).  The accumulation itself is vectorized: each
+        goal-bounded chunk enters the float64 buffer as one
+        weights-by-deltas matrix product instead of per-update AXPYs, so
+        cohort-sized delta blocks (e.g. from the batched
+        :class:`~repro.core.cohort.CohortTrainer`) aggregate at GEMM
+        speed.  Weighted sums agree with the sequential path to float64
+        rounding (~1e-12 relative), far inside the 1e-8 equivalence bound
+        the differential suite enforces.
+        """
+        out: list[tuple[ModelUpdate, ServerStepInfo | None]] = []
+        pos = 0
+        while pos < len(results):
+            take = min(len(results) - pos, self.goal - self._count)
+            chunk = results[pos : pos + take]
+            pos += take
+            admitted: list[tuple[TrainingResult, ModelUpdate]] = []
+            try:
+                for r in chunk:
+                    admitted.append(self._admit(r))
+            finally:
+                # On a mid-chunk rejection, everything admitted so far is
+                # still buffered — the same state the sequential path
+                # would have left behind before raising.
+                if admitted:
+                    weights = np.array(
+                        [u.weight for _, u in admitted], dtype=np.float64
+                    )
+                    deltas = np.stack(
+                        [r.delta for r, _ in admitted]
+                    ).astype(np.float64)
+                    if self._buffer is None:
+                        self._buffer = np.zeros(deltas.shape[1], dtype=np.float64)
+                    self._buffer += weights @ deltas
+            info = self._server_step() if self._count >= self.goal else None
+            for i, (_, update) in enumerate(admitted):
+                out.append((update, info if i == len(admitted) - 1 else None))
+        return out
 
     def _server_step(self) -> ServerStepInfo:
         denom = self._weight_sum if self.normalize_by == "weight_sum" else float(self.goal)

@@ -154,6 +154,66 @@ class SyncRoundAggregator:
             info = self._close_round()
         return update, info
 
+    def receive_update_block(
+        self, results: list[TrainingResult]
+    ) -> list[tuple[ModelUpdate, ServerStepInfo | None]]:
+        """Accept a vectorized block of updates, closing rounds as they fill.
+
+        Order-equivalent to sequential :meth:`receive_update` calls: stale
+        arrivals are discarded exactly as they would be one-by-one, and a
+        round close mid-block aborts the same in-flight clients.  Current-
+        round updates within each goal-bounded chunk enter the float64
+        buffer as one weights-by-deltas product (float64-rounding-level
+        agreement with the sequential path).
+        """
+        out: list[tuple[ModelUpdate, ServerStepInfo | None]] = []
+        pos = 0
+        while pos < len(results):
+            take = min(len(results) - pos, self.goal - self._count)
+            chunk = results[pos : pos + take]
+            pos += take
+            fresh: list[tuple[TrainingResult, ModelUpdate]] = []
+            pending: list[tuple[ModelUpdate, ServerStepInfo | None]] = []
+            for result in chunk:
+                joined = self._in_flight.pop(result.client_id, None)
+                if joined is None:
+                    self._flush_fresh(fresh)
+                    fresh = []
+                    raise KeyError(f"client {result.client_id} is not in flight")
+                if joined != self.version:
+                    self.updates_discarded += 1
+                    update = ModelUpdate(
+                        result=result, arrival_version=self.version, weight=0.0
+                    )
+                    pending.append((update, None))
+                    continue
+                weight = self._example_weight(result.num_examples)
+                update = ModelUpdate(
+                    result=result, arrival_version=self.version, weight=weight
+                )
+                self._weight_sum += weight
+                self._count += 1
+                self.updates_received += 1
+                self._contributors.append(result.client_id)
+                fresh.append((result, update))
+                pending.append((update, None))
+            self._flush_fresh(fresh)
+            if self._count >= self.goal:
+                info = self._close_round()
+                pending[-1] = (pending[-1][0], info)
+            out.extend(pending)
+        return out
+
+    def _flush_fresh(self, fresh: list[tuple[TrainingResult, ModelUpdate]]) -> None:
+        """Vectorized buffer accumulation for current-round updates."""
+        if not fresh:
+            return
+        weights = np.array([u.weight for _, u in fresh], dtype=np.float64)
+        deltas = np.stack([r.delta for r, _ in fresh]).astype(np.float64)
+        if self._buffer is None:
+            self._buffer = np.zeros(deltas.shape[1], dtype=np.float64)
+        self._buffer += weights @ deltas
+
     def _close_round(self) -> ServerStepInfo:
         avg = self._buffer / self._weight_sum if self._weight_sum > 0 else np.zeros_like(self._buffer)
         self.state.apply(avg.astype(np.float32), self._count)

@@ -42,6 +42,11 @@ from repro.harness.figures import (
     table1,
 )
 from repro.harness.ks import KSResult, ks_two_sample
+from repro.harness.perf import (
+    CohortPoint,
+    CohortResult,
+    cohort_speedup,
+)
 from repro.harness.registry import ExperimentSpec
 from repro.harness.report import (
     format_aggregate,
@@ -97,6 +102,9 @@ __all__ = [
     "figure13",
     "table1",
     "KSResult",
+    "CohortPoint",
+    "CohortResult",
+    "cohort_speedup",
     "ks_two_sample",
     "ExperimentSpec",
     "ResultCache",

@@ -36,6 +36,7 @@ import traceback
 
 from repro.harness import configs, registry
 from repro.harness import figures  # noqa: F401  (imports register the experiments)
+from repro.harness import perf  # noqa: F401  (registers the cohort experiment)
 from repro.harness.cache import ResultCache
 from repro.harness.report import print_aggregate
 from repro.harness.sweep import SweepError, build_cells, run_sweep

@@ -32,7 +32,11 @@ from typing import Any, Mapping
 
 __all__ = ["CACHE_VERSION", "CACHE_ENV_VAR", "cell_fingerprint", "ResultCache"]
 
-CACHE_VERSION = 1
+# Bump for cross-cutting changes outside harness/ (core/, sim/, nn/) that
+# alter results — code_digest only tracks the harness package itself.
+# v2: cohort-engine PR reassociated scalar LSTM arithmetic (bias folded
+# into zx, gate-derivative parenthesization), shifting results by ulps.
+CACHE_VERSION = 2
 CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
 _DEFAULT_ROOT = ".sweep-cache"
 

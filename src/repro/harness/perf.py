@@ -1,0 +1,202 @@
+"""Performance experiments: the cohort-engine speedup operating curve.
+
+The ``cohort`` experiment measures the batched cohort execution engine
+(:class:`repro.core.cohort.CohortTrainer`) against the scalar per-client
+path (:class:`repro.core.client_trainer.LocalTrainer`) on the real-
+training workload behind the paper's convergence figures: the scaled-down
+LSTM language model, clients drawn from the heterogeneous device
+population (so cohorts carry realistic ragged example counts), one local
+epoch of clipped SGD per client.  For every cohort size K it reports
+scalar and batched wall-clock, the speedup, and the maximum per-client
+delta divergence — which the equivalence guarantee keeps at 0.0.
+
+Run / sweep it through the PR-1 harness layer::
+
+    python -m repro.harness cohort
+    python -m repro.harness sweep cohort --seeds 0..4 --json cohort.json
+
+so before/after JSON reports of future engine changes land in the same
+cache + CI-artifact pipeline as every figure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.client_trainer import LocalTrainer
+from repro.core.cohort import CohortRequest, CohortTrainer
+from repro.data.federated import FederatedDataset
+from repro.data.synthetic_text import CorpusSpec, TopicMarkovCorpus
+from repro.harness import registry
+from repro.harness.configs import Scale
+from repro.harness.report import print_table
+from repro.harness.runner import make_population
+from repro.nn.model import LSTMLanguageModel, ModelConfig
+from repro.utils.rng import child_rng
+
+__all__ = ["CohortPoint", "CohortResult", "cohort_speedup", "print_cohort"]
+
+
+@dataclass(frozen=True)
+class CohortPoint:
+    """One cohort-size operating point of the engine comparison."""
+
+    cohort_size: int
+    scalar_s: float
+    batched_s: float
+    speedup: float
+    max_delta_diff: float
+    max_loss_diff: float
+    equivalent: bool  # within the 1e-8 differential bound
+
+
+@dataclass(frozen=True)
+class CohortResult:
+    """Scalar-vs-batched training comparison across cohort sizes."""
+
+    points: list[CohortPoint]
+    clients_mean_examples: float
+    batch_size: int
+    local_epochs: int
+    num_params: int
+
+
+EQUIVALENCE_ATOL = 1e-8
+
+
+def cohort_speedup(
+    cohort_sizes: tuple[int, ...] = (4, 16, 32, 64),
+    mean_examples: float = 40.0,
+    batch_size: int = 8,
+    local_epochs: int = 1,
+    client_lr: float = 1.0,
+    vocab_size: int = 24,
+    repeats: int = 3,
+    seed: int = 0,
+) -> CohortResult:
+    """Measure batched-vs-scalar cohort training on the real workload.
+
+    Both engines train identical client sets from identical initial
+    models; the scalar path is timed as the K sequential ``LocalTrainer``
+    calls the simulator would otherwise make.
+    """
+    model_cfg = ModelConfig(vocab_size=vocab_size, embed_dim=8, hidden_dim=16)
+    corpus = TopicMarkovCorpus(
+        CorpusSpec(vocab_size=vocab_size, seq_len=10, volume_topic_coupling=0.8,
+                   reference_examples=mean_examples),
+        seed=seed,
+    )
+    dataset = FederatedDataset(corpus)
+    # Same cap ratio as the table1 real-training population (max = 4x
+    # mean): without it a single data-rich straggler serializes the tail
+    # of every cohort and the comparison measures that client, not the
+    # engine.
+    pop = make_population(
+        100_000, seed=seed, mean_examples=mean_examples,
+        max_examples=int(mean_examples * 4),
+    )
+    base_model = LSTMLanguageModel(model_cfg, seed=seed).get_flat()
+    rng = child_rng(seed, "cohort-perf")
+
+    points: list[CohortPoint] = []
+    for size in cohort_sizes:
+        profiles = pop.sample_profiles(size, rng)
+        requests = [
+            CohortRequest(
+                initial_model=base_model,
+                dataset=dataset.client_dataset(p.device_id, p.n_examples),
+                initial_version=0,
+                participation=0,
+            )
+            for p in profiles
+        ]
+        scalar = LocalTrainer(
+            model_cfg, lr=client_lr, batch_size=batch_size,
+            epochs=local_epochs, seed=seed,
+        )
+        batched = CohortTrainer(
+            model_cfg, lr=client_lr, batch_size=batch_size,
+            epochs=local_epochs, seed=seed,
+        )
+        batched.train_cohort(requests[: min(2, size)])  # warm workspaces
+
+        best_scalar = best_batched = float("inf")
+        scalar_results = batched_results = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            scalar_results = [
+                scalar.train(r.initial_model, r.dataset, r.initial_version,
+                             r.participation)
+                for r in requests
+            ]
+            best_scalar = min(best_scalar, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            batched_results = batched.train_cohort(requests)
+            best_batched = min(best_batched, time.perf_counter() - t0)
+
+        delta_diff = max(
+            float(np.max(np.abs(a.delta - b.delta)))
+            for a, b in zip(scalar_results, batched_results)
+        )
+        loss_diff = max(
+            abs(a.train_loss - b.train_loss)
+            for a, b in zip(scalar_results, batched_results)
+        )
+        points.append(
+            CohortPoint(
+                cohort_size=size,
+                scalar_s=best_scalar,
+                batched_s=best_batched,
+                speedup=best_scalar / best_batched if best_batched > 0 else float("inf"),
+                max_delta_diff=delta_diff,
+                max_loss_diff=loss_diff,
+                equivalent=(delta_diff <= EQUIVALENCE_ATOL
+                            and loss_diff <= EQUIVALENCE_ATOL),
+            )
+        )
+    return CohortResult(
+        points=points,
+        clients_mean_examples=mean_examples,
+        batch_size=batch_size,
+        local_epochs=local_epochs,
+        num_params=scalar.num_params,
+    )
+
+
+def print_cohort(res: CohortResult) -> None:
+    """Render the cohort-engine comparison as text."""
+    print_table(
+        ["K", "scalar (ms)", "batched (ms)", "speedup", "max |Δdelta|", "equivalent"],
+        [
+            [p.cohort_size, p.scalar_s * 1e3, p.batched_s * 1e3, p.speedup,
+             p.max_delta_diff, p.equivalent]
+            for p in res.points
+        ],
+        title=(
+            f"Cohort engine — batched vs scalar local training "
+            f"({res.num_params} params, B={res.batch_size}, "
+            f"E={res.local_epochs}, mean {res.clients_mean_examples:.0f} "
+            f"examples/client)"
+        ),
+    )
+
+
+def _run_cohort(scale: Scale, seed: int, **params) -> CohortResult:
+    return cohort_speedup(seed=seed, **params)
+
+
+registry.register(
+    registry.ExperimentSpec(
+        "cohort",
+        _run_cohort,
+        print_cohort,
+        CohortResult,
+        description="batched cohort engine vs scalar training: speedup + equivalence",
+        default_grid={},
+        uses_scale=False,
+    ),
+    replace=True,
+)

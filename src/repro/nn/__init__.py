@@ -4,18 +4,21 @@ Stands in for PyTorch Mobile in the paper's client runtime: real gradients,
 real training, hand-written backprop.
 """
 
-from repro.nn.loss import cross_entropy, perplexity, softmax
-from repro.nn.model import LSTMLanguageModel, ModelConfig
-from repro.nn.optim import SGD, Adam
+from repro.nn.loss import batched_cross_entropy, cross_entropy, perplexity, softmax
+from repro.nn.model import BatchedLSTMLanguageModel, LSTMLanguageModel, ModelConfig
+from repro.nn.optim import SGD, Adam, CohortSGD
 from repro.nn.parameters import ParamSpec, zeros_like_flat
 
 __all__ = [
     "cross_entropy",
+    "batched_cross_entropy",
     "perplexity",
     "softmax",
     "LSTMLanguageModel",
+    "BatchedLSTMLanguageModel",
     "ModelConfig",
     "SGD",
+    "CohortSGD",
     "Adam",
     "ParamSpec",
     "zeros_like_flat",

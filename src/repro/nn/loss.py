@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["softmax", "cross_entropy", "perplexity"]
+__all__ = ["softmax", "cross_entropy", "batched_cross_entropy", "perplexity"]
 
 
 def softmax(logits: np.ndarray) -> np.ndarray:
@@ -51,6 +51,59 @@ def cross_entropy(
     d[np.arange(n), tgt] -= 1.0
     d /= n
     return loss, d.reshape(logits.shape).astype(np.float32)
+
+
+def batched_cross_entropy(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    with_grad: bool = True,
+    valid_rows: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Per-client mean cross-entropy over a cohort.
+
+    Array layout (leading cohort axis): ``logits`` is ``(K, B, T, V)``,
+    ``targets`` ``(K, B, T)``.  Returns a ``(K,)`` loss vector and,
+    when ``with_grad``, the gradient of each client's *own* mean loss
+    (``(K, B, T, V)`` float32).  Slot ``k`` matches :func:`cross_entropy`
+    on ``(logits[k], targets[k])`` bit for bit: softmax reduces along the
+    same contiguous last axis, and each client's mean runs over the same
+    ``B*T`` contiguous elements as the scalar path's flat mean.
+
+    ``valid_rows`` supports row-padded ragged cohorts: client ``k``'s loss
+    averages only its first ``valid_rows[k]`` batch rows (a contiguous
+    prefix once flattened, so the reduction order still matches the scalar
+    path) and the gradient of every padded position is exactly zero.
+    """
+    K, V = logits.shape[0], logits.shape[-1]
+    B = logits.shape[1]
+    flat = logits.reshape(K, -1, V)
+    tgt = targets.reshape(K, -1)
+    if tgt.min() < 0 or tgt.max() >= V:
+        raise ValueError("target index out of range")
+    n = flat.shape[1]
+    span = n // B
+    probs = softmax(flat)
+    picked = probs[np.arange(K)[:, None], np.arange(n)[None, :], tgt]
+    nll = -np.log(np.maximum(picked, 1e-12))
+    if valid_rows is None:
+        losses = nll.mean(axis=-1)
+    else:
+        losses = np.array(
+            [nll[k, : int(valid_rows[k]) * span].mean() for k in range(K)],
+            dtype=nll.dtype,
+        )
+    if not with_grad:
+        return losses, None
+    d = probs
+    d[np.arange(K)[:, None], np.arange(n)[None, :], tgt] -= 1.0
+    if valid_rows is None:
+        d /= n
+    else:
+        for k in range(K):
+            m = int(valid_rows[k]) * span
+            d[k, :m] /= m
+            d[k, m:] = 0.0
+    return losses, d.reshape(logits.shape).astype(np.float32)
 
 
 def perplexity(mean_nll: float) -> float:

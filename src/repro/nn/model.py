@@ -14,11 +14,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn import layers
-from repro.nn.loss import cross_entropy, perplexity
+from repro.nn.loss import batched_cross_entropy, cross_entropy, perplexity
 from repro.nn.parameters import ParamSpec
 from repro.utils.rng import child_rng
 
-__all__ = ["ModelConfig", "LSTMLanguageModel"]
+__all__ = ["ModelConfig", "LSTMLanguageModel", "BatchedLSTMLanguageModel"]
 
 
 @dataclass(frozen=True)
@@ -145,3 +145,139 @@ class LSTMLanguageModel:
     def evaluate_perplexity(self, tokens: np.ndarray, targets: np.ndarray) -> float:
         """Perplexity on a batch — the paper's Table 1 metric."""
         return perplexity(self.evaluate(tokens, targets))
+
+
+class BatchedLSTMLanguageModel:
+    """Cohort view of :class:`LSTMLanguageModel`: K clients in lockstep.
+
+    Holds the parameters of K independent clients stacked along a leading
+    cohort axis — each named parameter is ``(K, *scalar_shape)`` — and runs
+    one set of batched kernel calls (:mod:`repro.nn.layers`) instead of K
+    scalar passes.  Slot ``k`` of every output is bit-identical to an
+    :class:`LSTMLanguageModel` loaded with ``set_flat(stack[k])``; the
+    differential suite in ``tests/test_batched_equivalence.py`` enforces
+    this.
+
+    The flat-vector interface mirrors the scalar model's, one matrix row
+    per client: :meth:`set_flat_stack` / :meth:`get_flat_stack` move
+    ``(K, num_params)`` float32 matrices in and out.
+
+    Parameters
+    ----------
+    config:
+        Architecture sizes (shared by every client in the cohort).
+    cohort_size:
+        K — number of client slots.
+    """
+
+    def __init__(self, config: ModelConfig, cohort_size: int):
+        if cohort_size < 1:
+            raise ValueError("cohort_size must be at least 1")
+        self.config = config
+        self.cohort_size = cohort_size
+        # Same canonical name/shape/offset layout as the scalar model, so
+        # row k of the stacked flat matrix is exactly a scalar flat vector.
+        self.spec = LSTMLanguageModel(config, seed=0).spec
+        self.params: dict[str, np.ndarray] = {
+            name: np.zeros((cohort_size, *shape), dtype=np.float32)
+            for name, shape in zip(self.spec.names, self.spec.shapes)
+        }
+
+    @property
+    def num_params(self) -> int:
+        """Scalar parameter count per client (row width of the stack)."""
+        return self.spec.size
+
+    def set_flat_stack(self, stack: np.ndarray) -> None:
+        """Load the cohort's parameters from a ``(K, num_params)`` matrix."""
+        K = self.cohort_size
+        if stack.shape != (K, self.spec.size):
+            raise ValueError(
+                f"expected stack of shape {(K, self.spec.size)}, got {stack.shape}"
+            )
+        for name, shape, off in zip(self.spec.names, self.spec.shapes, self.spec.offsets):
+            n = int(np.prod(shape)) if shape else 1
+            self.params[name] = (
+                stack[:, off : off + n].astype(np.float32, copy=True).reshape(K, *shape)
+            )
+
+    def get_flat_stack(self) -> np.ndarray:
+        """Copy the cohort's parameters into a ``(K, num_params)`` matrix."""
+        out = np.empty((self.cohort_size, self.spec.size), dtype=np.float32)
+        for name, shape, off in zip(self.spec.names, self.spec.shapes, self.spec.offsets):
+            n = int(np.prod(shape)) if shape else 1
+            out[:, off : off + n] = self.params[name].reshape(self.cohort_size, n)
+        return out
+
+    def _flatten_grads(self, grads: dict[str, np.ndarray]) -> np.ndarray:
+        out = np.empty((self.cohort_size, self.spec.size), dtype=np.float32)
+        for name, shape, off in zip(self.spec.names, self.spec.shapes, self.spec.offsets):
+            n = int(np.prod(shape)) if shape else 1
+            out[:, off : off + n] = grads[name].reshape(self.cohort_size, n)
+        return out
+
+    def _split(self, prefix: str) -> dict[str, np.ndarray]:
+        plen = len(prefix) + 1
+        return {k[plen:]: v for k, v in self.params.items() if k.startswith(prefix + ".")}
+
+    def forward(
+        self, tokens: np.ndarray, valid_rows: np.ndarray | None = None
+    ) -> tuple[np.ndarray, tuple]:
+        """Compute logits ``(K, B, T, V)`` for input tokens ``(K, B, T)``."""
+        if tokens.ndim != 3 or tokens.shape[0] != self.cohort_size:
+            raise ValueError(
+                f"expected tokens of shape (K={self.cohort_size}, B, T), "
+                f"got {tokens.shape}"
+            )
+        emb, cache_e = layers.batched_embedding_forward(self._split("embed"), tokens)
+        hs = emb
+        lstm_caches = []
+        for layer in range(self.config.num_layers):
+            hs, cache_l = layers.batched_lstm_forward(
+                self._split(f"lstm{layer}"), hs, valid_rows=valid_rows
+            )
+            lstm_caches.append(cache_l)
+        logits, cache_o = layers.batched_linear_forward(
+            self._split("out"), hs, valid_rows=valid_rows
+        )
+        return logits, (cache_e, lstm_caches, cache_o)
+
+    def loss_and_grad(
+        self,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        valid_rows: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Each client's mean cross-entropy and flat gradient.
+
+        ``tokens`` / ``targets`` are ``(K, B, T)`` int arrays.  Returns a
+        ``(K,)`` loss vector and a ``(K, num_params)`` gradient matrix;
+        row ``k`` equals the scalar model's ``loss_and_grad(tokens[k],
+        targets[k])`` at parameters ``stack[k]``.
+
+        ``valid_rows`` handles ragged cohorts: pad each client's batch
+        with arbitrary rows up to the common ``B`` and pass the per-client
+        valid row counts; losses and gradients then match the scalar model
+        run on the *unpadded* ``tokens[k][:valid_rows[k]]`` exactly (see
+        the layer-kernel notes in :mod:`repro.nn.layers`).
+        """
+        logits, (cache_e, lstm_caches, cache_o) = self.forward(tokens, valid_rows)
+        losses, d_logits = batched_cross_entropy(logits, targets, valid_rows=valid_rows)
+        d_hs, g_out = layers.batched_linear_backward(
+            cache_o, d_logits, valid_rows=valid_rows
+        )
+        grads = {f"out.{k}": v for k, v in g_out.items()}
+        for layer in range(self.config.num_layers - 1, -1, -1):
+            d_hs, g_lstm = layers.batched_lstm_backward(
+                lstm_caches[layer], d_hs, valid_rows=valid_rows
+            )
+            grads |= {f"lstm{layer}.{k}": v for k, v in g_lstm.items()}
+        g_embed = layers.batched_embedding_backward(cache_e, d_hs)
+        grads |= {f"embed.{k}": v for k, v in g_embed.items()}
+        return losses, self._flatten_grads(grads)
+
+    def evaluate(self, tokens: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Per-client mean cross-entropy without gradients, shape ``(K,)``."""
+        logits, _ = self.forward(tokens)
+        losses, _ = batched_cross_entropy(logits, targets, with_grad=False)
+        return losses

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.utils.validation import check_positive
 
-__all__ = ["SGD", "Adam"]
+__all__ = ["SGD", "CohortSGD", "Adam"]
 
 
 class SGD:
@@ -63,6 +63,59 @@ class SGD:
 
     def reset(self) -> None:
         """Clear momentum state (fresh client)."""
+        self._velocity = None
+
+
+class CohortSGD:
+    """SGD over a stack of K independent parameter vectors at once.
+
+    The cohort counterpart of :class:`SGD` used by the batched training
+    engine: ``params`` and ``grad`` are ``(K, P)`` matrices (leading cohort
+    axis, one client per row) and every row is updated exactly as
+    :class:`SGD` would update it in isolation — including the per-client
+    gradient clipping, whose norms are taken row-by-row with the same
+    ``np.linalg.norm`` call as the scalar path so the rescale factors are
+    bit-identical.
+
+    Momentum state, when enabled, is one velocity matrix ``(K, P)``.
+    """
+
+    def __init__(self, lr: float, momentum: float = 0.0, clip_norm: float | None = None):
+        self.lr = check_positive(lr, "lr")
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.clip_norm = clip_norm
+        self._velocity: np.ndarray | None = None
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Return the updated ``(K, P)`` stack; velocity advances internally."""
+        if grad.shape != params.shape or params.ndim != 2:
+            raise ValueError("expected matching (K, P) param/grad stacks")
+        g = grad
+        if self.clip_norm is not None:
+            # Row-wise clipping in a small Python loop: K is tiny compared
+            # to P, and the scalar path's norm (BLAS dot under
+            # np.linalg.norm on a 1-D vector) must be reproduced exactly —
+            # an axis-reduction norm sums in a different order.  The stack
+            # is only copied once a row actually needs rescaling.
+            copied = False
+            for k in range(g.shape[0]):
+                norm = float(np.linalg.norm(g[k]))
+                if norm > self.clip_norm:
+                    if not copied:
+                        g = g.copy()
+                        copied = True
+                    g[k] = g[k] * (self.clip_norm / (norm + 1e-12))
+        if self.momentum > 0.0:
+            if self._velocity is None:
+                self._velocity = np.zeros_like(params)
+            self._velocity = self.momentum * self._velocity + g
+            g = self._velocity
+        return (params - self.lr * g).astype(np.float32)
+
+    def reset(self) -> None:
+        """Clear momentum state (fresh cohort)."""
         self._velocity = None
 
 

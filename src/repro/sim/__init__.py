@@ -1,6 +1,6 @@
 """Discrete-event substrate: simulator, device population, network, trace."""
 
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import DeferredQueue, EventHandle, Simulator
 from repro.sim.network import NetworkModel
 from repro.sim.population import DevicePopulation, DeviceProfile, PopulationConfig
 from repro.sim.trace import (
@@ -11,6 +11,7 @@ from repro.sim.trace import (
 )
 
 __all__ = [
+    "DeferredQueue",
     "EventHandle",
     "Simulator",
     "NetworkModel",

@@ -6,7 +6,11 @@ discrete-event simulator in :mod:`repro.sim`.
 
 from repro.system.adapters import RealTrainingAdapter, SurrogateAdapter, TrainerAdapter
 from repro.system.aggregator import AggregatorNode, FLTaskRuntime
-from repro.system.client_runtime import ClientSession
+from repro.system.client_runtime import (
+    ClientSession,
+    CohortDispatcher,
+    PendingTraining,
+)
 from repro.system.coordinator import Coordinator
 from repro.system.orchestrator import (
     FederatedSimulation,
@@ -25,6 +29,8 @@ __all__ = [
     "AggregatorNode",
     "FLTaskRuntime",
     "ClientSession",
+    "CohortDispatcher",
+    "PendingTraining",
     "Coordinator",
     "FederatedSimulation",
     "RunResult",

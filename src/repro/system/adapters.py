@@ -23,6 +23,7 @@ import abc
 import numpy as np
 
 from repro.core.client_trainer import LocalTrainer
+from repro.core.cohort import CohortRequest, CohortTrainer
 from repro.core.state import GlobalModelState
 from repro.core.surrogate import SurrogateModelState, SurrogateParams, SurrogateTrainer
 from repro.core.types import TrainingResult
@@ -47,6 +48,26 @@ class TrainerAdapter(abc.ABC):
         participation: int,
     ) -> TrainingResult:
         """Produce one client's training result."""
+
+    def train_cohort(
+        self,
+        profiles: list[DeviceProfile],
+        initial_models: list[np.ndarray],
+        initial_versions: list[int],
+        participations: list[int],
+    ) -> list[TrainingResult]:
+        """Produce a whole cohort's training results (aligned with inputs).
+
+        The default loops over :meth:`train`; backends with a vectorized
+        engine (see :class:`RealTrainingAdapter`) override it with a
+        genuinely batched implementation.
+        """
+        return [
+            self.train(profile, model, version, participation)
+            for profile, model, version, participation in zip(
+                profiles, initial_models, initial_versions, participations
+            )
+        ]
 
     @abc.abstractmethod
     def current_loss(self) -> float:
@@ -132,6 +153,7 @@ class RealTrainingAdapter(TrainerAdapter):
         eval_clients: list[int],
         eval_examples: list[int],
         eval_every: int = 1,
+        cohort_trainer: CohortTrainer | None = None,
     ):
         if eval_every < 1:
             raise ValueError("eval_every must be at least 1")
@@ -139,6 +161,17 @@ class RealTrainingAdapter(TrainerAdapter):
         self.dataset = dataset
         self.state = state
         self.eval_every = eval_every
+        # The batched engine shares every hyperparameter with the scalar
+        # trainer (bit-equivalent by construction), so it can always be
+        # derived; an explicit instance is accepted for tests/tuning.
+        self.cohort_trainer = cohort_trainer or CohortTrainer(
+            trainer.model_config,
+            lr=trainer.lr,
+            batch_size=trainer.batch_size,
+            epochs=trainer.epochs,
+            clip_norm=trainer.clip_norm,
+            seed=trainer.seed,
+        )
         self._eval_x, self._eval_y = dataset.evaluation_batch(
             eval_clients, eval_examples
         )
@@ -155,6 +188,29 @@ class RealTrainingAdapter(TrainerAdapter):
     ) -> TrainingResult:
         ds = self.dataset.client_dataset(profile.device_id, profile.n_examples)
         return self.trainer.train(initial_model, ds, initial_version, participation)
+
+    def train_cohort(
+        self,
+        profiles: list[DeviceProfile],
+        initial_models: list[np.ndarray],
+        initial_versions: list[int],
+        participations: list[int],
+    ) -> list[TrainingResult]:
+        """Run the whole cohort through the batched LSTM engine."""
+        requests = [
+            CohortRequest(
+                initial_model=model,
+                dataset=self.dataset.client_dataset(
+                    profile.device_id, profile.n_examples
+                ),
+                initial_version=version,
+                participation=participation,
+            )
+            for profile, model, version, participation in zip(
+                profiles, initial_models, initial_versions, participations
+            )
+        ]
+        return self.cohort_trainer.train_cohort(requests)
 
     def current_loss(self) -> float:
         self._versions_seen += 1

@@ -27,14 +27,20 @@ from repro.system.secure import SecureBufferedAggregator
 from repro.sim.engine import Simulator
 from repro.sim.trace import MetricsTrace, Outcome, ServerStepRecord
 from repro.system.adapters import TrainerAdapter
-from repro.system.client_runtime import ClientSession
+from repro.system.client_runtime import ClientSession, CohortDispatcher, PendingTraining
 from repro.utils.logging import EventLog
 
 __all__ = ["FLTaskRuntime", "AggregatorNode"]
 
 
 class FLTaskRuntime:
-    """Server-side runtime of one FL task."""
+    """Server-side runtime of one FL task.
+
+    ``cohort`` (optional) switches the task to cohort-dispatch mode:
+    client trainings are deferred and executed in batched calls through
+    the dispatcher instead of one by one at training-complete time (see
+    :mod:`repro.system.client_runtime`).
+    """
 
     def __init__(
         self,
@@ -44,6 +50,7 @@ class FLTaskRuntime:
         trace: MetricsTrace,
         log: EventLog,
         on_slot_free: Callable[[], None] | None = None,
+        cohort: CohortDispatcher | None = None,
     ):
         self.config = config
         self.adapter = adapter
@@ -51,6 +58,7 @@ class FLTaskRuntime:
         self.trace = trace
         self.log = log
         self.on_slot_free = on_slot_free or (lambda: None)
+        self.cohort = cohort
 
         if config.secure_aggregation and config.mode is not TrainingMode.ASYNC:
             raise ValueError(
@@ -123,20 +131,35 @@ class FLTaskRuntime:
 
     # -- upload path ------------------------------------------------------------
 
-    def upload_arrived(self, session: ClientSession, result: TrainingResult) -> None:
+    def upload_arrived(
+        self, session: ClientSession, payload: "TrainingResult | PendingTraining"
+    ) -> None:
         """An update reached the server; hand it to the hosting node's queue."""
         if self.node is None or not self.node.alive:
             # Hosting aggregator died while the update was in flight: the
-            # update is lost; the client will be re-routed next time.
+            # update is lost; the client will be re-routed next time (the
+            # abort also drops any still-deferred training).
             self.core.client_failed(session.device_id)
             session.abort(Outcome.ABORTED)
             return
-        self.node.enqueue_update(self, session, result)
+        self.node.enqueue_update(self, session, payload)
 
-    def process_update(self, session: ClientSession, result: TrainingResult) -> None:
+    def process_update(
+        self, session: ClientSession, payload: "TrainingResult | PendingTraining"
+    ) -> None:
         """Deserialize + aggregate one update (runs on an aggregation shard)."""
-        if session.device_id not in self.sessions:
-            return  # aborted while queued
+        if self.sessions.get(session.device_id) is not session:
+            # Aborted while queued (any deferred training was dropped at
+            # abort time).  Identity check, not membership: the device may
+            # already be back under a NEW session, which must not let this
+            # stale upload through.
+            return
+        if isinstance(payload, PendingTraining):
+            # Cohort dispatch: demanding this result trains a whole batch
+            # of deferred clients in one vectorized call.
+            result = self.cohort.resolve(payload)
+        else:
+            result = payload
         try:
             update, step = self.core.receive_update(result)
         except KeyError:
@@ -252,7 +275,10 @@ class AggregatorNode:
     # -- queue + sharded parallel aggregation ------------------------------------
 
     def enqueue_update(
-        self, task_rt: FLTaskRuntime, session: ClientSession, result: TrainingResult
+        self,
+        task_rt: FLTaskRuntime,
+        session: ClientSession,
+        payload: "TrainingResult | PendingTraining",
     ) -> None:
         """Push an uploaded update into the in-memory queue.
 
@@ -267,7 +293,7 @@ class AggregatorNode:
         done = start + self.update_process_time_s
         self._shard_free_at[shard] = done
         self.updates_processed += 1
-        self.sim.schedule(done - now, lambda: task_rt.process_update(session, result))
+        self.sim.schedule(done - now, lambda: task_rt.process_update(session, payload))
 
     def queue_depth_seconds(self) -> float:
         """How far behind the busiest shard is (backpressure signal)."""

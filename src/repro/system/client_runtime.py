@@ -14,21 +14,117 @@ All stages happen inside a virtual session: transient hiccups do not kill
 the session, but a dropout does, and the server only *notices* a dropout
 after a failure-detection delay (missed heartbeats) — which is when the
 slot frees up for a replacement client.
+
+Cohort dispatch
+---------------
+With a :class:`CohortDispatcher` attached to the task runtime, the
+training stage is *deferred*: the session parks a :class:`PendingTraining`
+(snapshot of everything the trainer needs) instead of computing the
+result at training-complete time, and schedules its upload as usual.
+When the first deferred result is actually demanded — at
+upload-processing time — the dispatcher drains a cohort of parked
+trainings and computes them in one batched adapter call.  Deferral is
+invisible to the simulation: a result is a pure function of its snapshot,
+every event keeps its timestamp, and the batched engine is bit-equivalent
+to the scalar one (see :mod:`repro.core.cohort`), so traces, losses, and
+timings are identical to scalar dispatch.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.sim.engine import EventHandle, Simulator
+import numpy as np
+
+from repro.core.types import TrainingResult
+from repro.sim.engine import DeferredQueue, EventHandle, Simulator
 from repro.sim.network import NetworkModel
 from repro.sim.population import DevicePopulation, DeviceProfile
 from repro.sim.trace import MetricsTrace, Outcome, ParticipationRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system.adapters import TrainerAdapter
     from repro.system.aggregator import FLTaskRuntime
 
-__all__ = ["ClientSession"]
+__all__ = ["PendingTraining", "CohortDispatcher", "ClientSession"]
+
+
+class PendingTraining:
+    """A deferred client training: the inputs, and eventually the result."""
+
+    __slots__ = ("profile", "initial_model", "initial_version", "participation",
+                 "result")
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        initial_model: np.ndarray,
+        initial_version: int,
+        participation: int,
+    ):
+        self.profile = profile
+        self.initial_model = initial_model
+        self.initial_version = initial_version
+        self.participation = participation
+        self.result: TrainingResult | None = None
+
+
+class CohortDispatcher:
+    """Groups deferred client trainings into batched adapter calls.
+
+    Parameters
+    ----------
+    adapter:
+        The task's trainer backend; its ``train_cohort`` runs the batch.
+    max_cohort:
+        Upper bound on clients per batched call (the ``cohort_batch_size``
+        operating-point knob).
+    """
+
+    def __init__(self, adapter: "TrainerAdapter", max_cohort: int):
+        if max_cohort < 1:
+            raise ValueError("max_cohort must be at least 1")
+        self.adapter = adapter
+        self.max_cohort = max_cohort
+        self._queue: DeferredQueue[PendingTraining] = DeferredQueue()
+        self.batches_run = 0
+        self.trainings_run = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def submit(
+        self,
+        profile: DeviceProfile,
+        initial_model: np.ndarray,
+        initial_version: int,
+        participation: int,
+    ) -> PendingTraining:
+        """Park one client's training for batched execution."""
+        return self._queue.submit(
+            PendingTraining(profile, initial_model, initial_version, participation)
+        )
+
+    def discard(self, pending: PendingTraining) -> None:
+        """Drop a parked training whose session aborted (never computed)."""
+        self._queue.discard(pending)
+
+    def resolve(self, pending: PendingTraining) -> TrainingResult:
+        """Return ``pending``'s result, computing a cohort batch if needed."""
+        if pending.result is None:
+            batch = self._queue.drain(pending, limit=self.max_cohort)
+            results = self.adapter.train_cohort(
+                [p.profile for p in batch],
+                [p.initial_model for p in batch],
+                [p.initial_version for p in batch],
+                [p.participation for p in batch],
+            )
+            for member, result in zip(batch, results):
+                member.result = result
+                member.initial_model = None  # free the snapshot
+            self.batches_run += 1
+            self.trainings_run += len(batch)
+        return pending.result
 
 
 class ClientSession:
@@ -83,6 +179,7 @@ class ClientSession:
         self.finished = False
         self._active = False
         self._handles: list[EventHandle] = []
+        self._pending: PendingTraining | None = None
 
     # -- stage 1: download ------------------------------------------------------
 
@@ -121,16 +218,26 @@ class ClientSession:
     # -- stages 3-4: report + upload --------------------------------------------
 
     def _training_complete(self) -> None:
-        result = self.task_rt.adapter.train(
-            self.profile, self.initial_model, self.initial_version, self.participation
-        )
+        if self.task_rt.cohort is not None:
+            # Cohort-dispatch mode: park the training inputs; the batched
+            # engine computes the result when the upload is processed.
+            payload: TrainingResult | PendingTraining = self.task_rt.cohort.submit(
+                self.profile, self.initial_model, self.initial_version,
+                self.participation,
+            )
+            self._pending = payload
+        else:
+            payload = self.task_rt.adapter.train(
+                self.profile, self.initial_model, self.initial_version,
+                self.participation,
+            )
         self.initial_model = None  # free the snapshot
         upload_bytes = self.task_rt.config.model_size_bytes
         delay = self.network.roundtrip() + self.network.upload_time(
             self.profile, upload_bytes
         )
         self.trace.record_upload(upload_bytes)
-        self._schedule(delay, lambda: self.task_rt.upload_arrived(self, result))
+        self._schedule(delay, lambda: self.task_rt.upload_arrived(self, payload))
 
     # -- terminal transitions ------------------------------------------------------
 
@@ -166,6 +273,10 @@ class ClientSession:
             return
         for h in self._handles:
             h.cancel()
+        if self._pending is not None and self.task_rt.cohort is not None:
+            # Never computed and never will be: drop the parked training.
+            self.task_rt.cohort.discard(self._pending)
+            self._pending = None
         self._deactivate()
         self._finish(outcome, self.sim.now - self.start_time)
 

@@ -25,7 +25,7 @@ from repro.sim.population import DevicePopulation
 from repro.sim.trace import MetricsTrace, Outcome
 from repro.system.adapters import TrainerAdapter
 from repro.system.aggregator import AggregatorNode, FLTaskRuntime
-from repro.system.client_runtime import ClientSession
+from repro.system.client_runtime import ClientSession, CohortDispatcher
 from repro.system.coordinator import Coordinator
 from repro.system.selector import Selector
 from repro.utils.logging import EventLog
@@ -43,6 +43,13 @@ class SystemConfig:
     participation will not be selected again before the interval elapses,
     which spreads participation fairly across the population instead of
     repeatedly drafting the fastest devices.
+
+    ``cohort_batch_size`` is the cohort-dispatch operating point: at 1
+    (default) every client trains through the scalar path at its
+    training-complete event; above 1, concurrently-in-flight trainings
+    are deferred and executed in batched calls of up to this many clients
+    (bit-equivalent results, identical event order and timings — only the
+    simulator's wall-clock drops).
     """
 
     n_aggregators: int = 2
@@ -56,6 +63,7 @@ class SystemConfig:
     failure_detection_s: float = 15.0
     pump_interval_s: float = 5.0
     min_reparticipation_interval_s: float = 0.0
+    cohort_batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.n_aggregators < 1 or self.n_selectors < 1:
@@ -64,6 +72,8 @@ class SystemConfig:
             raise ValueError("latencies must be non-negative")
         if self.min_reparticipation_interval_s < 0:
             raise ValueError("min_reparticipation_interval_s must be non-negative")
+        if self.cohort_batch_size < 1:
+            raise ValueError("cohort_batch_size must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -155,8 +165,14 @@ class FederatedSimulation:
 
         self.task_runtimes: dict[str, FLTaskRuntime] = {}
         for cfg, adapter in tasks:
+            dispatcher = None
+            if self.system.cohort_batch_size > 1:
+                dispatcher = CohortDispatcher(
+                    adapter, max_cohort=self.system.cohort_batch_size
+                )
             rt = FLTaskRuntime(
-                cfg, adapter, self.sim, self.trace, self.log, on_slot_free=self._pump
+                cfg, adapter, self.sim, self.trace, self.log,
+                on_slot_free=self._pump, cohort=dispatcher,
             )
             self.task_runtimes[cfg.name] = rt
             self.coordinator.register_task(rt)

@@ -1,0 +1,495 @@
+"""Differential equivalence suite: batched cohort engine vs scalar path.
+
+The contract under test (see ``repro/core/cohort.py``): for every client,
+the batched :class:`CohortTrainer` produces deltas and losses that match
+the scalar :class:`LocalTrainer` within 1e-8 — in practice bit-for-bit —
+across randomized cohorts (varied K, sequence lengths, learning rates,
+epochs, batch sizes, seeds, ragged per-client data), and the vectorized
+delta-block aggregation paths (FedBuff, SyncFL, DP-clipped) match their
+sequential counterparts.  This is what lets the system layer enable
+cohort dispatch without changing a single experimental number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.client_trainer import LocalTrainer
+from repro.core.cohort import CohortRequest, CohortTrainer
+from repro.core.dp import DPConfig, DPFedBuffAggregator
+from repro.core.fedbuff import FedBuffAggregator
+from repro.core.server_opt import FedAdam
+from repro.core.state import GlobalModelState
+from repro.core.syncfl import SyncRoundAggregator
+from repro.core.types import TaskConfig, TrainingMode, TrainingResult
+from repro.data.federated import FederatedDataset
+from repro.data.synthetic_text import CorpusSpec, TopicMarkovCorpus
+from repro.nn import layers
+from repro.nn.loss import batched_cross_entropy, cross_entropy
+from repro.nn.model import BatchedLSTMLanguageModel, LSTMLanguageModel, ModelConfig
+from repro.nn.optim import SGD, CohortSGD
+
+ATOL = 1e-8
+
+
+def make_federation(vocab=24, seq_len=10, seed=0):
+    corpus = TopicMarkovCorpus(CorpusSpec(vocab_size=vocab, seq_len=seq_len), seed=seed)
+    return FederatedDataset(corpus)
+
+
+def cohort_and_scalar(cfg, fed, base, *, K, lr, batch_size, epochs, seed, rng,
+                      spread=0.01):
+    """Train one randomized cohort both ways; return paired results."""
+    scalar = LocalTrainer(cfg, lr=lr, batch_size=batch_size, epochs=epochs, seed=seed)
+    batched = CohortTrainer(cfg, lr=lr, batch_size=batch_size, epochs=epochs, seed=seed)
+    requests, refs = [], []
+    for i in range(K):
+        n = int(rng.integers(3, 60))
+        ds = fed.client_dataset(int(rng.integers(10_000)), n)
+        init = (base + rng.standard_normal(base.size).astype(np.float32) * spread)
+        participation = int(rng.integers(0, 3))
+        version = int(rng.integers(0, 5))
+        requests.append(CohortRequest(init, ds, version, participation))
+        refs.append(scalar.train(init, ds, version, participation))
+    return refs, batched.train_cohort(requests)
+
+
+class TestCohortTrainerEquivalence:
+    @pytest.mark.parametrize("K", [1, 2, 5, 16])
+    def test_randomized_cohorts_match_scalar(self, K):
+        cfg = ModelConfig(vocab_size=24, embed_dim=8, hidden_dim=16)
+        fed = make_federation()
+        base = LSTMLanguageModel(cfg, seed=1).get_flat()
+        rng = np.random.default_rng(K)
+        refs, outs = cohort_and_scalar(
+            cfg, fed, base, K=K, lr=0.7, batch_size=8, epochs=1, seed=3, rng=rng
+        )
+        for ref, out in zip(refs, outs):
+            assert out.client_id == ref.client_id
+            assert out.num_examples == ref.num_examples
+            assert out.initial_version == ref.initial_version
+            np.testing.assert_allclose(out.delta, ref.delta, rtol=0, atol=ATOL)
+            assert abs(out.train_loss - ref.train_loss) <= ATOL
+
+    @pytest.mark.parametrize("seed,lr,epochs,batch_size,seq_len", [
+        (0, 0.1, 1, 8, 6),
+        (1, 1.5, 2, 4, 10),
+        (2, 0.5, 3, 16, 12),
+    ])
+    def test_hyperparameter_sweep(self, seed, lr, epochs, batch_size, seq_len):
+        cfg = ModelConfig(vocab_size=20, embed_dim=6, hidden_dim=12)
+        fed = make_federation(vocab=20, seq_len=seq_len, seed=seed)
+        base = LSTMLanguageModel(cfg, seed=seed).get_flat()
+        rng = np.random.default_rng(seed + 100)
+        refs, outs = cohort_and_scalar(
+            cfg, fed, base, K=7, lr=lr, batch_size=batch_size, epochs=epochs,
+            seed=seed, rng=rng,
+        )
+        for ref, out in zip(refs, outs):
+            np.testing.assert_allclose(out.delta, ref.delta, rtol=0, atol=ATOL)
+            assert abs(out.train_loss - ref.train_loss) <= ATOL
+
+    def test_unclipped_path(self):
+        cfg = ModelConfig(vocab_size=16, embed_dim=6, hidden_dim=8)
+        fed = make_federation(vocab=16, seq_len=8)
+        base = LSTMLanguageModel(cfg, seed=2).get_flat()
+        scalar = LocalTrainer(cfg, lr=0.3, batch_size=8, clip_norm=None)
+        batched = CohortTrainer(cfg, lr=0.3, batch_size=8, clip_norm=None)
+        requests, refs = [], []
+        for cid in range(5):
+            ds = fed.client_dataset(cid, 12 + cid)
+            requests.append(CohortRequest(base, ds, 0, 0))
+            refs.append(scalar.train(base, ds, 0, 0))
+        for ref, out in zip(refs, batched.train_cohort(requests)):
+            np.testing.assert_allclose(out.delta, ref.delta, rtol=0, atol=ATOL)
+
+    def test_empty_cohort(self):
+        cfg = ModelConfig(vocab_size=16, embed_dim=6, hidden_dim=8)
+        assert CohortTrainer(cfg).train_cohort([]) == []
+
+    def test_ragged_single_row_batches(self):
+        # B=1 tail batches exercise the GEMV/GEMM kernel boundary that
+        # naive row padding gets wrong by one ulp.
+        cfg = ModelConfig(vocab_size=16, embed_dim=6, hidden_dim=8)
+        fed = make_federation(vocab=16, seq_len=8)
+        base = LSTMLanguageModel(cfg, seed=2).get_flat()
+        scalar = LocalTrainer(cfg, lr=0.9, batch_size=8)
+        batched = CohortTrainer(cfg, lr=0.9, batch_size=8)
+        sizes = [2, 13, 3, 27, 2]  # n_train of 1, 9, 2, 18, 1 -> B=1 tails
+        requests, refs = [], []
+        for cid, n in enumerate(sizes):
+            ds = fed.client_dataset(100 + cid, n)
+            requests.append(CohortRequest(base, ds, 0, 0))
+            refs.append(scalar.train(base, ds, 0, 0))
+        for ref, out in zip(refs, batched.train_cohort(requests)):
+            np.testing.assert_allclose(out.delta, ref.delta, rtol=0, atol=ATOL)
+            assert abs(out.train_loss - ref.train_loss) <= ATOL
+
+
+class TestBatchedKernels:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_batched_model_matches_scalar_rows(self):
+        cfg = ModelConfig(vocab_size=18, embed_dim=6, hidden_dim=10, num_layers=2)
+        K, B, T = 4, 5, 7
+        stack = np.stack([
+            LSTMLanguageModel(cfg, seed=s).get_flat() for s in range(K)
+        ])
+        tokens = self.rng.integers(0, 18, size=(K, B, T))
+        targets = self.rng.integers(0, 18, size=(K, B, T))
+        bm = BatchedLSTMLanguageModel(cfg, K)
+        bm.set_flat_stack(stack)
+        losses, grads = bm.loss_and_grad(tokens, targets)
+        for k in range(K):
+            m = LSTMLanguageModel(cfg, seed=0)
+            m.set_flat(stack[k])
+            loss, grad = m.loss_and_grad(tokens[k], targets[k])
+            assert abs(loss - float(losses[k])) <= ATOL
+            np.testing.assert_allclose(grads[k], grad, rtol=0, atol=ATOL)
+
+    def test_batched_model_ragged_valid_rows(self):
+        cfg = ModelConfig(vocab_size=18, embed_dim=6, hidden_dim=10)
+        K, B, T = 3, 6, 5
+        stack = np.stack([
+            LSTMLanguageModel(cfg, seed=s).get_flat() for s in range(K)
+        ])
+        valid = np.array([1, 4, 6])
+        tokens = np.zeros((K, B, T), dtype=np.int64)
+        targets = np.zeros_like(tokens)
+        per_client = []
+        for k in range(K):
+            b = int(valid[k])
+            tk = self.rng.integers(0, 18, size=(b, T))
+            tg = self.rng.integers(0, 18, size=(b, T))
+            tokens[k, :b], targets[k, :b] = tk, tg
+            per_client.append((tk, tg))
+        bm = BatchedLSTMLanguageModel(cfg, K)
+        bm.set_flat_stack(stack)
+        losses, grads = bm.loss_and_grad(tokens, targets, valid_rows=valid)
+        for k, (tk, tg) in enumerate(per_client):
+            m = LSTMLanguageModel(cfg, seed=0)
+            m.set_flat(stack[k])
+            loss, grad = m.loss_and_grad(tk, tg)
+            assert abs(loss - float(losses[k])) <= ATOL
+            np.testing.assert_allclose(grads[k], grad, rtol=0, atol=ATOL)
+
+    def test_batched_lstm_kernels_per_slice(self):
+        K, B, T, D, H = 3, 4, 6, 5, 8
+        params = {
+            "w_x": self.rng.standard_normal((K, D, 4 * H)).astype(np.float32),
+            "w_h": self.rng.standard_normal((K, H, 4 * H)).astype(np.float32),
+            "bias": self.rng.standard_normal((K, 4 * H)).astype(np.float32),
+        }
+        x = self.rng.standard_normal((K, B, T, D)).astype(np.float32)
+        d_hs = self.rng.standard_normal((K, B, T, H)).astype(np.float32)
+        hs, cache = layers.batched_lstm_forward(params, x)
+        d_x, grads = layers.batched_lstm_backward(cache, d_hs)
+        for k in range(K):
+            pk = {n: params[n][k] for n in params}
+            hk, ck = layers.lstm_forward(pk, x[k])
+            np.testing.assert_allclose(hs[k], hk, rtol=0, atol=ATOL)
+            dxk, gk = layers.lstm_backward(ck, d_hs[k])
+            np.testing.assert_allclose(d_x[k], dxk, rtol=0, atol=ATOL)
+            for name in gk:
+                np.testing.assert_allclose(grads[name][k], gk[name], rtol=0, atol=ATOL)
+
+    def test_batched_cross_entropy_per_slice(self):
+        K, B, T, V = 4, 3, 5, 12
+        logits = (self.rng.standard_normal((K, B, T, V)) * 3).astype(np.float32)
+        targets = self.rng.integers(0, V, size=(K, B, T))
+        losses, d = batched_cross_entropy(logits, targets)
+        for k in range(K):
+            loss, dk = cross_entropy(logits[k], targets[k])
+            assert abs(loss - float(losses[k])) <= ATOL
+            np.testing.assert_allclose(d[k], dk, rtol=0, atol=ATOL)
+
+    def test_cohort_sgd_matches_scalar_rows(self):
+        K, P = 5, 40
+        params = self.rng.standard_normal((K, P)).astype(np.float32)
+        # Large grads so some rows clip and others do not.
+        grads = (self.rng.standard_normal((K, P)) *
+                 self.rng.choice([0.1, 10.0], size=(K, 1))).astype(np.float32)
+        cohort_opt = CohortSGD(lr=0.4, clip_norm=2.0)
+        stepped = cohort_opt.step(params, grads)
+        for k in range(K):
+            opt = SGD(lr=0.4, clip_norm=2.0)
+            np.testing.assert_allclose(
+                stepped[k], opt.step(params[k], grads[k]), rtol=0, atol=ATOL
+            )
+
+    def test_cohort_sgd_momentum(self):
+        K, P = 3, 20
+        params = self.rng.standard_normal((K, P)).astype(np.float32)
+        cohort_opt = CohortSGD(lr=0.2, momentum=0.9)
+        scalar_opts = [SGD(lr=0.2, momentum=0.9) for _ in range(K)]
+        scalar_params = [params[k].copy() for k in range(K)]
+        for _ in range(4):
+            grads = self.rng.standard_normal((K, P)).astype(np.float32)
+            params = cohort_opt.step(params, grads)
+            for k in range(K):
+                scalar_params[k] = scalar_opts[k].step(scalar_params[k], grads[k])
+        for k in range(K):
+            np.testing.assert_allclose(params[k], scalar_params[k], rtol=0, atol=ATOL)
+
+    def test_cohort_sgd_rejects_bad_shapes(self):
+        opt = CohortSGD(lr=0.1)
+        with pytest.raises(ValueError):
+            opt.step(np.zeros((2, 3), np.float32), np.zeros((3, 2), np.float32))
+        with pytest.raises(ValueError):
+            opt.step(np.zeros(3, np.float32), np.zeros(3, np.float32))
+
+
+def make_result(rng, cid, P, version=0, scale=1.0, n=None):
+    return TrainingResult(
+        client_id=cid,
+        delta=(rng.standard_normal(P) * scale).astype(np.float32),
+        num_examples=n if n is not None else int(rng.integers(1, 50)),
+        train_loss=float(rng.random()),
+        initial_version=version,
+    )
+
+
+def fresh_state(P, seed=0):
+    rng = np.random.default_rng(seed)
+    return GlobalModelState(rng.standard_normal(P).astype(np.float32), FedAdam(lr=0.1))
+
+
+class TestVectorizedDeltaBlocks:
+    P = 32
+
+    @pytest.mark.parametrize("weighting", ["linear", "log", "none"])
+    def test_fedbuff_block_matches_sequential(self, weighting):
+        rng = np.random.default_rng(3)
+        results = []
+        seq = FedBuffAggregator(fresh_state(self.P), goal=4,
+                                example_weighting=weighting)
+        blk = FedBuffAggregator(fresh_state(self.P), goal=4,
+                                example_weighting=weighting)
+        for cid in range(11):
+            r = make_result(rng, cid, self.P)
+            results.append(r)
+        for agg in (seq, blk):
+            for r in results:
+                agg.register_download(r.client_id)
+        seq_out = [seq.receive_update(r) for r in results]
+        blk_out = blk.receive_update_block(results)
+
+        assert seq.version == blk.version
+        assert seq.updates_received == blk.updates_received
+        assert len(seq.step_history) == len(blk.step_history) == 2
+        for (u1, s1), (u2, s2) in zip(seq_out, blk_out):
+            assert u1.weight == pytest.approx(u2.weight, abs=1e-12)
+            assert (s1 is None) == (s2 is None)
+        np.testing.assert_allclose(
+            seq.state.current(), blk.state.current(), rtol=0, atol=ATOL
+        )
+        np.testing.assert_allclose(seq._buffer, blk._buffer, rtol=0, atol=1e-9)
+
+    def test_fedbuff_block_staleness_across_steps(self):
+        # Updates later in the block must see the version bumped by the
+        # server step a mid-block chunk triggered.
+        rng = np.random.default_rng(4)
+        seq = FedBuffAggregator(fresh_state(self.P), goal=2)
+        blk = FedBuffAggregator(fresh_state(self.P), goal=2)
+        results = []
+        for cid in range(5):
+            results.append(make_result(rng, cid, self.P))
+        for agg in (seq, blk):
+            for r in results:
+                agg.register_download(r.client_id)
+        seq_out = [seq.receive_update(r) for r in results]
+        blk_out = blk.receive_update_block(results)
+        for (u1, _), (u2, _) in zip(seq_out, blk_out):
+            assert u1.staleness == u2.staleness
+            assert u1.arrival_version == u2.arrival_version
+
+    def test_fedbuff_block_rejects_unknown_client(self):
+        rng = np.random.default_rng(5)
+        agg = FedBuffAggregator(fresh_state(self.P), goal=10)
+        known = make_result(rng, 1, self.P)
+        agg.register_download(1)
+        with pytest.raises(KeyError):
+            agg.receive_update_block([known, make_result(rng, 99, self.P)])
+        # The known client's update was admitted before the failure,
+        # exactly as the sequential path would have left it.
+        assert agg.buffered_count == 1
+
+    def test_syncfl_block_matches_sequential(self):
+        # Five clients join round 0; the round closes after 3 updates,
+        # aborting the stragglers — whose late uploads then raise KeyError
+        # identically on the sequential and the block path.
+        rng = np.random.default_rng(6)
+        seq = SyncRoundAggregator(fresh_state(self.P), goal=3)
+        blk = SyncRoundAggregator(fresh_state(self.P), goal=3)
+        results = [make_result(rng, cid, self.P) for cid in range(5)]
+        for agg in (seq, blk):
+            for r in results:
+                agg.register_download(r.client_id)
+        for r in results[:3]:
+            seq.receive_update(r)
+        with pytest.raises(KeyError):
+            seq.receive_update(results[3])
+        with pytest.raises(KeyError):
+            blk.receive_update_block(results)
+        assert seq.version == blk.version == 1
+        assert seq.updates_discarded == blk.updates_discarded
+        assert seq.updates_received == blk.updates_received == 3
+        np.testing.assert_allclose(
+            seq.state.current(), blk.state.current(), rtol=0, atol=ATOL
+        )
+
+    def test_syncfl_block_simple_round(self):
+        rng = np.random.default_rng(7)
+        seq = SyncRoundAggregator(fresh_state(self.P), goal=3)
+        blk = SyncRoundAggregator(fresh_state(self.P), goal=3)
+        results = [make_result(rng, cid, self.P) for cid in range(3)]
+        for agg in (seq, blk):
+            for r in results:
+                agg.register_download(r.client_id)
+        for r in results:
+            seq.receive_update(r)
+        out = blk.receive_update_block(results)
+        assert out[-1][1] is not None and out[-1][1].version == 1
+        assert seq.version == blk.version == 1
+        np.testing.assert_allclose(
+            seq.state.current(), blk.state.current(), rtol=0, atol=ATOL
+        )
+
+    def test_dp_block_clips_and_matches_sequential(self):
+        rng = np.random.default_rng(8)
+        dp = DPConfig(clip_norm=0.5, noise_multiplier=0.8)
+        seq = DPFedBuffAggregator(fresh_state(self.P), goal=3, dp=dp, seed=9)
+        blk = DPFedBuffAggregator(fresh_state(self.P), goal=3, dp=dp, seed=9)
+        results = [make_result(rng, cid, self.P, scale=5.0) for cid in range(7)]
+        for agg in (seq, blk):
+            for r in results:
+                agg.register_download(r.client_id)
+        seq_out = [seq.receive_update(r) for r in results]
+        blk_out = blk.receive_update_block(results)
+        assert seq.accountant.releases == blk.accountant.releases == 2
+        assert seq.epsilon_spent == pytest.approx(blk.epsilon_spent)
+        np.testing.assert_allclose(
+            seq.state.current(), blk.state.current(), rtol=0, atol=ATOL
+        )
+        # Clipping really happened in the block path: every recorded
+        # update's delta norm is within the bound.
+        for update, _ in blk_out:
+            assert float(np.linalg.norm(update.result.delta)) <= dp.clip_norm + 1e-6
+        for (u1, _), (u2, _) in zip(seq_out, blk_out):
+            np.testing.assert_allclose(u1.result.delta, u2.result.delta,
+                                       rtol=0, atol=ATOL)
+
+
+class TestEndToEndCohortDispatch:
+    """Full-simulation differential test: cohort dispatch vs scalar."""
+
+    @staticmethod
+    def _run(mode, cohort_batch_size, max_steps=25):
+        from repro.core.server_opt import FedAdam as _FedAdam
+        from repro.harness.runner import make_population
+        from repro.system.adapters import RealTrainingAdapter
+        from repro.system.orchestrator import FederatedSimulation, SystemConfig
+
+        model_cfg = ModelConfig(vocab_size=24, embed_dim=8, hidden_dim=16)
+        corpus = TopicMarkovCorpus(
+            CorpusSpec(vocab_size=24, seq_len=10, volume_topic_coupling=0.8,
+                       reference_examples=20.0),
+            seed=0,
+        )
+        pop = make_population(300, seed=0, mean_examples=20.0, max_examples=80)
+        dataset = FederatedDataset(corpus)
+        model = LSTMLanguageModel(model_cfg, seed=0)
+        state = GlobalModelState(model.get_flat(), _FedAdam(lr=0.05))
+        trainer = LocalTrainer(model_cfg, lr=1.0, batch_size=8, seed=0)
+        ids = list(range(24))
+        adapter = RealTrainingAdapter(
+            trainer, dataset, state, eval_clients=ids,
+            eval_examples=[pop.profile(i).n_examples for i in ids], eval_every=5,
+        )
+        cfg = TaskConfig(
+            name="t", mode=mode, concurrency=24, aggregation_goal=6,
+            over_selection=0.3 if mode is TrainingMode.SYNC else 0.0,
+            model_size_bytes=200_000,
+        )
+        fs = FederatedSimulation(
+            [(cfg, adapter)], pop, seed=0,
+            system=SystemConfig(cohort_batch_size=cohort_batch_size),
+        )
+        res = fs.run(t_end=3e5, max_server_steps=max_steps)
+        return res, fs
+
+    @pytest.mark.parametrize("mode", [TrainingMode.ASYNC, TrainingMode.SYNC])
+    def test_traces_identical(self, mode):
+        res1, _ = self._run(mode, 1)
+        res16, fs16 = self._run(mode, 16)
+
+        t1, l1 = res1.trace.loss_curve("t")
+        t16, l16 = res16.trace.loss_curve("t")
+        np.testing.assert_array_equal(t1, t16)
+        np.testing.assert_allclose(l1, l16, rtol=0, atol=ATOL)
+
+        parts1 = [(p.device_id, p.start_time, p.end_time, p.outcome, p.staleness)
+                  for p in res1.trace.participations]
+        parts16 = [(p.device_id, p.start_time, p.end_time, p.outcome, p.staleness)
+                   for p in res16.trace.participations]
+        assert parts1 == parts16
+
+        dispatcher = fs16.task_runtimes["t"].cohort
+        assert dispatcher is not None
+        assert dispatcher.batches_run > 0
+        assert dispatcher.trainings_run >= dispatcher.batches_run
+        # Batching actually grouped clients (not all singleton batches).
+        assert dispatcher.trainings_run > dispatcher.batches_run
+
+    def test_scalar_dispatch_has_no_dispatcher(self):
+        _, fs = self._run(TrainingMode.ASYNC, 1, max_steps=2)
+        assert fs.task_runtimes["t"].cohort is None
+
+
+class TestCohortDispatchSafety:
+    def test_stale_queued_upload_from_replaced_device_is_ignored(self):
+        """A queued upload of an aborted session must not resolve after the
+        device was re-selected under a NEW session with the same id — the
+        discarded PendingTraining is gone and draining it would crash."""
+        from repro.sim import MetricsTrace, Outcome, Simulator
+        from repro.sim.network import NetworkModel
+        from repro.sim.population import DevicePopulation, PopulationConfig
+        from repro.system.adapters import SurrogateAdapter
+        from repro.system.aggregator import AggregatorNode, FLTaskRuntime
+        from repro.system.client_runtime import ClientSession, CohortDispatcher
+        from repro.utils import EventLog
+
+        sim, log, trace = Simulator(), EventLog(), MetricsTrace()
+        cfg = TaskConfig(name="t", mode=TrainingMode.ASYNC, concurrency=4,
+                         aggregation_goal=2, model_size_bytes=1000)
+        adapter = SurrogateAdapter(seed=0)
+        dispatcher = CohortDispatcher(adapter, max_cohort=4)
+        rt = FLTaskRuntime(cfg, adapter, sim, trace, log, cohort=dispatcher)
+        AggregatorNode(0, sim, log).host(rt)
+        pop = DevicePopulation(PopulationConfig(n_devices=2), seed=0)
+
+        def make_session(participation):
+            session = ClientSession(
+                profile=pop.profile(0), task_rt=rt, sim=sim,
+                network=NetworkModel(), population=pop, trace=trace,
+                participation=participation, failure_detection_s=5.0,
+                on_end=rt.session_ended,
+            )
+            rt.pending_assignments += 1
+            rt.attach_session(session)
+            return session
+
+        old = make_session(0)
+        rt.core.register_download(0)
+        pending = dispatcher.submit(old.profile, None, 0, 0)
+        old._pending = pending
+        old.abort(Outcome.ABORTED)  # discards the deferred training
+        assert len(dispatcher) == 0
+
+        new = make_session(1)  # same device, re-selected
+        rt.core.register_download(0)
+        before = rt.core.updates_received
+        rt.process_update(old, pending)  # the stale shard event fires
+        assert rt.core.updates_received == before
+        assert not new.finished
+        assert rt.sessions[0] is new

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Simulator
+from repro.sim import DeferredQueue, Simulator
 
 
 class TestScheduling:
@@ -137,3 +137,165 @@ class TestRunControl:
             sim.schedule(float(t), lambda: None)
         sim.run_until_idle()
         assert sim.events_fired == 5
+
+
+class TestEdgeCases:
+    def test_run_until_idle_on_already_idle(self):
+        sim = Simulator()
+        assert sim.run_until_idle() == 0.0
+        assert sim.now == 0.0
+        assert sim.events_fired == 0
+        # Idempotent: calling again after a run changes nothing.
+        sim.schedule(2.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.run_until_idle() == 2.0
+        assert sim.events_fired == 1
+
+    def test_same_timestamp_fifo_across_scheduling_styles(self):
+        # Relative and absolute scheduling at the same instant still fire
+        # in scheduling order (the FIFO tie-break covers both APIs).
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("rel-first"))
+        sim.schedule_at(1.0, lambda: fired.append("abs-second"))
+        sim.schedule(1.0, lambda: fired.append("rel-third"))
+        sim.run_until_idle()
+        assert fired == ["rel-first", "abs-second", "rel-third"]
+
+    def test_same_timestamp_fifo_for_events_scheduled_while_firing(self):
+        # An event scheduled with zero delay from inside a handler fires
+        # at the same timestamp, after already-queued same-time events.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append("a"),
+                                   sim.schedule(0.0, lambda: fired.append("late"))))
+        sim.schedule(1.0, lambda: fired.append("b"))
+        sim.run_until_idle()
+        assert fired == ["a", "b", "late"]
+
+    def test_cancel_before_firing_inside_run_until(self):
+        # A cancelled event at the queue head is skipped by run_until's
+        # lazy-deletion path without advancing the clock to its time.
+        sim = Simulator()
+        fired = []
+        h = sim.schedule(1.0, lambda: fired.append("cancelled"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        h.cancel()
+        end = sim.run_until(5.0)
+        assert fired == ["kept"]
+        assert end == 5.0
+        assert sim.events_fired == 1
+
+    def test_cancel_from_within_event_at_same_time(self):
+        # Cancelling a same-timestamp sibling from a handler prevents it
+        # from firing even though it was already queued.
+        sim = Simulator()
+        fired = []
+        handles = []
+        sim.schedule(1.0, lambda: (fired.append("first"), handles[0].cancel()))
+        handles.append(sim.schedule(1.0, lambda: fired.append("second")))
+        sim.run_until_idle()
+        assert fired == ["first"]
+
+    def test_cancel_after_firing_keeps_counters(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        h.cancel()  # no-op
+        assert sim.events_fired == 1
+        assert sim.pending == 0
+
+    def test_run_until_max_events_exhaustion_preserves_queue(self):
+        sim = Simulator()
+        fired = []
+        for t in range(6):
+            sim.schedule(float(t + 1), lambda t=t: fired.append(t))
+        end = sim.run_until(100.0, max_events=3)
+        # Stopped at the third event's time, with the rest still queued.
+        assert fired == [0, 1, 2]
+        assert end == 3.0
+        assert sim.now == 3.0
+        assert sim.pending == 3
+        # Resuming picks up exactly where the budget ran out.
+        sim.run_until(100.0)
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+    def test_run_until_max_events_counts_only_fired_not_cancelled(self):
+        sim = Simulator()
+        fired = []
+        cancelled = [sim.schedule(0.5, lambda: fired.append("x")) for _ in range(4)]
+        for h in cancelled:
+            h.cancel()
+        for t in range(3):
+            sim.schedule(float(t + 1), lambda t=t: fired.append(t))
+        sim.run_until(100.0, max_events=2)
+        assert fired == [0, 1]  # cancelled events did not consume budget
+
+    def test_run_until_stop_checked_after_each_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(1.0, lambda: fired.append(2))
+        end = sim.run_until(10.0, stop=lambda: True)
+        assert fired == [1]
+        assert end == 1.0  # clock NOT advanced to the horizon on early stop
+
+
+class TestDeferredQueue:
+    def test_fifo_drain_includes_required(self):
+        q = DeferredQueue()
+        items = [object() for _ in range(5)]
+        for item in items:
+            q.submit(item)
+        batch = q.drain(items[0], limit=3)
+        assert batch == items[:3]
+        assert len(q) == 2
+
+    def test_required_beyond_limit_replaces_last_slot(self):
+        q = DeferredQueue()
+        items = [object() for _ in range(5)]
+        for item in items:
+            q.submit(item)
+        batch = q.drain(items[4], limit=2)
+        assert batch == [items[0], items[4]]
+        assert len(q) == 3  # items 1, 2, 3 remain
+
+    def test_drain_without_limit_takes_everything(self):
+        q = DeferredQueue()
+        items = [object() for _ in range(4)]
+        for item in items:
+            q.submit(item)
+        assert q.drain(items[2]) == items
+        assert len(q) == 0
+
+    def test_discard_removes_only_that_item(self):
+        q = DeferredQueue()
+        a, b = object(), object()
+        q.submit(a)
+        q.submit(b)
+        assert q.discard(a) is True
+        assert q.discard(a) is False  # already gone
+        assert q.drain(b) == [b]
+
+    def test_drain_unknown_required_raises(self):
+        q = DeferredQueue()
+        q.submit(object())
+        with pytest.raises(ValueError):
+            q.drain(object())
+
+    def test_drain_bad_limit_rejected(self):
+        q = DeferredQueue()
+        item = object()
+        q.submit(item)
+        with pytest.raises(ValueError):
+            q.drain(item, limit=0)
+
+    def test_identity_not_equality(self):
+        # Two equal-but-distinct items are tracked separately.
+        q = DeferredQueue()
+        a, b = [1], [1]
+        q.submit(a)
+        q.submit(b)
+        q.discard(a)
+        assert len(q) == 1
+        assert q.drain(b) == [b]
