@@ -1,0 +1,54 @@
+"""Secure-aggregation data-plane benchmark: block vs scalar server+TSA.
+
+Regenerates the ``secagg`` experiment (see ``repro/harness/perf.py``)
+through the registry/cache layer and asserts the data plane's two
+contractual properties at every (cohort size, vector length) operating
+point — exact bit-identity (decoded aggregates, release vectors, and TSA
+boundary meters all agree between the scalar and block arms, max
+divergence 0) and a decisive wall-clock speedup once cohorts and vectors
+reach protocol-relevant sizes.
+
+The speedup floors asserted here are deliberately below the locally
+measured values (~2.2x at K=64 on a 25k vector, ~3.1x at K=64 on a 200k
+vector): shared CI runners are noisy, and the benchmark must fail only on
+real regressions, not scheduling jitter.  The measured numbers land in
+``extra_info`` so the artifact tracks the true trajectory per run.
+"""
+
+from repro.harness import perf  # noqa: F401  (registers the secagg experiment)
+
+
+class TestSecAggDataPlane:
+    def test_secagg_speedup_and_bit_identity(self, cached_run, benchmark):
+        res = cached_run("secagg")
+        by_point = {(p.cohort_size, p.vector_length): p for p in res.points}
+
+        for point in res.points:
+            # The differential guarantee: every operating point must be
+            # exactly bit-identical — this is a correctness contract, not
+            # a timing, so it has no tolerance at all.
+            assert point.bit_identical, (
+                f"K={point.cohort_size} l={point.vector_length}: block/scalar "
+                f"aggregates or release vectors differ"
+            )
+            assert point.max_divergence == 0.0
+            assert point.boundary_match, (
+                f"K={point.cohort_size} l={point.vector_length}: TSA boundary "
+                f"meters diverged between arms"
+            )
+            key = f"k{point.cohort_size}_l{point.vector_length}"
+            benchmark.extra_info[f"speedup_{key}"] = round(point.speedup, 3)
+            benchmark.extra_info[f"scalar_ms_{key}"] = round(point.scalar_s * 1e3, 2)
+            benchmark.extra_info[f"block_ms_{key}"] = round(point.block_s * 1e3, 2)
+
+        # Protocol-relevant operating points must be decisively faster
+        # (locally ~2.2x at K=64 on the small vector, ~3.1x at K=64 on
+        # the model-sized one).
+        sizes = sorted({p.cohort_size for p in res.points})
+        lengths = sorted({p.vector_length for p in res.points})
+        big_k, small_l, big_l = sizes[-1], lengths[0], lengths[-1]
+        assert by_point[(big_k, small_l)].speedup >= 1.5
+        assert by_point[(big_k, big_l)].speedup >= 2.0
+        best = max(p.speedup for p in res.points if p.cohort_size >= 32)
+        benchmark.extra_info["best_speedup_k32plus"] = round(best, 3)
+        assert best >= 2.25

@@ -45,7 +45,10 @@ from repro.harness.ks import KSResult, ks_two_sample
 from repro.harness.perf import (
     CohortPoint,
     CohortResult,
+    SecAggPoint,
+    SecAggResult,
     cohort_speedup,
+    secagg_speedup,
 )
 from repro.harness.registry import ExperimentSpec
 from repro.harness.report import (
@@ -105,6 +108,9 @@ __all__ = [
     "CohortPoint",
     "CohortResult",
     "cohort_speedup",
+    "SecAggPoint",
+    "SecAggResult",
+    "secagg_speedup",
     "ks_two_sample",
     "ExperimentSpec",
     "ResultCache",

@@ -1,4 +1,4 @@
-"""Performance experiments: the cohort-engine speedup operating curve.
+"""Performance experiments: the engine/data-plane speedup operating curves.
 
 The ``cohort`` experiment measures the batched cohort execution engine
 (:class:`repro.core.cohort.CohortTrainer`) against the scalar per-client
@@ -10,10 +10,24 @@ epoch of clipped SGD per client.  For every cohort size K it reports
 scalar and batched wall-clock, the speedup, and the maximum per-client
 delta divergence — which the equivalence guarantee keeps at 0.0.
 
-Run / sweep it through the PR-1 harness layer::
+The ``secagg`` experiment does the same for the secure-aggregation
+server+TSA *data plane*: for each (cohort size K, vector length ℓ) it
+drives one set of client submissions through the scalar per-client
+protocol path (sequential ``submit`` calls plus the pre-vectorization
+sequential weighted finalize, kept here as a reference replica) and
+through the block path (``submit_block`` + fused weighted finalize),
+reporting both wall clocks, the speedup, and the decoded aggregates' max
+divergence — exactly 0 by the bit-identity contract.  The DH handshake
+(leg minting and completion) is control-plane work amortized at check-in
+time by :class:`repro.system.secure.LegPool` /
+``TrustedSecureAggregator.complete_leg``; it is identical in both arms,
+runs outside the timed segment, and is reported separately per point.
+
+Run / sweep them through the PR-1 harness layer::
 
     python -m repro.harness cohort
-    python -m repro.harness sweep cohort --seeds 0..4 --json cohort.json
+    python -m repro.harness secagg
+    python -m repro.harness sweep secagg --seeds 0..2 --json secagg.json
 
 so before/after JSON reports of future engine changes land in the same
 cache + CI-artifact pipeline as every figure.
@@ -35,9 +49,25 @@ from repro.harness.configs import Scale
 from repro.harness.report import print_table
 from repro.harness.runner import make_population
 from repro.nn.model import LSTMLanguageModel, ModelConfig
+from repro.secagg.attestation import SigningAuthority
+from repro.secagg.client import SecAggClient
+from repro.secagg.fixedpoint import FixedPointCodec
+from repro.secagg.groups import PowerOfTwoGroup
+from repro.secagg.prng import expand_mask
+from repro.secagg.server import SecAggServer
+from repro.secagg.tsa import TrustedSecureAggregator
 from repro.utils.rng import child_rng
 
-__all__ = ["CohortPoint", "CohortResult", "cohort_speedup", "print_cohort"]
+__all__ = [
+    "CohortPoint",
+    "CohortResult",
+    "cohort_speedup",
+    "print_cohort",
+    "SecAggPoint",
+    "SecAggResult",
+    "secagg_speedup",
+    "print_secagg",
+]
 
 
 @dataclass(frozen=True)
@@ -195,6 +225,266 @@ registry.register(
         print_cohort,
         CohortResult,
         description="batched cohort engine vs scalar training: speedup + equivalence",
+        default_grid={},
+        uses_scale=False,
+    ),
+    replace=True,
+)
+
+
+# ---------------------------------------------------------------------------
+# Secure-aggregation data plane: scalar vs block server+TSA wall clock
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SecAggPoint:
+    """One (cohort size, vector length) operating point of the comparison."""
+
+    cohort_size: int
+    vector_length: int
+    scalar_s: float  # sequential server+TSA data plane (best-of)
+    block_s: float  # vectorized block data plane (best-of)
+    speedup: float
+    handshake_s: float  # one client's DH completion, off the timed path
+    max_divergence: float  # |block - scalar| over decoded aggregates
+    bit_identical: bool  # aggregates AND release vectors exactly equal
+    boundary_match: bool  # TSA boundary meters equal between arms
+
+
+@dataclass(frozen=True)
+class SecAggResult:
+    """Scalar-vs-block secure-aggregation comparison across K × ℓ."""
+
+    points: list[SecAggPoint]
+    group_bits: int
+    fp_scale: float
+    clip_value: float
+    repeats: int
+
+
+def _scalar_reference_finalize(server, seeds_by_leg, weights, clip_value):
+    """The pre-vectorization sequential weighted finalize, replicated.
+
+    This is the scalar baseline's data plane, kept verbatim so the sweep
+    keeps measuring the protocol the block path replaced: the server
+    scales and folds each accepted masked update one at a time, and the
+    trusted party re-expands every seed and folds ``w·m`` one leg at a
+    time.  Returns the decoded aggregate and the unmask vector (the
+    latter is pinned bit-equal to the TSA's vectorized release).
+    """
+    group = server.codec.group
+    length = server.tsa.vector_length
+    masked = group.zeros(length)
+    total_w = 0
+    for sub in server.accepted_submissions:
+        w = weights.get(sub.leg_index, 0)
+        if w:
+            masked = group.add(masked, group.scale(sub.masked_update, w))
+            total_w += abs(w)
+    unmask = group.zeros(length)
+    for leg_index, w in weights.items():
+        if w:
+            mask = expand_mask(seeds_by_leg[leg_index], length, group)
+            unmask = group.add(unmask, group.scale(mask, w))
+    aggregate = server.codec.decode_sum(
+        group.sub(masked, unmask), max(total_w, 1), clip_value
+    )
+    return aggregate, unmask
+
+
+def secagg_speedup(
+    cohort_sizes: tuple[int, ...] = (8, 16, 32, 64),
+    vector_lengths: tuple[int, ...] = (25_000, 200_000),
+    repeats: int = 4,
+    group_bits: int = 64,
+    fp_scale: float = 2**16,
+    clip_value: float = 1.0,
+    seed: int = 0,
+) -> SecAggResult:
+    """Measure block-vs-scalar secure aggregation on the server+TSA path.
+
+    Both arms process identical client submissions (same seeds, same DH
+    legs — the arms' TSAs draw from identical randomness streams) and are
+    pinned bit-identical: decoded aggregates, release vectors, and
+    boundary byte meters must agree exactly.  Each repeat re-keys the
+    arms with ``begin_round`` and fresh legs/submissions, so the block
+    arm is measured in its steady state (row caches warm across epochs,
+    exactly as :class:`repro.system.secure.SecureBufferedAggregator`
+    runs it).
+    """
+    group = PowerOfTwoGroup(group_bits)
+    codec = FixedPointCodec(group, scale=fp_scale, clip_value=clip_value)
+    authority = SigningAuthority()
+    rng = child_rng(seed, "secagg-perf")
+
+    points: list[SecAggPoint] = []
+    for length in vector_lengths:
+        arms = {}
+        servers = {}
+        for arm in ("scalar", "block"):
+            # Identical rng streams => identical legs: one set of client
+            # submissions opens against either arm.  Arms and servers are
+            # long-lived across cohort sizes and repeats (re-keyed with
+            # begin_round), so the block arm is measured in its warm
+            # steady state, exactly as the system layer runs it.
+            arms[arm] = TrustedSecureAggregator(
+                group,
+                length,
+                threshold=1,  # the sweep releases after exactly K submits
+                authority=authority,
+                rng=child_rng(seed, "secagg-perf-tsa", length),
+                cache_masks=(arm == "block"),
+            )
+            servers[arm] = SecAggServer(
+                arms[arm], codec, initial_legs=max(cohort_sizes)
+            )
+        for size in cohort_sizes:
+            updates = rng.uniform(-1.0, 1.0, size=(size, length))
+            weights = {i: (i % 7) + 1 for i in range(size)}
+            best_scalar = best_block = best_handshake = float("inf")
+            agg_scalar = agg_block = None
+            bit_identical = True
+            for _ in range(max(1, repeats)):
+                for arm in arms.values():
+                    arm.begin_round()
+                for server in servers.values():
+                    server.begin_round()
+                legs = [servers["scalar"].assign_leg() for _ in range(size)]
+                block_legs = [servers["block"].assign_leg() for _ in range(size)]
+                assert [leg.index for leg in legs] == [
+                    leg.index for leg in block_legs
+                ]
+                submissions = []
+                seeds_by_leg = {}
+                weight_map = {}
+                for i in range(size):
+                    client = SecAggClient(
+                        client_id=i,
+                        codec=codec,
+                        authority=authority,
+                        expected_binary_hash=arms["scalar"].binary_hash,
+                        expected_params_hash=arms["scalar"].params_hash,
+                        rng=child_rng(seed, "secagg-perf-client", length, i),
+                    )
+                    sub = client.participate(updates[i], legs[i])
+                    submissions.append(sub)
+                    seeds_by_leg[sub.leg_index] = client.last_seed
+                    weight_map[sub.leg_index] = weights[i]
+                # Control plane, off the timed path: forward every
+                # completing message at check-in (amortized DH legs).
+                t0 = time.perf_counter()
+                for sub in submissions:
+                    for server in servers.values():
+                        server.complete_checkin(sub)
+                # 2 arms x K clients completed above -> per-client cost.
+                best_handshake = min(
+                    best_handshake, (time.perf_counter() - t0) / (2 * size)
+                )
+
+                t0 = time.perf_counter()
+                for sub in submissions:
+                    if not servers["scalar"].submit(sub):
+                        raise RuntimeError("scalar arm rejected a submission")
+                agg_scalar, ref_unmask = _scalar_reference_finalize(
+                    servers["scalar"], seeds_by_leg, weight_map, clip_value
+                )
+                best_scalar = min(best_scalar, time.perf_counter() - t0)
+
+                t0 = time.perf_counter()
+                flags = servers["block"].submit_block(submissions)
+                agg_block = servers["block"].finalize(
+                    weights=weight_map, max_abs=clip_value
+                )
+                best_block = min(best_block, time.perf_counter() - t0)
+                if not all(flags):
+                    raise RuntimeError("block arm rejected a submission")
+
+                # Pin the vectorized release against the sequential one
+                # (untimed; also keeps the arms' boundary meters aligned).
+                released = arms["scalar"].release_unmask(
+                    {k: v for k, v in weight_map.items() if v}
+                )
+                bit_identical = bit_identical and np.array_equal(
+                    released, ref_unmask
+                )
+            bit_identical = bit_identical and np.array_equal(agg_scalar, agg_block)
+            divergence = float(np.max(np.abs(agg_block - agg_scalar)))
+            points.append(
+                SecAggPoint(
+                    cohort_size=size,
+                    vector_length=length,
+                    scalar_s=best_scalar,
+                    block_s=best_block,
+                    speedup=best_scalar / best_block if best_block > 0 else float("inf"),
+                    handshake_s=best_handshake,
+                    max_divergence=divergence,
+                    bit_identical=bool(bit_identical),
+                    boundary_match=(
+                        arms["scalar"].boundary_bytes_in
+                        == arms["block"].boundary_bytes_in
+                        and arms["scalar"].boundary_bytes_out
+                        == arms["block"].boundary_bytes_out
+                    ),
+                )
+            )
+    return SecAggResult(
+        points=points,
+        group_bits=group_bits,
+        fp_scale=fp_scale,
+        clip_value=clip_value,
+        repeats=repeats,
+    )
+
+
+def print_secagg(res: SecAggResult) -> None:
+    """Render the secagg data-plane comparison as text."""
+    print_table(
+        [
+            "K",
+            "len",
+            "scalar (ms)",
+            "block (ms)",
+            "speedup",
+            "handshake/client (ms)",
+            "max |div|",
+            "bit-identical",
+            "boundary ok",
+        ],
+        [
+            [
+                p.cohort_size,
+                p.vector_length,
+                p.scalar_s * 1e3,
+                p.block_s * 1e3,
+                p.speedup,
+                p.handshake_s * 1e3,
+                p.max_divergence,
+                p.bit_identical,
+                p.boundary_match,
+            ]
+            for p in res.points
+        ],
+        title=(
+            f"SecAgg data plane — block vs scalar server+TSA wall clock "
+            f"(Z_2^{res.group_bits}, scale 2^{int(np.log2(res.fp_scale))}, "
+            f"best of {res.repeats})"
+        ),
+    )
+
+
+def _run_secagg(scale: Scale, seed: int, **params) -> SecAggResult:
+    return secagg_speedup(seed=seed, **params)
+
+
+registry.register(
+    registry.ExperimentSpec(
+        "secagg",
+        _run_secagg,
+        print_secagg,
+        SecAggResult,
+        description=(
+            "secure-aggregation block vs scalar data plane: speedup + bit-identity"
+        ),
         default_grid={},
         uses_scale=False,
     ),

@@ -35,7 +35,7 @@ from repro.secagg.merkle import (
     verify_inclusion,
 )
 from repro.secagg.otp import otp_add, otp_decrypt_sum, otp_encrypt
-from repro.secagg.prng import SEED_BYTES, expand_mask, generate_seed
+from repro.secagg.prng import SEED_BYTES, expand_mask, expand_mask_block, generate_seed
 from repro.secagg.protocol import (
     BoundaryCostModel,
     SecAggDeployment,
@@ -43,7 +43,7 @@ from repro.secagg.protocol import (
     run_secure_aggregation,
 )
 from repro.secagg.sealed import SealedBox, SealError, open_sealed, seal
-from repro.secagg.server import SecAggServer
+from repro.secagg.server import LegPool, SecAggServer
 from repro.secagg.tsa import KeyExchangeLeg, ProtocolError, TrustedSecureAggregator
 
 __all__ = [
@@ -77,6 +77,7 @@ __all__ = [
     "otp_encrypt",
     "SEED_BYTES",
     "expand_mask",
+    "expand_mask_block",
     "generate_seed",
     "BoundaryCostModel",
     "SecAggDeployment",
@@ -86,6 +87,7 @@ __all__ = [
     "SealError",
     "open_sealed",
     "seal",
+    "LegPool",
     "SecAggServer",
     "KeyExchangeLeg",
     "ProtocolError",

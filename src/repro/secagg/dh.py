@@ -41,9 +41,9 @@ _EXPONENT_BITS = 256  # short-exponent DH: 2x the 128-bit security target
 def _random_exponent(rng: np.random.Generator) -> int:
     """A uniformly random private exponent of ``_EXPONENT_BITS`` bits."""
     words = rng.integers(0, 2**64, size=_EXPONENT_BITS // 64, dtype=np.uint64)
-    value = 0
-    for w in words.tolist():
-        value = (value << 64) | int(w)
+    # First-drawn word is most significant (the historical fold order);
+    # the explicit little-endian dtype keeps the bytes platform-stable.
+    value = int.from_bytes(words.astype("<u8")[::-1].tobytes(), "little")
     return value | (1 << (_EXPONENT_BITS - 1))  # force full bit length
 
 

@@ -112,8 +112,30 @@ class FixedPointCodec:
         with np.errstate(over="ignore"):
             return self.group.reduce(as_int.astype(np.uint64))
 
+    def encode_block(self, values: np.ndarray) -> np.ndarray:
+        """Encode K real vectors as one vectorized ``(K, l)`` call.
+
+        Row ``i`` equals ``encode(values[i])`` bit-for-bit (clipping,
+        rounding and the two's-complement mapping are all element-wise);
+        the range check covers the whole block, so an out-of-range element
+        raises exactly as its row's scalar encode would.
+        """
+        v = np.asarray(values, dtype=np.float64)
+        if v.ndim != 2:
+            raise ValueError(f"expected a (K, l) block, got shape {v.shape}")
+        return self.encode(v)
+
     def decode(self, encoded: np.ndarray) -> np.ndarray:
-        """Group vector -> real vector (centered signed interpretation)."""
+        """Group vector -> real vector (centered signed interpretation).
+
+        Accepts any shape — in particular a ``(K, l)`` block decodes
+        row-wise, each row identical to its scalar decode.
+        """
+        if self.group.bits == 64 and encoded.dtype == np.dtype(np.uint64):
+            # uint64 -> int64 is exactly the two's-complement signed
+            # reinterpretation, so a zero-copy view replaces two astype
+            # passes on the hot decode path.
+            return (encoded.view(np.int64) / self.scale).astype(np.float64)
         enc = encoded.astype(np.uint64)
         if self.group.bits == 64:
             # uint64 -> int64 is exactly the two's-complement signed view.

@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.secagg.groups import PowerOfTwoGroup
 
-__all__ = ["SEED_BYTES", "generate_seed", "expand_mask"]
+__all__ = ["SEED_BYTES", "generate_seed", "expand_mask", "expand_mask_block"]
 
 SEED_BYTES = 16  # the paper's "usually 16 bytes"
 
@@ -51,3 +51,61 @@ def expand_mask(seed: bytes, length: int, group: PowerOfTwoGroup) -> np.ndarray:
     key = int.from_bytes(seed, "little")
     gen = np.random.Generator(np.random.Philox(key=key))
     return group.random(gen, length)
+
+
+def expand_mask_block(
+    seeds,
+    length: int,
+    group: PowerOfTwoGroup,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Expand K seeds into a stacked ``(K, length)`` mask block.
+
+    Row ``i`` is bit-identical to ``expand_mask(seeds[i], length, group)``
+    — each seed keys its own Philox stream, so the block is the same K
+    independent masks, just materialized into one contiguous buffer that
+    the server/TSA data plane can fold with single fused reductions.
+
+    Parameters
+    ----------
+    seeds:
+        Sequence of ``SEED_BYTES``-byte seeds.
+    length:
+        Elements per mask.
+    group:
+        Target group (fixes the output dtype).
+    out:
+        Optional preallocated ``(K, length)`` buffer of the group dtype
+        (may be a view into a larger row cache); reusing it across calls
+        avoids re-paging a model-sized allocation per block.
+    """
+    seeds = list(seeds)
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    for seed in seeds:
+        if len(seed) != SEED_BYTES:
+            raise ValueError(
+                f"seed must be {SEED_BYTES} bytes, got {len(seed)}"
+            )
+    k = len(seeds)
+    if out is None:
+        out = np.empty((k, length), dtype=group.dtype)
+    elif out.shape != (k, length) or out.dtype != group.dtype:
+        raise ValueError(
+            f"out must be a ({k}, {length}) array of {group.dtype}, "
+            f"got shape {out.shape} dtype {out.dtype}"
+        )
+    full_width = group.bits == 64 and group.dtype == np.dtype(np.uint64)
+    for i, seed in enumerate(seeds):
+        key = int.from_bytes(seed, "little")
+        if full_width:
+            # Fast path: for the full-width group, ``group.random`` draws
+            # the generator's raw 64-bit words verbatim
+            # (``integers(0, 2**64)`` with a power-of-two range is the
+            # identity bound), so ``random_raw`` yields the identical
+            # stream without a Generator wrapper or a reduction pass.
+            out[i] = np.random.Philox(key=key).random_raw(length)
+        else:
+            gen = np.random.Generator(np.random.Philox(key=key))
+            out[i] = group.random(gen, length)
+    return out

@@ -15,9 +15,25 @@ Responsibilities (Figure 16, trusted-party legs):
 * per client: recover the mask seed from the sealed box (rejecting any
   tampering), regenerate the mask, and fold it into a running sum — then
   never process that leg again (step 6);
-* release the unmasking vector exactly once, and only if at least the
-  threshold ``t`` of clients contributed (step 7), ignoring all further
-  messages afterwards.
+* release the unmasking vector exactly once per round, and only if at
+  least the threshold ``t`` of clients contributed (step 7), ignoring all
+  further messages afterwards.
+
+The data plane is vectorized: :meth:`process_client_block` authenticates
+K submissions, expands their masks as one contiguous block
+(:func:`repro.secagg.prng.expand_mask_block`) and folds them with a
+single fused reduction; the weighted release computes ``Σ w_i·m_i`` as
+one batched expansion plus one fused weighted reduction (or straight from
+the cached mask rows).  Every vectorized path is bit-identical to the
+sequential scalar protocol — group arithmetic mod 2^bits is exact under
+machine wraparound, so reassociating the folds changes no output bit.
+
+Two control-plane amortizations keep the expensive 2048-bit modexps off
+the per-epoch aggregation path: :meth:`complete_leg` lets the server
+forward a client's DH completing message at *check-in* time (the channel
+key is derived once and cached until the leg is consumed), and
+:meth:`begin_round` re-keys the aggregator for the next buffer epoch
+without re-minting legs or re-standing-up the attestation state.
 """
 
 from __future__ import annotations
@@ -29,7 +45,7 @@ import numpy as np
 from repro.secagg.attestation import Quote, SigningAuthority, hash_binary, hash_params
 from repro.secagg.dh import DHKeyPair, shared_key
 from repro.secagg.groups import PowerOfTwoGroup
-from repro.secagg.prng import SEED_BYTES, expand_mask
+from repro.secagg.prng import SEED_BYTES, expand_mask, expand_mask_block
 from repro.secagg.sealed import SealedBox, SealError, open_sealed
 
 __all__ = ["KeyExchangeLeg", "ProtocolError", "TrustedSecureAggregator"]
@@ -76,6 +92,14 @@ class TrustedSecureAggregator:
         simulation an arbitrary byte string published ahead of time.
     rng:
         Randomness stream for DH key generation.
+    cache_masks:
+        When True (default), masks recovered by the *block* data plane are
+        kept as rows of a contiguous cache for the lifetime of the round,
+        so a weighted release is a single fused reduction with no second
+        seed expansion.  When False only the 16-byte seeds are retained
+        (the memory-lean TEE configuration) and the weighted release
+        re-expands them as one batched expansion.  Either way the released
+        vector is bit-identical.
     """
 
     def __init__(
@@ -86,6 +110,7 @@ class TrustedSecureAggregator:
         authority: SigningAuthority,
         trusted_binary: bytes = b"papaya-tsa-v1",
         rng: np.random.Generator | None = None,
+        cache_masks: bool = True,
     ):
         if vector_length < 1:
             raise ValueError("vector_length must be at least 1")
@@ -103,10 +128,24 @@ class TrustedSecureAggregator:
 
         self._legs: dict[int, DHKeyPair] = {}  # private halves, enclave-only
         self._used: set[int] = set()
+        self._channel_keys: dict[int, bytes] = {}  # check-in-completed legs
+        self._cache_masks = cache_masks
+        # Mask-row cache: a growing (capacity, l) buffer whose first
+        # _row_count rows are this round's block-recovered masks; the
+        # capacity is retained across rounds so steady-state epochs never
+        # reallocate a cohort-sized buffer.
+        self._rows: np.ndarray | None = None
+        self._row_count = 0
+        self._row_legs: list[int] = []
+        # Cached-row ranges not yet folded into _mask_sum (block-path
+        # contributions defer the fold: a weighted release never needs
+        # it, an unweighted release folds them all in one reduction).
+        self._pending_fold: list[tuple[int, int]] = []
         self._mask_sum = group.zeros(vector_length)
         self._seeds: dict[int, bytes] = {}  # per-leg seeds (for weighted release)
         self._processed = 0
         self._released = False
+        self.round_index = 0
 
         self.boundary_bytes_in = 0
         self.boundary_bytes_out = 0
@@ -118,7 +157,9 @@ class TrustedSecureAggregator:
 
         The paper has the trusted party run "N (N > n) DH key exchange
         protocol instances" before clients arrive; calling this again
-        mints additional legs with new indices (elastic supply).
+        mints additional legs with new indices (elastic supply).  Legs
+        survive :meth:`begin_round` — minting is control-plane work the
+        leg pool amortizes across buffer epochs.
         """
         if count < 1:
             raise ValueError("count must be at least 1")
@@ -135,7 +176,84 @@ class TrustedSecureAggregator:
             self.boundary_bytes_out += len(payload) + len(quote.signature) + 64
         return legs
 
+    # -- control plane: check-in-time DH completion --------------------------------
+
+    def complete_leg(self, leg_index: int, completing_message: int) -> bool:
+        """Derive and cache a leg's channel key from the completing message.
+
+        The DH completion is the expensive modexp of the per-client path;
+        forwarding it when the client *checks in* (rather than when its
+        masked update arrives) moves that cost off the aggregation data
+        plane.  Only the first completing message for a leg is honoured —
+        a second attempt returns False and the cached key stands, matching
+        the paper's "the trusted party will not process any further
+        completing messages to the i'th initial message".
+
+        The completing message crosses the boundary here (256 bytes), so
+        a later :meth:`process_client` for the same leg meters only the
+        sealed seed — total boundary traffic per client is unchanged.
+        """
+        self.boundary_bytes_in += 256
+        if self._released:
+            return False
+        if leg_index not in self._legs or leg_index in self._used:
+            return False
+        if leg_index in self._channel_keys:
+            return False
+        try:
+            self._channel_keys[leg_index] = shared_key(
+                self._legs[leg_index].private, completing_message
+            )
+        except ValueError:
+            return False
+        return True
+
+    def _resolve_key(self, leg_index: int, completing_message: int) -> bytes | None:
+        """Channel key for a leg: cached from check-in, or derived now."""
+        key = self._channel_keys.get(leg_index)
+        if key is not None:
+            return key
+        try:
+            return shared_key(self._legs[leg_index].private, completing_message)
+        except ValueError:
+            return None
+
     # -- step 6: per-client seed recovery ----------------------------------------
+
+    def _admit(
+        self, leg_index: int, completing_message: int, sealed_seed: SealedBox
+    ) -> bytes | None:
+        """Authenticate one submission; returns the recovered seed or None.
+
+        Meters the boundary crossing and, on acceptance, marks the leg
+        used and records its seed — the shared state machine of the
+        scalar and block paths.
+        """
+        self.boundary_bytes_in += (
+            (0 if leg_index in self._channel_keys else 256)
+            + len(sealed_seed.ciphertext)
+            + len(sealed_seed.tag)
+            + 8
+        )
+        if self._released:
+            return None  # "The trusted party ignores any further messages"
+        if leg_index not in self._legs or leg_index in self._used:
+            return None
+        key = self._resolve_key(leg_index, completing_message)
+        if key is None:
+            return None
+        try:
+            seed = open_sealed(key, sealed_seed)
+        except SealError:
+            return None  # tampered in transit — exactly what the MAC is for
+        if len(seed) != SEED_BYTES:
+            return None
+        # Mark the leg used *before* aggregating: no second completing
+        # message for this initial message will ever be processed.
+        self._used.add(leg_index)
+        self._channel_keys.pop(leg_index, None)
+        self._seeds[leg_index] = seed
+        return seed
 
     def process_client(
         self, leg_index: int, completing_message: int, sealed_seed: SealedBox
@@ -147,45 +265,106 @@ class TrustedSecureAggregator:
         return False — the paper's trusted party silently "ignores the
         update"; the boolean lets the untrusted server keep its masked sum
         consistent with the mask sum.
+
+        This is the scalar per-arrival path: one seed expands and folds
+        at a time, exactly as the pre-vectorization protocol did (the
+        ``secagg`` sweep times it as the baseline).  With ``cache_masks``
+        the expanded mask is additionally parked in the row cache so the
+        weighted release still needs no re-expansion.
         """
-        self.boundary_bytes_in += 256 + len(sealed_seed.ciphertext) + len(sealed_seed.tag) + 8
-        if self._released:
-            return False  # "The trusted party ignores any further messages"
-        if leg_index not in self._legs or leg_index in self._used:
+        seed = self._admit(leg_index, completing_message, sealed_seed)
+        if seed is None:
             return False
-        try:
-            key = shared_key(self._legs[leg_index].private, completing_message)
-        except ValueError:
-            return False
-        try:
-            seed = open_sealed(key, sealed_seed)
-        except SealError:
-            return False  # tampered in transit — exactly what the MAC is for
-        if len(seed) != SEED_BYTES:
-            return False
-        # Mark the leg used *before* aggregating: no second completing
-        # message for this initial message will ever be processed.
-        self._used.add(leg_index)
-        self._seeds[leg_index] = seed
         mask = expand_mask(seed, self.vector_length, self.group)
         self._mask_sum = self.group.add(self._mask_sum, mask)
+        if self._cache_masks:
+            self._reserve_rows(1)
+            self._rows[self._row_count] = mask
+            self._row_legs.append(leg_index)
+            self._row_count += 1
         self._processed += 1
         return True
+
+    def process_client_block(
+        self, requests: list[tuple[int, int, SealedBox]]
+    ) -> list[bool]:
+        """Recover K clients' seeds and fold their masks as one block.
+
+        ``requests`` is a sequence of ``(leg_index, completing_message,
+        sealed_seed)`` triples.  Semantically identical to calling
+        :meth:`process_client` once per triple, in order — including
+        per-submission rejection (a duplicate leg inside the block is
+        rejected on its second appearance, exactly as sequentially) and
+        boundary metering — but the accepted seeds expand into one
+        contiguous mask block folded with a single fused reduction.
+        """
+        flags = [False] * len(requests)
+        legs: list[int] = []
+        seeds: list[bytes] = []
+        for j, (leg_index, completing_message, sealed_seed) in enumerate(requests):
+            seed = self._admit(leg_index, completing_message, sealed_seed)
+            if seed is None:
+                continue
+            legs.append(leg_index)
+            seeds.append(seed)
+            flags[j] = True
+        if seeds:
+            self._fold_masks(legs, seeds)
+            self._processed += len(seeds)
+        return flags
+
+    def _reserve_rows(self, k: int) -> None:
+        """Ensure the row cache can take ``k`` more rows (capacity is
+        retained across rounds, so steady-state epochs never reallocate)."""
+        need = self._row_count + k
+        if self._rows is None or self._rows.shape[0] < need:
+            capacity = max(
+                need, 2 * (0 if self._rows is None else self._rows.shape[0]), 8
+            )
+            grown = np.empty((capacity, self.vector_length), dtype=self.group.dtype)
+            if self._row_count:
+                grown[: self._row_count] = self._rows[: self._row_count]
+            self._rows = grown
+
+    def _fold_masks(self, legs: list[int], seeds: list[bytes]) -> None:
+        """Expand accepted seeds as one block and fold it into the mask sum.
+
+        With ``cache_masks`` the expansion lands directly in the row
+        cache (retained until release so the weighted unmask needs no
+        second expansion); otherwise a throwaway block is expanded.  The
+        running sum is always maintained eagerly, so the unweighted
+        release is a copy regardless of configuration.
+        """
+        k = len(seeds)
+        if self._cache_masks:
+            self._reserve_rows(k)
+            expand_mask_block(
+                seeds,
+                self.vector_length,
+                self.group,
+                out=self._rows[self._row_count : self._row_count + k],
+            )
+            self._row_legs.extend(legs)
+            self._pending_fold.append((self._row_count, self._row_count + k))
+            self._row_count += k
+        else:
+            block = expand_mask_block(seeds, self.vector_length, self.group)
+            self.group.add_into(self._mask_sum, self.group.sum_block(block))
 
     # -- step 7: one-shot unmask release ----------------------------------------
 
     @property
     def processed_count(self) -> int:
-        """Clients whose seeds have been recovered so far."""
+        """Clients whose seeds have been recovered this round."""
         return self._processed
 
     @property
     def released(self) -> bool:
-        """Whether the unmasking vector has already been released."""
+        """Whether this round's unmasking vector has already been released."""
         return self._released
 
     def release_unmask(self, weights: dict[int, int] | None = None) -> np.ndarray:
-        """Release ``Σ m_i`` (or ``Σ w_i·m_i``) exactly once.
+        """Release ``Σ m_i`` (or ``Σ w_i·m_i``) exactly once per round.
 
         Parameters
         ----------
@@ -209,15 +388,69 @@ class TrustedSecureAggregator:
                 f"only {self._processed} clients aggregated; threshold is {self.threshold}"
             )
         if weights is None:
+            # Fold any block contributions whose rows were parked lazily.
+            for start, stop in self._pending_fold:
+                self.group.add_into(
+                    self._mask_sum, self.group.sum_block(self._rows[start:stop])
+                )
+            self._pending_fold = []
             out = self._mask_sum.copy()
         else:
             unknown = set(weights) - set(self._seeds)
             if unknown:
                 raise ProtocolError(f"weights reference unprocessed legs {sorted(unknown)}")
-            out = self.group.zeros(self.vector_length)
-            for leg_index, w in weights.items():
-                mask = expand_mask(self._seeds[leg_index], self.vector_length, self.group)
-                out = self.group.add(out, self.group.scale(mask, w))
+            out = self._weighted_mask_sum(weights)
         self._released = True
         self.boundary_bytes_out += out.nbytes
         return out
+
+    def _weighted_mask_sum(self, weights: dict[int, int]) -> np.ndarray:
+        """``Σ w_i·m_i`` via fused reductions (cached rows and/or one
+        batched re-expansion) — bit-identical to the sequential
+        expand-scale-add loop of the scalar protocol."""
+        out = self.group.zeros(self.vector_length)
+        cached = set(self._row_legs)
+        if self._row_count:
+            row_weights = [weights.get(leg, 0) for leg in self._row_legs]
+            if any(row_weights):
+                self.group.add_into(
+                    out,
+                    self.group.weighted_sum_block(
+                        self._rows[: self._row_count], row_weights
+                    ),
+                )
+        missing = [leg for leg in weights if leg not in cached and weights[leg]]
+        if missing:
+            block = expand_mask_block(
+                [self._seeds[leg] for leg in missing], self.vector_length, self.group
+            )
+            self.group.add_into(
+                out,
+                self.group.weighted_sum_block(
+                    block, [weights[leg] for leg in missing]
+                ),
+            )
+        return out
+
+    # -- round management ------------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Re-key the aggregator for the next buffer epoch.
+
+        Resets everything round-scoped — the running mask sum, recovered
+        seeds, cached mask rows, the processed count and the one-shot
+        release latch — while keeping the minted legs (used ones stay
+        burned forever), cached check-in channel keys, the attestation
+        identity, the row-cache capacity, and the cumulative boundary
+        meters.  This is what lets one trusted party serve a long
+        sequence of FedBuff epochs without re-standing-up authority, log,
+        or key-exchange supply.
+        """
+        self._mask_sum = self.group.zeros(self.vector_length)
+        self._seeds = {}
+        self._row_count = 0
+        self._row_legs = []
+        self._pending_fold = []
+        self._processed = 0
+        self._released = False
+        self.round_index += 1

@@ -93,15 +93,27 @@ class DeferredQueue(Generic[T]):
 class EventHandle:
     """Cancellable reference to a scheduled event."""
 
-    __slots__ = ("time", "cancelled")
+    __slots__ = ("time", "cancelled", "_sim")
 
-    def __init__(self, time: float):
+    def __init__(self, time: float, sim: "Simulator | None" = None):
         self.time = time
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing (no-op if it already fired)."""
+        """Prevent the event from firing (no-op if it already fired).
+
+        Decrements the owning simulator's live-event counter exactly
+        once: repeat cancels are guarded by the ``cancelled`` flag, and
+        the simulator detaches the handle (``_sim = None``) when the
+        event fires.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
+            self._sim = None
 
 
 class Simulator:
@@ -116,6 +128,7 @@ class Simulator:
         self._queue: list[tuple[float, int, EventHandle, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._fired = 0
+        self._live = 0  # scheduled, not yet fired or cancelled
 
     @property
     def now(self) -> float:
@@ -129,8 +142,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Events scheduled but not yet fired or cancelled."""
-        return sum(1 for _, _, h, _ in self._queue if not h.cancelled)
+        """Events scheduled but not yet fired or cancelled.
+
+        O(1): a live counter maintained by ``schedule``/``cancel``/the
+        event-loop pops, instead of a scan over the heap (whose
+        lazily-deleted cancelled entries made the scan O(n) per call).
+        """
+        return self._live
 
     def schedule(self, delay: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` to run ``delay`` seconds from now."""
@@ -142,8 +160,9 @@ class Simulator:
         """Schedule ``action`` at absolute simulated ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule into the past ({time} < {self._now})")
-        handle = EventHandle(time)
+        handle = EventHandle(time, self)
         heapq.heappush(self._queue, (time, next(self._seq), handle, action))
+        self._live += 1
         return handle
 
     def step(self) -> bool:
@@ -151,7 +170,9 @@ class Simulator:
         while self._queue:
             time, _, handle, action = heapq.heappop(self._queue)
             if handle.cancelled:
-                continue
+                continue  # cancel() already decremented the live counter
+            handle._sim = None
+            self._live -= 1
             self._now = time
             self._fired += 1
             action()
@@ -190,6 +211,8 @@ class Simulator:
             if time > t_end:
                 break
             heapq.heappop(self._queue)
+            handle._sim = None
+            self._live -= 1
             self._now = time
             self._fired += 1
             fired += 1

@@ -18,10 +18,11 @@ from repro.system.orchestrator import (
     SystemConfig,
     TaskStats,
 )
-from repro.system.secure import SecureBufferedAggregator
+from repro.system.secure import LegPool, SecureBufferedAggregator
 from repro.system.selector import Selector
 
 __all__ = [
+    "LegPool",
     "SecureBufferedAggregator",
     "RealTrainingAdapter",
     "SurrogateAdapter",

@@ -9,9 +9,11 @@ enables the implementation of FL with buffered asynchronous aggregation".
 can host either transparently) but the server-side buffer only ever holds
 *masked* group vectors:
 
-* every buffer epoch stands up a fresh TSA round (the unmask release is
-  one-shot, so each server step gets its own Figure 16 session; the DH
-  legs are pre-minted, clients join asynchronously);
+* every buffer epoch *re-keys* one long-lived TSA (``begin_round``): the
+  unmask release is one-shot per round, so each server step gets its own
+  Figure 16 session, but the attestation identity, verifiable log and the
+  pre-minted DH leg supply (:class:`LegPool`, shared across epochs) are
+  stood up once for the lifetime of the task;
 * a participating client fixed-point-encodes its delta, masks it with a
   PRNG-expanded one-time pad, uploads the masked vector, and seals the
   16-byte seed to the TSA — after verifying the attestation quote and the
@@ -40,11 +42,11 @@ from repro.secagg.client import LogBundle, SecAggClient
 from repro.secagg.fixedpoint import FixedPointCodec
 from repro.secagg.groups import PowerOfTwoGroup
 from repro.secagg.merkle import VerifiableLog
-from repro.secagg.server import SecAggServer
+from repro.secagg.server import LegPool, SecAggServer
 from repro.secagg.tsa import TrustedSecureAggregator
 from repro.utils.rng import child_rng
 
-__all__ = ["SecureBufferedAggregator"]
+__all__ = ["LegPool", "SecureBufferedAggregator"]
 
 # Staleness/example weights are reals; the group needs integers.  This is
 # the fixed-point scale for *weights* (value 1.0 -> 64), giving ~1.5% weight
@@ -74,6 +76,13 @@ class SecureBufferedAggregator:
         weights (see the overflow analysis in ``FixedPointCodec``).
     seed:
         Determinism root for DH keys, mask seeds, and client randomness.
+    leg_pool_block:
+        Legs minted per :class:`LegPool` refill (default: the aggregation
+        goal, so one refill covers one epoch's cohort).
+    cache_masks:
+        Forwarded to the TSA — cache recovered masks as contiguous rows
+        so the weighted release is one fused reduction (see
+        :class:`repro.secagg.tsa.TrustedSecureAggregator`).
     """
 
     def __init__(
@@ -88,6 +97,8 @@ class SecureBufferedAggregator:
         group_bits: int = 64,
         fp_scale: float = 2**16,
         seed: int = 0,
+        leg_pool_block: int | None = None,
+        cache_masks: bool = True,
     ):
         if goal < 1:
             raise ValueError("aggregation goal must be at least 1")
@@ -118,8 +129,12 @@ class SecureBufferedAggregator:
         self._in_flight: dict[int, int] = {}
         self.step_history: list[ServerStepInfo] = []
 
+        self._cache_masks = cache_masks
+        self._leg_pool_block = leg_pool_block if leg_pool_block is not None else goal
         self._epoch_tsa: TrustedSecureAggregator | None = None
         self._epoch_server: SecAggServer | None = None
+        self._leg_pool: LegPool | None = None
+        self._epoch_boundary_mark = (0, 0)
         self._epoch_weights: dict[int, int] = {}
         self._epoch_weight_total = 0.0
         self._epoch_staleness: list[int] = []
@@ -129,15 +144,23 @@ class SecureBufferedAggregator:
     # -- epoch management ------------------------------------------------------
 
     def _begin_epoch(self) -> None:
-        """Stand up a fresh Figure 16 session for the next buffer epoch."""
-        tsa = TrustedSecureAggregator(
-            self.group,
-            self.vector_length,
-            threshold=self.goal,
-            authority=self.authority,
-            rng=child_rng(self.seed, "tsa-epoch", self.epochs_completed),
-        )
-        if self.log.size == 0:
+        """Open the next buffer epoch's Figure 16 session.
+
+        The first call stands up the long-lived trusted party, publishes
+        its binary to the verifiable log, and pre-mints the shared leg
+        pool; every later call just re-keys a new TSA round
+        (``begin_round``) — no authority, log, or mint-from-zero on the
+        epoch path.
+        """
+        if self._epoch_tsa is None:
+            tsa = TrustedSecureAggregator(
+                self.group,
+                self.vector_length,
+                threshold=self.goal,
+                authority=self.authority,
+                rng=child_rng(self.seed, "tsa-epoch", 0),
+                cache_masks=self._cache_masks,
+            )
             entry = b"manifest|" + tsa.binary_hash
             index = self.log.append(entry)
             self._log_bundle = LogBundle(
@@ -147,8 +170,24 @@ class SecureBufferedAggregator:
                 root=self.log.root(),
                 proof=self.log.inclusion_proof(index),
             )
-        self._epoch_tsa = tsa
-        self._epoch_server = SecAggServer(tsa, self.codec, initial_legs=self.goal)
+            self._epoch_tsa = tsa
+            # Mark before the prefill so the first epoch still accounts
+            # for its share of mint traffic, as the per-epoch TSA did.
+            self._epoch_boundary_mark = (tsa.boundary_bytes_in, tsa.boundary_bytes_out)
+            self._leg_pool = LegPool(
+                tsa, block_size=self._leg_pool_block, prefill=self._leg_pool_block
+            )
+        else:
+            self._epoch_tsa.begin_round()
+            self._epoch_server.begin_round()
+            self._epoch_boundary_mark = (
+                self._epoch_tsa.boundary_bytes_in,
+                self._epoch_tsa.boundary_bytes_out,
+            )
+        if self._epoch_server is None:
+            self._epoch_server = SecAggServer(
+                self._epoch_tsa, self.codec, leg_pool=self._leg_pool
+            )
         self._epoch_weights = {}
         self._epoch_weight_total = 0.0
         self._epoch_staleness = []
@@ -199,15 +238,12 @@ class SecureBufferedAggregator:
             return float(np.log1p(num_examples))
         return 1.0
 
-    def receive_update(
-        self, result: TrainingResult
-    ) -> tuple[ModelUpdate, ServerStepInfo | None]:
-        """Run the client's secure participation, then maybe step.
+    def _prepare_submission(self, result: TrainingResult):
+        """Validate one result and run the client-side secure participation.
 
-        The client-side work (quote + log verification, DH completion,
-        masking, sealing) happens here because in the simulation the
-        "wire" is a method call; the privacy boundary is preserved — the
-        epoch server only receives the masked vector and the sealed seed.
+        Returns ``(submission, weight, w_int, staleness)``; shared by the
+        per-arrival and the block drain paths so their client randomness,
+        weight quantization, and state checks are one definition.
         """
         initial = self._in_flight.pop(result.client_id, None)
         if initial is None:
@@ -223,7 +259,7 @@ class SecureBufferedAggregator:
         )
         w_int = max(1, int(round(weight * WEIGHT_SCALE)))
 
-        tsa, server = self._epoch_tsa, self._epoch_server
+        tsa = self._epoch_tsa
         client = SecAggClient(
             client_id=result.client_id,
             codec=self.codec,
@@ -233,25 +269,122 @@ class SecureBufferedAggregator:
             rng=child_rng(self.seed, "secagg-client", result.client_id, self.version,
                           self.updates_received),
         )
-        leg = server.assign_leg()
+        leg = self._epoch_server.assign_leg()
         submission = client.participate(
             result.delta, leg, log_bundle=self._log_bundle,
             num_examples=result.num_examples,
         )
-        if not server.submit(submission):
-            raise RuntimeError("secure submission rejected by honest TSA")
+        return submission, weight, w_int, staleness
 
-        self._epoch_weights[leg.index] = w_int
+    def _record_contribution(
+        self, result: TrainingResult, leg_index: int, w_int: int, staleness: int
+    ) -> None:
+        self._epoch_weights[leg_index] = w_int
         self._epoch_weight_total += w_int
         self._epoch_staleness.append(staleness)
         self._epoch_contributors.append(result.client_id)
         self.updates_received += 1
+
+    def receive_update(
+        self, result: TrainingResult
+    ) -> tuple[ModelUpdate, ServerStepInfo | None]:
+        """Run the client's secure participation, then maybe step.
+
+        The client-side work (quote + log verification, DH completion,
+        masking, sealing) happens here because in the simulation the
+        "wire" is a method call; the privacy boundary is preserved — the
+        epoch server only receives the masked vector and the sealed seed.
+        """
+        submission, weight, w_int, staleness = self._prepare_submission(result)
+        if not self._epoch_server.submit(submission):
+            raise RuntimeError("secure submission rejected by honest TSA")
+        self._record_contribution(result, submission.leg_index, w_int, staleness)
 
         update = ModelUpdate(result=result, arrival_version=self.version, weight=weight)
         info = None
         if len(self._epoch_contributors) >= self.goal:
             info = self._finalize_epoch()
         return update, info
+
+    def receive_update_block(
+        self, results: list[TrainingResult]
+    ) -> list[tuple[ModelUpdate, ServerStepInfo | None]]:
+        """Drain a cohort of training results through the block data plane.
+
+        Semantically identical to calling :meth:`receive_update` once per
+        result, in order — including epochs finalized mid-block (later
+        results' staleness is measured against the stepped version) — but
+        each goal-bounded chunk crosses the secure boundary as *one*
+        ``submit_block``: the completing messages are forwarded at
+        check-in (amortized DH legs) and the TSA expands and folds the
+        chunk's masks as a single fused block.  Aggregates are
+        bit-identical to the per-arrival path.
+
+        Like the plain :meth:`FedBuffAggregator.receive_update_block
+        <repro.core.fedbuff.FedBuffAggregator.receive_update_block>`,
+        this is the API for direct cohort-style drivers; inside a
+        simulation each upload stays its own timestamped event.
+        """
+        out: list[tuple[ModelUpdate, ServerStepInfo | None]] = []
+        pos = 0
+        while pos < len(results):
+            take = min(
+                len(results) - pos, self.goal - len(self._epoch_contributors)
+            )
+            chunk = results[pos : pos + take]
+            pos += take
+            server = self._epoch_server
+            pending = []
+            records = []  # (leg_index, w_int, epoch position) per pending
+            rejected = 0
+            try:
+                for result in chunk:
+                    submission, weight, w_int, staleness = self._prepare_submission(
+                        result
+                    )
+                    server.complete_checkin(submission)
+                    pending.append(submission)
+                    records.append(
+                        (submission.leg_index, w_int, len(self._epoch_contributors))
+                    )
+                    self._record_contribution(
+                        result, submission.leg_index, w_int, staleness
+                    )
+                    out.append(
+                        (
+                            ModelUpdate(
+                                result=result,
+                                arrival_version=self.version,
+                                weight=weight,
+                            ),
+                            None,
+                        )
+                    )
+            finally:
+                # On a mid-chunk validation error everything gathered so
+                # far is still submitted — the state the sequential path
+                # would have left behind before raising.  Contributions
+                # the TSA rejects are rolled back so the epoch's weights
+                # never reference a leg the TSA did not process.
+                if pending:
+                    flags = server.submit_block(pending)
+                    for (leg_index, w_int, entry), ok in zip(
+                        reversed(records), reversed(flags)
+                    ):
+                        if ok:
+                            continue
+                        rejected += 1
+                        self._epoch_weights.pop(leg_index, None)
+                        self._epoch_weight_total -= w_int
+                        del self._epoch_staleness[entry]
+                        del self._epoch_contributors[entry]
+                        self.updates_received -= 1
+            if rejected:
+                raise RuntimeError("secure submission rejected by honest TSA")
+            if len(self._epoch_contributors) >= self.goal:
+                info = self._finalize_epoch()
+                out[-1] = (out[-1][0], info)
+        return out
 
     def _finalize_epoch(self) -> ServerStepInfo:
         """Unmask the weighted aggregate, step the model, roll the epoch."""
@@ -263,8 +396,11 @@ class SecureBufferedAggregator:
         self.state.apply(avg, len(self._epoch_contributors))
         self.version += 1
         self.epochs_completed += 1
-        self.boundary_bytes_in_total += tsa.boundary_bytes_in
-        self.boundary_bytes_out_total += tsa.boundary_bytes_out
+        # The TSA is long-lived; its meters are cumulative, so the epoch's
+        # share is the delta since the round was opened.
+        mark_in, mark_out = self._epoch_boundary_mark
+        self.boundary_bytes_in_total += tsa.boundary_bytes_in - mark_in
+        self.boundary_bytes_out_total += tsa.boundary_bytes_out - mark_out
         info = ServerStepInfo(
             version=self.version,
             num_updates=len(self._epoch_contributors),
