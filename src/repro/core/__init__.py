@@ -16,6 +16,13 @@ from repro.core.dp import (
 )
 from repro.core.fedbuff import FedBuffAggregator, ServerStepInfo
 from repro.core.server_opt import FedAdam, FedAvgM, FedSGD, ServerOptimizer
+from repro.core.sharding import (
+    AggregationPlaneClock,
+    HashShardRouting,
+    LoadAwareShardRouting,
+    ShardedFedBuffAggregator,
+    make_routing,
+)
 from repro.core.staleness import (
     ConstantStaleness,
     HardCutoffStaleness,
@@ -41,6 +48,11 @@ __all__ = [
     "FedAvgM",
     "FedSGD",
     "ServerOptimizer",
+    "AggregationPlaneClock",
+    "HashShardRouting",
+    "LoadAwareShardRouting",
+    "ShardedFedBuffAggregator",
+    "make_routing",
     "ConstantStaleness",
     "HardCutoffStaleness",
     "PolynomialStaleness",

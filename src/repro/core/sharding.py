@@ -1,0 +1,484 @@
+"""Sharded hierarchical aggregation — many partial folders, one root reducer.
+
+PAPAYA scales one FL task past a single aggregator by sharding
+aggregation horizontally (Section 6.3): every aggregator shard folds a
+slice of the arriving client updates into an *intermediate aggregate*,
+and a root reducer combines the shard partials into one server model
+update.  This module is the time- and transport-free core of that plane:
+
+* :class:`ShardedFedBuffAggregator` runs ``S`` shard cores, each a
+  FedBuff-style partial fold (``Σ wᵢ·dᵢ`` over the shard's slice of the
+  buffer), plus the root reducer that merges shard partials **in
+  deterministic ascending-shard order** when the global aggregation goal
+  is reached and hands the merged buffer to the server optimizer.
+* Routing of clients to shards is pluggable: :class:`HashShardRouting`
+  (a salted-free deterministic integer mix of the client id, probed past
+  dead shards) and :class:`LoadAwareShardRouting` (least-loaded live
+  shard, ties to the lowest shard id).
+
+Equivalence contract
+--------------------
+Shard-local folding only *reassociates* the single aggregator's weighted
+sum — admission, staleness, weighting, step triggering, and the server
+optimizer are byte-for-byte the single-core code paths (this class
+subclasses :class:`~repro.core.fedbuff.FedBuffAggregator` and reuses its
+``_admit``/``_server_step``) — so for any shard count and either routing
+policy the sharded plane matches the single aggregator on the same
+arrival sequence to float64 rounding, and with ``num_shards=1`` it is
+**bit-identical** (one shard's partial fold performs exactly the single
+core's AXPY sequence, and merging one partial is the identity).
+``tests/test_sharded_equivalence.py`` is the differential suite that
+pins this down.
+
+Shard failover
+--------------
+:meth:`drop_shard` models one shard dying (its hosting aggregator
+process failed, Appendix E.4): the shard's *partial fold is discarded*
+(those contributions never reached the root), its in-flight clients are
+dropped, and while the shard is dead both routing policies steer new
+clients to the surviving shards.  :meth:`revive_shard` brings the shard
+back empty once the system layer re-places it on a live node.  The
+surviving state matches a single aggregator that was fed only the
+surviving arrivals.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.fedbuff import FedBuffAggregator, ServerStepInfo
+from repro.core.types import ModelUpdate, TrainingResult
+
+__all__ = [
+    "HashShardRouting",
+    "LoadAwareShardRouting",
+    "AggregationPlaneClock",
+    "ShardedFedBuffAggregator",
+    "make_routing",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a deterministic, well-distributed integer mix.
+
+    Used instead of Python's ``hash`` so shard routing is stable across
+    processes and runs (``hash`` of str/bytes is salted per process).
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class _Shard:
+    """One shard core: a partial weighted fold over its slice of arrivals."""
+
+    __slots__ = ("buffer", "count", "in_flight", "alive", "folds_total")
+
+    def __init__(self) -> None:
+        self.buffer: np.ndarray | None = None
+        self.count = 0          # updates in the current (unmerged) partial
+        self.in_flight = 0      # clients routed here and still training
+        self.alive = True
+        self.folds_total = 0    # lifetime folds (load/skew telemetry)
+
+    def load(self) -> int:
+        """Routing load signal: buffered plus in-flight work."""
+        return self.count + self.in_flight
+
+
+class HashShardRouting:
+    """Deterministic hash routing: ``mix64(client_id) mod S``.
+
+    The simulation analogue of hashing the client to an intermediate
+    aggregate.  Dead shards are probed past linearly (``h, h+1, …`` mod
+    ``S``), so a dead shard's slice deterministically re-routes to the
+    next live shard and snaps back when the shard is revived.
+    """
+
+    name = "hash"
+
+    def route(self, client_id: int, shards: list[_Shard]) -> int:
+        start = _mix64(client_id) % len(shards)
+        for probe in range(len(shards)):
+            idx = (start + probe) % len(shards)
+            if shards[idx].alive:
+                return idx
+        raise RuntimeError("no live shards to route to")
+
+
+class LoadAwareShardRouting:
+    """Least-loaded live shard, ties broken by the lowest shard id.
+
+    Load is the shard's buffered-plus-in-flight update count, so a shard
+    that just absorbed a re-routed slice stops attracting new clients
+    until its peers catch up.
+    """
+
+    name = "load"
+
+    def route(self, client_id: int, shards: list[_Shard]) -> int:
+        best = -1
+        best_load = None
+        for idx, shard in enumerate(shards):
+            if not shard.alive:
+                continue
+            load = shard.load()
+            if best_load is None or load < best_load:
+                best, best_load = idx, load
+        if best < 0:
+            raise RuntimeError("no live shards to route to")
+        return best
+
+
+def make_routing(policy: str):
+    """Routing-policy factory for the ``shard_routing`` config knob."""
+    if policy == "hash":
+        return HashShardRouting()
+    if policy == "load":
+        return LoadAwareShardRouting()
+    raise ValueError(f"unknown shard routing policy {policy!r}")
+
+
+class AggregationPlaneClock:
+    """Critical-path model of ``S`` parallel shard lanes + a root reducer.
+
+    The perf harness attaches one of these to a
+    :class:`ShardedFedBuffAggregator` driven by a single thread: each
+    shard fold's *measured* wall-clock cost is charged to that shard's
+    lane, and each root merge + server step is charged to the root lane
+    after a barrier over every shard lane (the reducer needs all
+    partials; the next buffer epoch's folds start after the merged step,
+    since their staleness is measured against the version it produced).
+    ``elapsed`` is then the plane's end-to-end latency had the shards
+    run on parallel cores — the scale-out analogue of the wall-clock the
+    cohort/secagg sweeps measure in-process.
+    """
+
+    def __init__(self, num_shards: int):
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.lanes = [0.0] * num_shards
+        self.root = 0.0
+        self.folds = 0
+        self.merges = 0
+
+    def record_fold(self, shard_id: int, seconds: float, n: int = 1) -> None:
+        """``n`` updates' worth of fold work on ``shard_id``'s lane
+        (``n > 1`` for one grouped block fold covering n updates)."""
+        self.lanes[shard_id] = max(self.lanes[shard_id], self.root) + seconds
+        self.folds += n
+
+    def record_merge(self, seconds: float) -> None:
+        """Root merge + server step: barriers on every shard lane."""
+        self.root = max(self.root, max(self.lanes)) + seconds
+        self.merges += 1
+
+    @property
+    def elapsed(self) -> float:
+        """End-to-end plane latency (root and all lanes drained)."""
+        return max(self.root, max(self.lanes))
+
+
+class ShardedFedBuffAggregator(FedBuffAggregator):
+    """FedBuff with horizontally sharded intermediate aggregation.
+
+    Parameters are those of :class:`FedBuffAggregator` plus:
+
+    num_shards:
+        ``S`` — parallel shard cores folding arrival slices.
+    routing:
+        ``"hash"``, ``"load"``, or a routing object with
+        ``route(client_id, shards) -> shard_id``.
+    clock:
+        Optional :class:`AggregationPlaneClock` collecting the measured
+        per-fold / per-merge costs into the parallel-lane schedule (perf
+        harness only; ``None`` skips all timing).
+    """
+
+    def __init__(
+        self,
+        state,
+        goal: int,
+        *,
+        num_shards: int = 1,
+        routing="hash",
+        clock: AggregationPlaneClock | None = None,
+        **kwargs,
+    ):
+        super().__init__(state, goal, **kwargs)
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = num_shards
+        self.routing = make_routing(routing) if isinstance(routing, str) else routing
+        self.clock = clock
+        self._shards = [_Shard() for _ in range(num_shards)]
+        self._shard_of: dict[int, int] = {}  # client id -> shard id
+        # Per-buffered-entry bookkeeping, parallel to the inherited
+        # ``_staleness_acc``/``_contributors`` arrival-order lists; lets
+        # drop_shard() excise exactly one shard's slice of the buffer.
+        self._entry_shards: list[int] = []
+        self._entry_weights: list[float] = []
+        self.shard_failovers = 0
+
+    # -- client protocol ------------------------------------------------------
+
+    def register_download(self, client_id: int) -> tuple[int, np.ndarray]:
+        """Record the download and route the client to a shard.
+
+        With *every* shard dead (the whole plane lost its hosts and no
+        capacity has recovered yet) the client is registered but left
+        unrouted: its upload is rejected exactly like the single
+        aggregator's dead-host path, instead of crashing the download
+        event — ``shard_of`` stays ``None`` and the system layer aborts
+        the session at upload time.
+        """
+        out = super().register_download(client_id)
+        previous = self._shard_of.pop(client_id, None)
+        if previous is not None:
+            # Re-registration while in flight: release the old slot.
+            self._shards[previous].in_flight -= 1
+        try:
+            shard_id = self.routing.route(client_id, self._shards)
+        except RuntimeError:
+            return out
+        self._shard_of[client_id] = shard_id
+        self._shards[shard_id].in_flight += 1
+        return out
+
+    def client_failed(self, client_id: int) -> None:
+        super().client_failed(client_id)
+        shard_id = self._shard_of.pop(client_id, None)
+        if shard_id is not None:
+            self._shards[shard_id].in_flight -= 1
+
+    def shard_of(self, client_id: int) -> int | None:
+        """The shard an in-flight client is routed to (None if unknown)."""
+        return self._shard_of.get(client_id)
+
+    def shard_alive(self, shard_id: int) -> bool:
+        """Whether a shard is currently accepting contributions."""
+        return self._shards[shard_id].alive
+
+    # -- aggregation ------------------------------------------------------------
+
+    def _release_slot(self, client_id: int) -> int:
+        shard_id = self._shard_of.pop(client_id)
+        self._shards[shard_id].in_flight -= 1
+        return shard_id
+
+    def _require_routed(self, client_id: int) -> None:
+        """Reject an update whose client never got a shard (registered
+        while the whole plane was dead) *before* ``_admit`` mutates any
+        buffer accounting."""
+        if client_id in self._in_flight and client_id not in self._shard_of:
+            raise KeyError(
+                f"client {client_id} registered while no shard was live; "
+                "its contribution is lost (plane-wide outage)"
+            )
+
+    def receive_update(
+        self, result: TrainingResult
+    ) -> tuple[ModelUpdate, ServerStepInfo | None]:
+        """Fold one update into its shard; maybe trigger the root merge."""
+        self._require_routed(result.client_id)
+        t0 = time.perf_counter() if self.clock is not None else 0.0
+        try:
+            result, update = self._admit(result)
+        except ValueError:
+            # _admit popped the client from the in-flight map before the
+            # version check failed; keep the shard slot consistent.
+            if result.client_id in self._shard_of:
+                self._release_slot(result.client_id)
+            raise
+        shard_id = self._release_slot(result.client_id)
+        shard = self._shards[shard_id]
+        if shard.buffer is None:
+            shard.buffer = np.zeros_like(result.delta, dtype=np.float64)
+        shard.buffer += update.weight * result.delta.astype(np.float64)
+        shard.count += 1
+        shard.folds_total += 1
+        self._entry_shards.append(shard_id)
+        self._entry_weights.append(update.weight)
+        if self.clock is not None:
+            # Admission + fold both run on the shard's thread.
+            self.clock.record_fold(shard_id, time.perf_counter() - t0)
+
+        info = None
+        if self._count >= self.goal:
+            info = self._server_step()
+        return update, info
+
+    def receive_update_block(
+        self, results: list[TrainingResult]
+    ) -> list[tuple[ModelUpdate, ServerStepInfo | None]]:
+        """Vectorized block arrival: per-shard grouped matrix folds.
+
+        Semantics match calling :meth:`receive_update` per result in
+        order (mid-block server steps included); each goal-bounded chunk
+        is folded as one weights-by-deltas product *per shard*, so with
+        one shard this is exactly the single core's block fold.  With a
+        clock attached, each shard's grouped fold is charged to its lane
+        as one block of ``len(group)`` folds.
+        """
+        out: list[tuple[ModelUpdate, ServerStepInfo | None]] = []
+        pos = 0
+        while pos < len(results):
+            take = min(len(results) - pos, self.goal - self._count)
+            chunk = results[pos : pos + take]
+            pos += take
+            admitted: list[tuple[int, TrainingResult, ModelUpdate]] = []
+            try:
+                for r in chunk:
+                    self._require_routed(r.client_id)
+                    try:
+                        rr, update = self._admit(r)
+                    except ValueError:
+                        if r.client_id in self._shard_of:
+                            self._release_slot(r.client_id)
+                        raise
+                    shard_id = self._release_slot(rr.client_id)
+                    self._entry_shards.append(shard_id)
+                    self._entry_weights.append(update.weight)
+                    shard = self._shards[shard_id]
+                    shard.count += 1
+                    shard.folds_total += 1
+                    admitted.append((shard_id, rr, update))
+            finally:
+                # Mirror the single core: everything admitted before a
+                # mid-chunk rejection is still folded.
+                for shard_id in sorted({s for s, _, _ in admitted}):
+                    group = [(r, u) for s, r, u in admitted if s == shard_id]
+                    t0 = time.perf_counter() if self.clock is not None else 0.0
+                    weights = np.array([u.weight for _, u in group], dtype=np.float64)
+                    deltas = np.stack([r.delta for r, _ in group]).astype(np.float64)
+                    shard = self._shards[shard_id]
+                    if shard.buffer is None:
+                        shard.buffer = np.zeros(deltas.shape[1], dtype=np.float64)
+                    shard.buffer += weights @ deltas
+                    if self.clock is not None:
+                        self.clock.record_fold(
+                            shard_id, time.perf_counter() - t0, n=len(group)
+                        )
+            info = self._server_step() if self._count >= self.goal else None
+            for i, (_, _, update) in enumerate(admitted):
+                out.append((update, info if i == len(admitted) - 1 else None))
+        return out
+
+    def _merge_shards(self) -> np.ndarray:
+        """Root reduce: fold shard partials in ascending shard order.
+
+        The order is deterministic by construction (shard id, with empty
+        shards skipped), so re-running the same arrival sequence merges
+        identically; with exactly one non-empty partial the merge is the
+        identity, which is what makes ``num_shards=1`` bit-identical to
+        the single aggregator.
+        """
+        partials = [s.buffer for s in self._shards if s.buffer is not None]
+        if not partials:  # all contributions were zero-weight-dropped shards
+            return np.zeros(self.state.size, dtype=np.float64)
+        if len(partials) == 1:
+            return partials[0]
+        return np.add.reduce(partials)
+
+    def _server_step(self) -> ServerStepInfo:
+        t0 = time.perf_counter() if self.clock is not None else 0.0
+        self._buffer = self._merge_shards()
+        info = super()._server_step()
+        if self.clock is not None:
+            self.clock.record_merge(time.perf_counter() - t0)
+        for shard in self._shards:
+            shard.buffer = None
+            shard.count = 0
+        self._entry_shards = []
+        self._entry_weights = []
+        return info
+
+    # -- failover (Appendix E.4, per shard) ------------------------------------
+
+    def drop_shard(self, shard_id: int) -> tuple[int, list[int]]:
+        """One shard's host died: discard its partial fold and its slice.
+
+        The shard's buffered contributions never reached the root and
+        are excised from the pending step's accounting; its in-flight
+        clients are dropped (their uploads will be rejected exactly as
+        on the single path after ``client_failed``).  The shard is
+        marked dead so routing steers around it until
+        :meth:`revive_shard`.  Returns (buffered updates lost, dropped
+        client ids).
+        """
+        shard = self._shards[shard_id]
+        shard.alive = False
+        dropped = sorted(
+            cid for cid, sid in self._shard_of.items() if sid == shard_id
+        )
+        for cid in dropped:
+            self._shard_of.pop(cid)
+            self._in_flight.pop(cid, None)
+        shard.in_flight = 0
+        lost = shard.count
+        if lost:
+            keep = [i for i, sid in enumerate(self._entry_shards) if sid != shard_id]
+            self._staleness_acc = [self._staleness_acc[i] for i in keep]
+            self._contributors = [self._contributors[i] for i in keep]
+            self._entry_weights = [self._entry_weights[i] for i in keep]
+            self._entry_shards = [self._entry_shards[i] for i in keep]
+            # Sequential re-fold in arrival order: bit-identical to the
+            # weight sum a single aggregator fed only the survivors
+            # would have accumulated.
+            self._weight_sum = sum(self._entry_weights, 0.0)
+            self._count -= lost
+        shard.buffer = None
+        shard.count = 0
+        self.shard_failovers += 1
+        return lost, dropped
+
+    def revive_shard(self, shard_id: int) -> None:
+        """Bring a dead shard back empty (re-placed on a live node)."""
+        shard = self._shards[shard_id]
+        shard.alive = True
+        shard.buffer = None
+        shard.count = 0
+        shard.in_flight = 0
+
+    def drop_buffer_and_inflight(self) -> tuple[int, list[int]]:
+        """Whole-plane failure: every shard partial and session is lost."""
+        lost, dropped = super().drop_buffer_and_inflight()
+        for shard in self._shards:
+            shard.buffer = None
+            shard.count = 0
+            shard.in_flight = 0
+        self._shard_of.clear()
+        self._entry_shards = []
+        self._entry_weights = []
+        return lost, dropped
+
+    # -- introspection ------------------------------------------------------------
+
+    def live_shards(self) -> list[int]:
+        """Ids of shards currently accepting contributions."""
+        return [i for i, s in enumerate(self._shards) if s.alive]
+
+    def shard_loads(self) -> list[int]:
+        """Lifetime folds per shard (the load-skew telemetry)."""
+        return [s.folds_total for s in self._shards]
+
+    def shard_buffered(self) -> list[int]:
+        """Updates currently sitting in each shard's partial fold."""
+        return [s.count for s in self._shards]
+
+    def shard_in_flight(self) -> list[int]:
+        """In-flight clients routed to each shard."""
+        return [s.in_flight for s in self._shards]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedFedBuffAggregator(goal={self.goal}, "
+            f"shards={self.num_shards}, routing={self.routing.name}, "
+            f"version={self.version}, buffered={self._count}, "
+            f"in_flight={len(self._in_flight)})"
+        )

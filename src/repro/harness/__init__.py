@@ -47,8 +47,11 @@ from repro.harness.perf import (
     CohortResult,
     SecAggPoint,
     SecAggResult,
+    ShardPoint,
+    ShardsResult,
     cohort_speedup,
     secagg_speedup,
+    shards_speedup,
 )
 from repro.harness.registry import ExperimentSpec
 from repro.harness.report import (
@@ -111,6 +114,9 @@ __all__ = [
     "SecAggPoint",
     "SecAggResult",
     "secagg_speedup",
+    "ShardPoint",
+    "ShardsResult",
+    "shards_speedup",
     "ks_two_sample",
     "ExperimentSpec",
     "ResultCache",

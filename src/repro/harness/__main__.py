@@ -23,7 +23,8 @@ Failures in an ``all`` run no longer abort the remaining experiments:
 each failure is reported on stderr and the process exits nonzero.
 
 Experiments are dispatched through the :mod:`repro.harness.registry`;
-``--list`` shows everything registered.
+``python -m repro.harness list`` (or ``--list``) shows every registered
+experiment name with its one-line description.
 """
 
 from __future__ import annotations
@@ -222,8 +223,8 @@ def _build_parsers() -> tuple[argparse.ArgumentParser, argparse.ArgumentParser]:
         epilog=(
             "Other forms: 'python -m repro.harness sweep ... ' runs "
             "multi-seed parallel sweeps (see 'sweep --help'); "
-            "'python -m repro.harness --list' shows every registered "
-            "experiment."
+            "'python -m repro.harness list' shows every registered "
+            "experiment with its description."
         ),
     )
     run_parser.add_argument(
@@ -283,19 +284,27 @@ def _build_parsers() -> tuple[argparse.ArgumentParser, argparse.ArgumentParser]:
     return run_parser, sweep_parser
 
 
+def _list_main() -> int:
+    """``python -m repro.harness list``: names + one-line descriptions."""
+    width = max((len(name) for name in registry.names()), default=0)
+    for spec in registry.specs():
+        print(f"{spec.name:<{width}}  {spec.description}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     run_parser, sweep_parser = _build_parsers()
     if argv[:1] == ["sweep"]:
         return _sweep_main(sweep_parser.parse_args(argv[1:]))
+    if argv == ["list"]:
+        return _list_main()
     args = run_parser.parse_args(argv)
     if args.list:
-        for spec in registry.specs():
-            print(f"{spec.name:8s} {spec.description}")
-        return 0
+        return _list_main()
     if args.experiment is None:
-        run_parser.error("an experiment name (or 'all', or --list) is required")
+        run_parser.error("an experiment name (or 'all', or 'list') is required")
     return _run_main(args)
 
 

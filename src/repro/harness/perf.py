@@ -23,11 +23,31 @@ time by :class:`repro.system.secure.LegPool` /
 ``TrustedSecureAggregator.complete_leg``; it is identical in both arms,
 runs outside the timed segment, and is reported separately per point.
 
+The ``shards`` experiment measures the *scale-out* axis: the sharded
+hierarchical aggregation plane
+(:class:`repro.core.sharding.ShardedFedBuffAggregator`) against the
+single :class:`~repro.core.fedbuff.FedBuffAggregator` on identical
+arrival sequences.  Unlike the cohort/secagg experiments — which
+vectorize in place and time one process doing less work — sharding
+spreads the *same* folds over ``S`` parallel shard cores, so the plane's
+latency is a critical path, not a single timer: every admission+fold's
+measured wall-clock cost is charged to its shard's lane and every root
+merge + server step barriers across all lanes
+(:class:`~repro.core.sharding.AggregationPlaneClock`).  For each (shard
+count × population size) point it reports the single aggregator's
+sequential wall-clock, the sharded plane's critical-path latency, the
+speedup, the per-shard load skew (max lifetime folds over the ideal even
+share), and the final-model max divergence — bounded by float64-rounding
+reassociation surviving the float32 state cast (the differential suite,
+``tests/test_sharded_equivalence.py``, pins the tight per-step bound).
+
 Run / sweep them through the PR-1 harness layer::
 
     python -m repro.harness cohort
     python -m repro.harness secagg
+    python -m repro.harness shards
     python -m repro.harness sweep secagg --seeds 0..2 --json secagg.json
+    python -m repro.harness sweep shards --seeds 0..2 --json shards.json
 
 so before/after JSON reports of future engine changes land in the same
 cache + CI-artifact pipeline as every figure.
@@ -42,6 +62,11 @@ import numpy as np
 
 from repro.core.client_trainer import LocalTrainer
 from repro.core.cohort import CohortRequest, CohortTrainer
+from repro.core.fedbuff import FedBuffAggregator
+from repro.core.server_opt import FedAdam
+from repro.core.sharding import AggregationPlaneClock, ShardedFedBuffAggregator
+from repro.core.state import GlobalModelState
+from repro.core.types import TrainingResult
 from repro.data.federated import FederatedDataset
 from repro.data.synthetic_text import CorpusSpec, TopicMarkovCorpus
 from repro.harness import registry
@@ -67,6 +92,10 @@ __all__ = [
     "SecAggResult",
     "secagg_speedup",
     "print_secagg",
+    "ShardPoint",
+    "ShardsResult",
+    "shards_speedup",
+    "print_shards",
 ]
 
 
@@ -484,6 +513,244 @@ registry.register(
         SecAggResult,
         description=(
             "secure-aggregation block vs scalar data plane: speedup + bit-identity"
+        ),
+        default_grid={},
+        uses_scale=False,
+    ),
+    replace=True,
+)
+
+
+# ---------------------------------------------------------------------------
+# Sharded aggregation plane: critical-path latency vs the single aggregator
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardPoint:
+    """One (shard count, population size) operating point."""
+
+    num_shards: int
+    routing: str
+    population: int     # distinct clients the arrival stream draws from
+    arrivals: int       # updates driven through both planes
+    single_s: float     # single-aggregator sequential wall clock (best-of)
+    sharded_s: float    # sharded plane critical-path latency (best-of)
+    speedup: float
+    load_skew: float    # max shard lifetime folds / ideal even share
+    max_divergence: float  # |sharded - single| over the final model state
+    equivalent: bool    # within SHARD_EQUIV_ATOL, same step structure
+
+
+@dataclass(frozen=True)
+class ShardsResult:
+    """Single-vs-sharded aggregation plane across S × population."""
+
+    points: list[ShardPoint]
+    vector_length: int
+    goal: int
+    routing: str
+    repeats: int
+
+
+# The sharded merge only reassociates the single plane's float64 folds
+# (~1e-16 relative per step), but each server step casts the averaged
+# delta to the float32 model state, where a reassociation that lands on
+# a rounding boundary surfaces as one float32 ulp (~1e-7 for O(1)
+# values).  1e-6 cleanly separates that from any real divergence; the
+# differential suite pins the tight per-step float64 bound.
+SHARD_EQUIV_ATOL = 1e-6
+
+
+def _arrival_stream(population: int, arrivals: int, vector_length: int, rng):
+    """Client-id sequence (waves of unique ids) + their training results."""
+    ids: list[int] = []
+    while len(ids) < arrivals:
+        wave = rng.permutation(population)[: arrivals - len(ids)]
+        ids.extend(int(i) for i in wave)
+    return [
+        TrainingResult(
+            client_id=cid,
+            delta=rng.standard_normal(vector_length).astype(np.float32),
+            num_examples=int(rng.integers(1, 50)),
+            train_loss=float(rng.random()),
+            initial_version=0,
+        )
+        for cid in ids
+    ]
+
+
+def _drive_single(results, vector_length, goal, seed):
+    """Sequential single-aggregator drive; returns (data-plane seconds, agg).
+
+    Only the aggregation path (admission + fold + step) is timed — the
+    per-arrival ``register_download`` model-copy is selection-time
+    control plane, excluded from both arms identically.
+    """
+    state = GlobalModelState(
+        child_rng(seed, "shards-init").standard_normal(vector_length).astype(np.float32),
+        FedAdam(lr=0.1),
+    )
+    agg = FedBuffAggregator(state, goal=goal)
+    elapsed = 0.0
+    for r in results:
+        agg.register_download(r.client_id)
+        arrival = TrainingResult(r.client_id, r.delta, r.num_examples,
+                                 r.train_loss, agg.version)
+        t0 = time.perf_counter()
+        agg.receive_update(arrival)
+        elapsed += time.perf_counter() - t0
+    return elapsed, agg
+
+
+def _drive_sharded(results, vector_length, goal, seed, num_shards, routing):
+    """Sharded drive; returns (critical-path seconds, agg, clock)."""
+    state = GlobalModelState(
+        child_rng(seed, "shards-init").standard_normal(vector_length).astype(np.float32),
+        FedAdam(lr=0.1),
+    )
+    clock = AggregationPlaneClock(num_shards)
+    agg = ShardedFedBuffAggregator(
+        state, goal=goal, num_shards=num_shards, routing=routing, clock=clock
+    )
+    for r in results:
+        agg.register_download(r.client_id)
+        arrival = TrainingResult(r.client_id, r.delta, r.num_examples,
+                                 r.train_loss, agg.version)
+        agg.receive_update(arrival)
+    return clock.elapsed, agg, clock
+
+
+def shards_speedup(
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    populations: tuple[int, ...] = (192, 4096),
+    arrivals: int = 512,
+    vector_length: int = 50_000,
+    goal: int = 128,
+    routing: str = "hash",
+    repeats: int = 3,
+    seed: int = 0,
+) -> ShardsResult:
+    """Measure the sharded aggregation plane against the single aggregator.
+
+    Both planes consume *identical* arrival sequences (same deltas, same
+    example counts, same order; each client registers immediately before
+    its upload at the plane's current version, so admission weights are
+    identical too).  The single arm's cost is its sequential data-plane
+    wall clock; the sharded arm's cost is the
+    :class:`~repro.core.sharding.AggregationPlaneClock` critical path —
+    measured per-fold costs on ``S`` parallel lanes, root merges
+    barriering across them.  Divergence compares the final float32 model
+    states; step structure (count, versions) must match exactly.
+    """
+    points: list[ShardPoint] = []
+    for population in populations:
+        stream_rng = child_rng(seed, "shards-stream", population)
+        results = _arrival_stream(population, arrivals, vector_length, stream_rng)
+        best_single = float("inf")
+        single_agg = None
+        for _ in range(max(1, repeats)):
+            single_s, single_agg = _drive_single(
+                results, vector_length, goal, seed
+            )
+            best_single = min(best_single, single_s)
+        for num_shards in shard_counts:
+            best_sharded = float("inf")
+            sharded_agg = None
+            for _ in range(max(1, repeats)):
+                sharded_s, sharded_agg, _ = _drive_sharded(
+                    results, vector_length, goal, seed, num_shards, routing
+                )
+                best_sharded = min(best_sharded, sharded_s)
+            divergence = float(
+                np.max(np.abs(single_agg.state.current()
+                              - sharded_agg.state.current()))
+            )
+            same_steps = (
+                len(single_agg.step_history) == len(sharded_agg.step_history)
+                and all(
+                    a.version == b.version and a.num_updates == b.num_updates
+                    for a, b in zip(
+                        single_agg.step_history, sharded_agg.step_history
+                    )
+                )
+            )
+            loads = sharded_agg.shard_loads()
+            ideal = arrivals / num_shards
+            points.append(
+                ShardPoint(
+                    num_shards=num_shards,
+                    routing=routing,
+                    population=population,
+                    arrivals=arrivals,
+                    single_s=best_single,
+                    sharded_s=best_sharded,
+                    speedup=(
+                        best_single / best_sharded
+                        if best_sharded > 0 else float("inf")
+                    ),
+                    load_skew=max(loads) / ideal,
+                    max_divergence=divergence,
+                    equivalent=bool(
+                        same_steps and divergence <= SHARD_EQUIV_ATOL
+                    ),
+                )
+            )
+    return ShardsResult(
+        points=points,
+        vector_length=vector_length,
+        goal=goal,
+        routing=routing,
+        repeats=repeats,
+    )
+
+
+def print_shards(res: ShardsResult) -> None:
+    """Render the sharded-plane comparison as text."""
+    print_table(
+        [
+            "S",
+            "pop",
+            "single (ms)",
+            "sharded (ms)",
+            "speedup",
+            "load skew",
+            "max |div|",
+            "equivalent",
+        ],
+        [
+            [
+                p.num_shards,
+                p.population,
+                p.single_s * 1e3,
+                p.sharded_s * 1e3,
+                p.speedup,
+                p.load_skew,
+                p.max_divergence,
+                p.equivalent,
+            ]
+            for p in res.points
+        ],
+        title=(
+            f"Sharded aggregation plane — critical path vs single aggregator "
+            f"({res.vector_length} params, K={res.goal}, "
+            f"{res.routing} routing, best of {res.repeats})"
+        ),
+    )
+
+
+def _run_shards(scale: Scale, seed: int, **params) -> ShardsResult:
+    return shards_speedup(seed=seed, **params)
+
+
+registry.register(
+    registry.ExperimentSpec(
+        "shards",
+        _run_shards,
+        print_shards,
+        ShardsResult,
+        description=(
+            "sharded aggregation plane vs single aggregator: "
+            "critical-path speedup + load skew + equivalence"
         ),
         default_grid={},
         uses_scale=False,

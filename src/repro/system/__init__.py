@@ -20,6 +20,11 @@ from repro.system.orchestrator import (
 )
 from repro.system.secure import LegPool, SecureBufferedAggregator
 from repro.system.selector import Selector
+from repro.system.sharding import (
+    HashShardRouting,
+    LoadAwareShardRouting,
+    ShardedFLTaskRuntime,
+)
 
 __all__ = [
     "LegPool",
@@ -38,4 +43,7 @@ __all__ = [
     "SystemConfig",
     "TaskStats",
     "Selector",
+    "HashShardRouting",
+    "LoadAwareShardRouting",
+    "ShardedFLTaskRuntime",
 ]

@@ -112,6 +112,24 @@ class FLTaskRuntime:
             return max(0, min(want, headroom))
         return max(0, headroom)
 
+    def demand_entries(self, node: "AggregatorNode") -> dict[str, int]:
+        """This task's entries in ``node``'s heartbeat demand report.
+
+        The whole-task runtime reports one entry from its single hosting
+        node; the sharded runtime overrides this with per-shard entries
+        for the shards ``node`` hosts.
+        """
+        return {self.config.name: self.demand()}
+
+    def workload_on(self, node: "AggregatorNode") -> float:
+        """This task's share of ``node``'s estimated workload
+        (Section 6.3's ``concurrency × model size`` heuristic)."""
+        return self.config.concurrency * self.config.model_size_bytes
+
+    def is_routable(self) -> bool:
+        """Whether a client assigned to this task could reach a live host."""
+        return self.node is not None and self.node.alive
+
     # -- session lifecycle ------------------------------------------------------
 
     def attach_session(self, session: ClientSession) -> None:
@@ -266,11 +284,9 @@ class AggregatorNode:
         return self.tasks.pop(name, None)
 
     def estimated_workload(self) -> float:
-        """Coordinator's placement heuristic: Σ concurrency × model size."""
-        return sum(
-            t.config.concurrency * t.config.model_size_bytes
-            for t in self.tasks.values()
-        )
+        """Coordinator's placement heuristic: Σ concurrency × model size
+        (sharded tasks contribute only their hosted shards' share)."""
+        return sum(t.workload_on(self) for t in self.tasks.values())
 
     # -- queue + sharded parallel aggregation ------------------------------------
 
@@ -302,8 +318,15 @@ class AggregatorNode:
     # -- liveness ------------------------------------------------------------
 
     def demand_report(self) -> dict[str, int]:
-        """Per-task client demand, shipped with each heartbeat."""
-        return {name: rt.demand() for name, rt in self.tasks.items()}
+        """Per-task client demand, shipped with each heartbeat.
+
+        Sharded tasks hosted here contribute one entry per hosted shard
+        (``task/s<shard>``) instead of a single whole-task entry.
+        """
+        report: dict[str, int] = {}
+        for rt in self.tasks.values():
+            report.update(rt.demand_entries(self))
+        return report
 
     def fail(self) -> None:
         """Kill the node (failure-injection hook)."""

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.system.aggregator import AggregatorNode, FLTaskRuntime
+from repro.system.sharding import ShardedFLTaskRuntime
 from repro.utils.logging import EventLog
 
 __all__ = ["Coordinator"]
@@ -58,7 +59,8 @@ class Coordinator:
 
         self.aggregators: list[AggregatorNode] = []
         self.tasks: dict[str, FLTaskRuntime] = {}
-        self.placement: dict[str, int] = {}  # task -> node id
+        self.placement: dict[str, int] = {}  # task -> node id (root for sharded)
+        self.shard_placement: dict[str, dict[int, int]] = {}  # task -> shard -> node
         self.assignment_seq = 0  # bumped on every placement change
         self.alive = True
         self._recovering_until = -1.0
@@ -82,6 +84,9 @@ class Coordinator:
 
     def _place(self, task_rt: FLTaskRuntime) -> None:
         """Least-estimated-workload placement (Section 6.3)."""
+        if isinstance(task_rt, ShardedFLTaskRuntime):
+            self._place_shards(task_rt)
+            return
         live = self._live_nodes()
         if not live:
             raise RuntimeError("no live aggregators to place task on")
@@ -93,6 +98,58 @@ class Coordinator:
             self.sim.now, "coordinator", "task_placed",
             task=task_rt.config.name, node=node.node_id, seq=self.assignment_seq,
         )
+
+    def _place_shards(self, task_rt: ShardedFLTaskRuntime) -> None:
+        """Spread one sharded task's shards over the live aggregators.
+
+        Greedy least-estimated-workload per shard, in ascending shard
+        order — every placed shard immediately counts toward its host's
+        workload, so ``S`` shards on ``N`` comparable nodes land
+        ceil(S/N) per node.
+        """
+        name = task_rt.config.name
+        live = self._live_nodes()
+        if not live:
+            raise RuntimeError("no live aggregators to place task shards on")
+        placement = self.shard_placement.setdefault(name, {})
+        for shard_id in range(task_rt.core.num_shards):
+            node = min(live, key=lambda a: a.estimated_workload())
+            task_rt.place_shard(shard_id, node)
+            placement[shard_id] = node.node_id
+        self.placement[name] = placement[0]
+        self.assignment_seq += 1
+        self.log.emit(
+            self.sim.now, "coordinator", "task_shards_placed",
+            task=name, shards=dict(placement), seq=self.assignment_seq,
+        )
+
+    def _replace_dead_shards(self, task_rt: ShardedFLTaskRuntime) -> list[int]:
+        """Re-place shards that lost their host, reviving them empty.
+
+        With no live node the shards stay dead (their slice remains
+        re-routed to the survivors) and a later sweep retries.
+        """
+        live = self._live_nodes()
+        if not live:
+            return []
+        name = task_rt.config.name
+        placement = self.shard_placement.setdefault(name, {})
+        revived: list[int] = []
+        for shard_id in task_rt.unplaced_shards():
+            node = min(live, key=lambda a: a.estimated_workload())
+            task_rt.place_shard(shard_id, node)
+            task_rt.core.revive_shard(shard_id)
+            placement[shard_id] = node.node_id
+            revived.append(shard_id)
+        if revived:
+            if 0 in placement:  # the root entry follows shard 0's host
+                self.placement[name] = placement[0]
+            self.assignment_seq += 1
+            self.log.emit(
+                self.sim.now, "coordinator", "shards_replaced",
+                task=name, shards=revived, seq=self.assignment_seq,
+            )
+        return revived
 
     # -- client assignment (Section 6.2) ----------------------------------------
 
@@ -110,8 +167,7 @@ class Coordinator:
             for name, rt in self.tasks.items()
             if (compatible_tasks is None or name in compatible_tasks)
             and rt.demand() > 0
-            and rt.node is not None
-            and rt.node.alive
+            and rt.is_routable()
         ]
         if not eligible:
             self.assignments_rejected += 1
@@ -135,7 +191,12 @@ class Coordinator:
         """Detect dead aggregators and reassign their tasks.
 
         Returns the names of reassigned tasks.  Called periodically by the
-        orchestrator (and directly by failure-injection tests).
+        orchestrator (and directly by failure-injection tests).  Whole
+        tasks move to the least-loaded live node; sharded tasks fail over
+        per shard.  During a deployment-wide outage (no live node at all)
+        nothing is placed — tasks and shards stay unhosted, client
+        assignment pauses, and every subsequent sweep retries until
+        capacity recovers.
         """
         if not self.alive:
             return []
@@ -153,9 +214,45 @@ class Coordinator:
                     task_rt = node.drop_task(name)
                     if task_rt is None:
                         continue
-                    task_rt.on_reassigned()
+                    if isinstance(task_rt, ShardedFLTaskRuntime):
+                        # Per-shard failover: only the dead node's shards
+                        # lose state; the rest of the plane keeps folding.
+                        # (A sharded task spans nodes, so dedupe its name.)
+                        for shard_id in task_rt.drop_shards_on(node):
+                            self.shard_placement.get(name, {}).pop(shard_id, None)
+                        self._replace_dead_shards(task_rt)
+                        if name not in moved:
+                            moved.append(name)
+                    else:
+                        task_rt.on_reassigned()
+                        task_rt.node = None  # unhosted until re-placed below
+                        moved.append(name)
+        # Re-place every unhosted whole task (dropped above, or orphaned
+        # by an earlier all-nodes-dead sweep) and retry shards that could
+        # not be re-placed earlier — a recovered node picks them up.
+        # With no live node anywhere, tasks simply stay unhosted (clients
+        # stop being assigned via is_routable) and the next sweep retries
+        # — a deployment-wide outage must not crash the heartbeat loop.
+        unplaced: list[str] = []
+        for task_rt in self.tasks.values():
+            if isinstance(task_rt, ShardedFLTaskRuntime):
+                if task_rt.unplaced_shards():
+                    if self._replace_dead_shards(task_rt):
+                        if task_rt.config.name not in moved:
+                            moved.append(task_rt.config.name)
+                    else:
+                        unplaced.append(task_rt.config.name)
+            elif task_rt.node is None:
+                if self._live_nodes():
                     self._place(task_rt)
-                    moved.append(name)
+                    if task_rt.config.name not in moved:
+                        moved.append(task_rt.config.name)
+                else:
+                    unplaced.append(task_rt.config.name)
+        if unplaced:
+            self.log.emit(
+                self.sim.now, "coordinator", "tasks_unplaced", tasks=unplaced,
+            )
         if moved:
             self.log.emit(self.sim.now, "coordinator", "tasks_reassigned", tasks=moved)
         return moved
@@ -169,6 +266,12 @@ class Coordinator:
         overloaded multi-task node moves to the least-loaded peer.  This
         is a *planned* move: unlike failover, no state is lost — sessions
         keep running and route to the new host on their next upload.
+        Sharded tasks are never whole-task move candidates (their load is
+        already spread shard-wise; only failover moves shards).
+
+        ``queue_threshold_s`` comes from
+        :attr:`~repro.system.orchestrator.SystemConfig.rebalance_queue_threshold_s`
+        when driven by the orchestrator's heartbeat loop.
         """
         if not self.alive:
             return []
@@ -177,10 +280,17 @@ class Coordinator:
             return []
         moved: list[str] = []
         for node in live:
-            if node.queue_depth_seconds() <= queue_threshold_s or len(node.tasks) < 2:
+            queue_depth_s = node.queue_depth_seconds()
+            if queue_depth_s <= queue_threshold_s or len(node.tasks) < 2:
+                continue
+            movable = [
+                n for n, rt in node.tasks.items()
+                if not isinstance(rt, ShardedFLTaskRuntime)
+            ]
+            if not movable:
                 continue
             name = min(
-                node.tasks,
+                movable,
                 key=lambda n: node.tasks[n].config.concurrency
                 * node.tasks[n].config.model_size_bytes,
             )
@@ -196,6 +306,9 @@ class Coordinator:
             self.log.emit(
                 self.sim.now, "coordinator", "task_rebalanced",
                 task=name, source=node.node_id, target=target.node_id,
+                queue_depth_s=round(queue_depth_s, 3),
+                queue_threshold_s=queue_threshold_s,
+                demand=task_rt.demand(),
             )
         return moved
 

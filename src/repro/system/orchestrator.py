@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.types import TaskConfig
+from repro.core.types import TaskConfig, TrainingMode
 from repro.sim.engine import Simulator
 from repro.sim.network import NetworkModel
 from repro.sim.population import DevicePopulation
@@ -28,6 +28,7 @@ from repro.system.aggregator import AggregatorNode, FLTaskRuntime
 from repro.system.client_runtime import ClientSession, CohortDispatcher
 from repro.system.coordinator import Coordinator
 from repro.system.selector import Selector
+from repro.system.sharding import ShardedFLTaskRuntime
 from repro.utils.logging import EventLog
 from repro.utils.rng import child_rng
 
@@ -50,6 +51,19 @@ class SystemConfig:
     are deferred and executed in batched calls of up to this many clients
     (bit-equivalent results, identical event order and timings — only the
     simulator's wall-clock drops).
+
+    ``num_shards`` / ``shard_routing`` switch every (async, non-secure)
+    task onto the sharded hierarchical aggregation plane: ``num_shards``
+    shard cores spread across the aggregator pool, clients routed to
+    shards by ``"hash"`` or ``"load"`` policy, one root reducer merging
+    shard partials per server step (see :mod:`repro.system.sharding`).
+    The default ``num_shards=1`` never constructs any of it — the
+    single-aggregator path is byte-for-byte the pre-sharding code.
+
+    ``rebalance_queue_threshold_s`` is the aggregation-queue backpressure
+    (seconds of backlog on a node's busiest shard thread) above which
+    the Coordinator's heartbeat loop moves a task off an overloaded
+    node (Section 6.3).
     """
 
     n_aggregators: int = 2
@@ -64,6 +78,9 @@ class SystemConfig:
     pump_interval_s: float = 5.0
     min_reparticipation_interval_s: float = 0.0
     cohort_batch_size: int = 1
+    num_shards: int = 1
+    shard_routing: str = "hash"
+    rebalance_queue_threshold_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.n_aggregators < 1 or self.n_selectors < 1:
@@ -74,6 +91,12 @@ class SystemConfig:
             raise ValueError("min_reparticipation_interval_s must be non-negative")
         if self.cohort_batch_size < 1:
             raise ValueError("cohort_batch_size must be at least 1")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if self.shard_routing not in ("hash", "load"):
+            raise ValueError("shard_routing must be 'hash' or 'load'")
+        if self.rebalance_queue_threshold_s <= 0:
+            raise ValueError("rebalance_queue_threshold_s must be positive")
 
 
 @dataclass(frozen=True)
@@ -170,10 +193,21 @@ class FederatedSimulation:
                 dispatcher = CohortDispatcher(
                     adapter, max_cohort=self.system.cohort_batch_size
                 )
-            rt = FLTaskRuntime(
-                cfg, adapter, self.sim, self.trace, self.log,
-                on_slot_free=self._pump, cohort=dispatcher,
+            shardable = (
+                cfg.mode is TrainingMode.ASYNC and not cfg.secure_aggregation
             )
+            if self.system.num_shards > 1 and shardable:
+                rt: FLTaskRuntime = ShardedFLTaskRuntime(
+                    cfg, adapter, self.sim, self.trace, self.log,
+                    on_slot_free=self._pump, cohort=dispatcher,
+                    num_shards=self.system.num_shards,
+                    shard_routing=self.system.shard_routing,
+                )
+            else:
+                rt = FLTaskRuntime(
+                    cfg, adapter, self.sim, self.trace, self.log,
+                    on_slot_free=self._pump, cohort=dispatcher,
+                )
             self.task_runtimes[cfg.name] = rt
             self.coordinator.register_task(rt)
 
@@ -282,7 +316,9 @@ class FederatedSimulation:
         for selector in self.selectors:
             selector.refresh_map()
         self.coordinator.sweep_failures()
-        self.coordinator.rebalance_overloaded()
+        self.coordinator.rebalance_overloaded(
+            queue_threshold_s=self.system.rebalance_queue_threshold_s
+        )
         self.sim.schedule(self.system.heartbeat_interval_s, self._heartbeat_loop)
 
     def _pump_loop(self) -> None:

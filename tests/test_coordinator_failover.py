@@ -117,7 +117,9 @@ class TestReassignmentUnderNodeFailure:
         assert moved == [rt.config.name]
         assert not host.alive
 
-    def test_no_live_target_raises(self, sim, log):
+    def test_no_live_target_leaves_task_unhosted(self, sim, log):
+        """A deployment-wide outage must not crash the sweep: the task
+        stays unhosted (no assignments) until capacity recovers."""
         coord, nodes = make_coordinator(sim, log)
         rt = make_runtime(sim, log)
         coord.register_task(rt)
@@ -125,8 +127,15 @@ class TestReassignmentUnderNodeFailure:
             node.fail()
         sim.schedule(60.0, lambda: None)
         sim.run_until_idle()
-        with pytest.raises(RuntimeError):
-            coord.sweep_failures()
+        moved = coord.sweep_failures()
+        assert moved == [rt.config.name]
+        assert rt.node is None
+        assert not rt.is_routable()
+        assert coord.assign_client() is None
+        assert log.of_kind("tasks_unplaced")[-1].detail["tasks"] == ["t"]
+        # Still no capacity: later sweeps keep it parked without raising.
+        assert coord.sweep_failures() == []
+        assert rt.node is None
 
     def test_reassignment_bumps_assignment_seq(self, sim, log):
         coord, nodes = make_coordinator(sim, log)
@@ -218,3 +227,87 @@ class TestQueueDepthRebalancing:
         assert not session.finished
         assert light.active_count() == 1
         assert light.core.updates_received == 1
+
+
+class TestRecoveryWindowEdges:
+    """Boundary behaviour of heartbeat expiry and the recovery window."""
+
+    def test_heartbeat_exactly_at_miss_limit_keeps_node_alive(self, sim, log):
+        coord, nodes = make_coordinator(sim, log)
+        rt = make_runtime(sim, log)
+        coord.register_task(rt)
+        host = rt.node
+        other = nodes[1 - host.node_id]
+        deadline = coord.heartbeat_interval_s * coord.heartbeat_miss_limit
+        # Silence lasting *exactly* the miss limit is not yet a miss:
+        # expiry requires now - last_heartbeat to strictly exceed it.
+        sim.run_until(deadline)
+        assert sim.now == pytest.approx(deadline)
+        assert coord.sweep_failures() == []
+        assert host.alive
+        # A heartbeat landing exactly at the limit resets the clock...
+        coord.on_heartbeat(host, host.demand_report())
+        sim.run_until(deadline * 2)
+        assert coord.sweep_failures() == []
+        assert host.alive
+        # ...and the first sweep strictly past the (new) deadline expires
+        # it (the healthy sibling keeps heartbeating, as the orchestrator
+        # loop would, and inherits the task).
+        sim.schedule(deadline + 1e-9, lambda: None)
+        sim.run_until_idle()
+        coord.on_heartbeat(other, other.demand_report())
+        assert coord.sweep_failures() == [rt.config.name]
+        assert not host.alive
+        assert rt.node is other
+
+    def test_all_nodes_dead_then_one_recovers_replaces_task(self, sim, log):
+        coord, nodes = make_coordinator(sim, log)
+        rt = make_runtime(sim, log)
+        coord.register_task(rt)
+        for node in nodes:
+            node.fail()
+        # No live target: the task is parked unhosted, assignments pause.
+        assert coord.sweep_failures() == [rt.config.name]
+        assert rt.node is None
+        assert not rt.is_routable()
+
+        nodes[1].recover()
+        # The recovered node must heartbeat before the next sweep, or its
+        # stale last_heartbeat would expire it right back to dead.
+        coord.on_heartbeat(nodes[1], nodes[1].demand_report())
+        moved = coord.sweep_failures()
+        assert moved == [rt.config.name]
+        assert rt.node is nodes[1]
+        assert coord.placement[rt.config.name] == nodes[1].node_id
+        assert rt.is_routable()
+
+    def test_assignments_rejected_accounting_through_recovery(self, sim, log):
+        coord, nodes = make_coordinator(sim, log)
+        rt = make_runtime(sim, log, concurrency=10)
+        coord.register_task(rt)
+        assert coord.assign_client() is rt
+        assert coord.assignments_made == 1
+        rt.pending_assignments = 0
+
+        # Dead coordinator: every attempt is rejected and counted.
+        coord.fail()
+        for _ in range(3):
+            assert coord.assign_client() is None
+        assert coord.assignments_rejected == 3
+
+        # Recovered but inside the recovery window: still rejected.
+        coord.recover()
+        assert coord.alive and not coord.accepting_assignments
+        assert coord.assign_client() is None
+        assert coord.assignments_rejected == 4
+
+        # One tick before the window closes: rejected; at the boundary
+        # (now == recovering_until) assignments resume.
+        sim.run_until(coord.recovery_period_s - 1.0)
+        assert coord.assign_client() is None
+        assert coord.assignments_rejected == 5
+        sim.run_until(coord.recovery_period_s)
+        assert coord.accepting_assignments
+        assert coord.assign_client() is rt
+        assert coord.assignments_made == 2
+        assert coord.assignments_rejected == 5

@@ -431,6 +431,24 @@ class TestCLI:
         assert main(["fig9", "--list"]) == 0
         assert "table1" in capsys.readouterr().out
 
+    def test_list_subcommand(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == len(registry.names())
+        # Every line pairs a registered name with its description.
+        for line in lines:
+            name = line.split()[0]
+            assert name in registry.names()
+            assert registry.get(name).description.strip() in line
+
+    def test_list_subcommand_matches_flag(self, capsys):
+        assert main(["list"]) == 0
+        sub = capsys.readouterr().out
+        assert main(["--list"]) == 0
+        flag = capsys.readouterr().out
+        assert sub == flag
+
     def test_no_experiment_errors(self):
         with pytest.raises(SystemExit):
             main([])

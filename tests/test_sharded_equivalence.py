@@ -1,0 +1,518 @@
+"""Differential equivalence suite: sharded aggregation plane vs single core.
+
+The contract under test (see ``repro/core/sharding.py``): for any shard
+count and either routing policy, :class:`ShardedFedBuffAggregator`
+matches the single :class:`FedBuffAggregator` on the same arrival
+sequence to float64 rounding (shard-local folding only reassociates the
+weighted sum; admission, staleness, weighting, and step triggering are
+the inherited single-core code), ``num_shards=1`` is **bit-identical**
+to the single core on both the scalar and the block path, and mid-run
+shard failure leaves the plane matching a single aggregator fed only
+the surviving arrivals.  This is what lets the system layer spread one
+task's aggregation across nodes without changing an experimental number.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fedbuff import FedBuffAggregator
+from repro.core.server_opt import FedAdam
+from repro.core.sharding import (
+    AggregationPlaneClock,
+    HashShardRouting,
+    LoadAwareShardRouting,
+    ShardedFedBuffAggregator,
+    _Shard,
+    make_routing,
+)
+from repro.core.state import GlobalModelState
+from repro.core.types import TrainingResult
+
+ATOL = 1e-8
+P = 48
+
+
+def fresh_state(seed=0):
+    rng = np.random.default_rng(seed)
+    return GlobalModelState(rng.standard_normal(P).astype(np.float32), FedAdam(lr=0.1))
+
+
+def make_result(rng, cid, version=0, scale=1.0):
+    return TrainingResult(
+        client_id=cid,
+        delta=(rng.standard_normal(P) * scale).astype(np.float32),
+        num_examples=int(rng.integers(1, 50)),
+        train_loss=float(rng.random()),
+        initial_version=version,
+    )
+
+
+def drive_both(single, sharded, seed=0, n=23, waves=3):
+    """Drive identical multi-wave arrival sequences through both planes.
+
+    Clients register in waves (so later waves carry real staleness) and
+    upload in a shuffled order; both planes see the same registrations
+    and the same arrivals with the same initial versions.
+    """
+    rng = np.random.default_rng(seed)
+    outs_single, outs_sharded = [], []
+    next_cid = 0
+    for _ in range(waves):
+        cids = list(range(next_cid, next_cid + n))
+        next_cid += n
+        for agg in (single, sharded):
+            for cid in cids:
+                agg.register_download(cid)
+        # Registration versions must have agreed or weights could not.
+        assert single.version == sharded.version
+        order = rng.permutation(len(cids))
+        for idx in order:
+            cid = cids[int(idx)]
+            version = single._in_flight[cid]
+            assert sharded._in_flight[cid] == version
+            r = make_result(rng, cid, version=version)
+            outs_single.append(single.receive_update(r))
+            outs_sharded.append(sharded.receive_update(r))
+    return outs_single, outs_sharded
+
+
+class TestShardRouting:
+    def test_hash_routing_is_deterministic_and_total(self):
+        shards = [_Shard() for _ in range(5)]
+        routing = HashShardRouting()
+        first = [routing.route(cid, shards) for cid in range(200)]
+        assert first == [routing.route(cid, shards) for cid in range(200)]
+        assert set(first) == set(range(5))  # every shard receives a slice
+
+    def test_hash_routing_probes_past_dead_shards(self):
+        shards = [_Shard() for _ in range(4)]
+        routing = HashShardRouting()
+        victim = routing.route(17, shards)
+        shards[victim].alive = False
+        rerouted = routing.route(17, shards)
+        assert rerouted == (victim + 1) % 4
+        shards[victim].alive = True
+        assert routing.route(17, shards) == victim  # snaps back on revive
+
+    def test_hash_routing_all_dead_raises(self):
+        shards = [_Shard() for _ in range(2)]
+        for s in shards:
+            s.alive = False
+        with pytest.raises(RuntimeError):
+            HashShardRouting().route(0, shards)
+
+    def test_load_aware_picks_least_loaded_with_lowest_id_ties(self):
+        shards = [_Shard() for _ in range(3)]
+        routing = LoadAwareShardRouting()
+        assert routing.route(99, shards) == 0  # all-zero tie -> lowest id
+        shards[0].in_flight = 2
+        shards[1].count = 1
+        assert routing.route(99, shards) == 2
+        shards[2].alive = False
+        assert routing.route(99, shards) == 1
+
+    def test_load_aware_all_dead_raises(self):
+        shards = [_Shard()]
+        shards[0].alive = False
+        with pytest.raises(RuntimeError):
+            LoadAwareShardRouting().route(0, shards)
+
+    def test_make_routing(self):
+        assert make_routing("hash").name == "hash"
+        assert make_routing("load").name == "load"
+        with pytest.raises(ValueError):
+            make_routing("random")
+
+
+class TestPlaneClock:
+    def test_lane_schedule_and_barrier(self):
+        clock = AggregationPlaneClock(2)
+        clock.record_fold(0, 1.0)
+        clock.record_fold(1, 3.0)
+        clock.record_fold(0, 1.0)  # lane 0 now at 2.0, lane 1 at 3.0
+        assert clock.elapsed == pytest.approx(3.0)
+        clock.record_merge(0.5)  # barrier over both lanes
+        assert clock.root == pytest.approx(3.5)
+        clock.record_fold(0, 1.0)  # next epoch folds start after the merge
+        assert clock.lanes[0] == pytest.approx(4.5)
+        assert clock.elapsed == pytest.approx(4.5)
+        assert clock.folds == 4 and clock.merges == 1
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            AggregationPlaneClock(0)
+
+    def test_block_path_feeds_the_clock(self):
+        rng = np.random.default_rng(17)
+        clock = AggregationPlaneClock(3)
+        agg = ShardedFedBuffAggregator(
+            fresh_state(), goal=4, num_shards=3, clock=clock
+        )
+        results = [make_result(rng, cid) for cid in range(9)]
+        for r in results:
+            agg.register_download(r.client_id)
+        agg.receive_update_block(results)
+        assert clock.folds == 9  # grouped folds count every update
+        assert clock.merges == 2
+        assert clock.elapsed > 0.0
+
+
+class TestPlaneWideOutage:
+    def test_download_during_outage_registers_unrouted(self):
+        agg = ShardedFedBuffAggregator(fresh_state(), goal=4, num_shards=2)
+        agg.drop_shard(0)
+        agg.drop_shard(1)
+        # Must not raise: the client registers but gets no shard.
+        agg.register_download(5)
+        assert agg.shard_of(5) is None
+        assert agg.in_flight_count() == 1
+        # A direct update for the unrouted client is rejected before any
+        # buffer accounting mutates.
+        rng = np.random.default_rng(0)
+        with pytest.raises(KeyError, match="no shard was live"):
+            agg.receive_update(make_result(rng, 5))
+        with pytest.raises(KeyError, match="no shard was live"):
+            agg.receive_update_block([make_result(rng, 5)])
+        assert agg.buffered_count == 0
+        assert agg.updates_received == 0
+        # client_failed on the unrouted client stays consistent.
+        agg.client_failed(5)
+        assert agg.in_flight_count() == 0
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("num_shards", [2, 3, 8])
+    @pytest.mark.parametrize("routing", ["hash", "load"])
+    def test_matches_single_aggregator(self, num_shards, routing):
+        single = FedBuffAggregator(fresh_state(), goal=7)
+        sharded = ShardedFedBuffAggregator(
+            fresh_state(), goal=7, num_shards=num_shards, routing=routing
+        )
+        outs_single, outs_sharded = drive_both(single, sharded, seed=num_shards)
+
+        assert single.version == sharded.version
+        assert single.updates_received == sharded.updates_received
+        assert len(single.step_history) == len(sharded.step_history)
+        for a, b in zip(single.step_history, sharded.step_history):
+            assert a.version == b.version
+            assert a.num_updates == b.num_updates
+            assert a.total_weight == pytest.approx(b.total_weight, abs=1e-9)
+            assert a.mean_staleness == b.mean_staleness
+            assert a.max_staleness == b.max_staleness
+            assert a.contributors == b.contributors
+        for (u1, s1), (u2, s2) in zip(outs_single, outs_sharded):
+            assert u1.weight == pytest.approx(u2.weight, abs=1e-12)
+            assert u1.staleness == u2.staleness
+            assert (s1 is None) == (s2 is None)
+        np.testing.assert_allclose(
+            single.state.current(), sharded.state.current(), rtol=0, atol=ATOL
+        )
+
+    @pytest.mark.parametrize("weighting", ["linear", "log", "none"])
+    def test_example_weighting_variants(self, weighting):
+        single = FedBuffAggregator(
+            fresh_state(), goal=5, example_weighting=weighting
+        )
+        sharded = ShardedFedBuffAggregator(
+            fresh_state(), goal=5, num_shards=4, example_weighting=weighting
+        )
+        drive_both(single, sharded, seed=11, n=17, waves=2)
+        np.testing.assert_allclose(
+            single.state.current(), sharded.state.current(), rtol=0, atol=ATOL
+        )
+
+    def test_single_shard_is_bit_identical_scalar_path(self):
+        single = FedBuffAggregator(fresh_state(), goal=6)
+        sharded = ShardedFedBuffAggregator(fresh_state(), goal=6, num_shards=1)
+        outs_single, outs_sharded = drive_both(single, sharded, seed=5)
+        # Exact equality, not allclose: one shard performs the single
+        # core's AXPY sequence and merging one partial is the identity.
+        assert np.array_equal(single.state.current(), sharded.state.current())
+        for (u1, _), (u2, _) in zip(outs_single, outs_sharded):
+            assert u1.weight == u2.weight
+        for a, b in zip(single.step_history, sharded.step_history):
+            assert a.total_weight == b.total_weight
+
+    def test_single_shard_is_bit_identical_block_path(self):
+        rng = np.random.default_rng(9)
+        single = FedBuffAggregator(fresh_state(), goal=4)
+        sharded = ShardedFedBuffAggregator(fresh_state(), goal=4, num_shards=1)
+        results = [make_result(rng, cid) for cid in range(11)]
+        for agg in (single, sharded):
+            for r in results:
+                agg.register_download(r.client_id)
+        single.receive_update_block(results)
+        sharded.receive_update_block(results)
+        assert np.array_equal(single.state.current(), sharded.state.current())
+
+    @pytest.mark.parametrize("routing", ["hash", "load"])
+    def test_block_path_matches_sequential_and_single(self, routing):
+        rng = np.random.default_rng(13)
+        results = [make_result(rng, cid) for cid in range(23)]
+        single = FedBuffAggregator(fresh_state(), goal=5)
+        seq = ShardedFedBuffAggregator(
+            fresh_state(), goal=5, num_shards=4, routing=routing
+        )
+        blk = ShardedFedBuffAggregator(
+            fresh_state(), goal=5, num_shards=4, routing=routing
+        )
+        for agg in (single, seq, blk):
+            for r in results:
+                agg.register_download(r.client_id)
+        seq_out = [seq.receive_update(r) for r in results]
+        blk_out = blk.receive_update_block(results)
+        single_out = [single.receive_update(r) for r in results]
+
+        assert seq.version == blk.version == single.version
+        # Mid-block server steps fire at the same arrivals in all three.
+        for (u1, s1), (u2, s2), (u3, s3) in zip(seq_out, blk_out, single_out):
+            assert u1.weight == pytest.approx(u2.weight, abs=1e-12)
+            assert (s1 is None) == (s2 is None) == (s3 is None)
+            assert u1.staleness == u2.staleness == u3.staleness
+        np.testing.assert_allclose(
+            seq.state.current(), blk.state.current(), rtol=0, atol=ATOL
+        )
+        np.testing.assert_allclose(
+            single.state.current(), blk.state.current(), rtol=0, atol=ATOL
+        )
+        assert seq.shard_loads() == blk.shard_loads()
+
+    def test_block_rejects_unknown_client_keeps_admitted_prefix(self):
+        rng = np.random.default_rng(3)
+        agg = ShardedFedBuffAggregator(fresh_state(), goal=10, num_shards=3)
+        known = make_result(rng, 1)
+        agg.register_download(1)
+        with pytest.raises(KeyError):
+            agg.receive_update_block([known, make_result(rng, 99)])
+        assert agg.buffered_count == 1
+        assert sum(agg.shard_buffered()) == 1
+
+    def test_version_mismatch_keeps_shard_slots_consistent(self):
+        rng = np.random.default_rng(4)
+        agg = ShardedFedBuffAggregator(fresh_state(), goal=10, num_shards=3)
+        agg.register_download(7)
+        bad = make_result(rng, 7, version=5)  # recorded initial is 0
+        with pytest.raises(ValueError):
+            agg.receive_update(bad)
+        assert agg.shard_of(7) is None
+        assert sum(agg.shard_in_flight()) == 0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            ShardedFedBuffAggregator(fresh_state(), goal=4, num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedFedBuffAggregator(fresh_state(), goal=4, routing="nope")
+
+    def test_reregistration_releases_previous_shard_slot(self):
+        agg = ShardedFedBuffAggregator(
+            fresh_state(), goal=4, num_shards=2, routing="load"
+        )
+        agg.register_download(0)
+        first = agg.shard_of(0)
+        agg.register_download(0)  # same client re-downloads
+        assert sum(agg.shard_in_flight()) == 1
+        assert agg.shard_of(0) in (0, 1)
+        assert first is not None
+
+    def test_drop_buffer_and_inflight_clears_shards(self):
+        rng = np.random.default_rng(6)
+        agg = ShardedFedBuffAggregator(fresh_state(), goal=10, num_shards=3)
+        for cid in range(6):
+            agg.register_download(cid)
+        for cid in range(4):
+            agg.receive_update(make_result(rng, cid))
+        lost, dropped = agg.drop_buffer_and_inflight()
+        assert lost == 4 and sorted(dropped) == [4, 5]
+        assert agg.shard_buffered() == [0, 0, 0]
+        assert agg.shard_in_flight() == [0, 0, 0]
+        assert all(agg.shard_alive(s) for s in range(3))
+
+
+class TestShardFailover:
+    @pytest.mark.parametrize("routing", ["hash", "load"])
+    def test_mid_run_failure_matches_single_on_survivors(self, routing):
+        """After a shard dies mid-buffer, the plane matches a single
+        aggregator that was fed only the surviving arrivals."""
+        rng = np.random.default_rng(21)
+        sharded = ShardedFedBuffAggregator(
+            fresh_state(), goal=6, num_shards=3, routing=routing
+        )
+        results = [make_result(rng, cid) for cid in range(30)]
+        for r in results:
+            sharded.register_download(r.client_id)
+
+        # Two full steps plus a partial buffer, then shard 1 dies.
+        for r in results[:15]:
+            sharded.receive_update(r)
+        lost, dropped_clients = sharded.drop_shard(1)
+        assert lost > 0 or dropped_clients  # the scenario is non-trivial
+        # Remaining in-flight clients (not routed to shard 1) upload;
+        # dropped clients' late uploads are rejected like any failed one.
+        accepted_tail = []
+        for r in results[15:]:
+            if r.client_id in dropped_clients:
+                with pytest.raises(KeyError):
+                    sharded.receive_update(r)
+            else:
+                sharded.receive_update(r)
+                accepted_tail.append(r.client_id)
+
+        survivors = set(
+            cid for step in sharded.step_history for cid in step.contributors
+        ) | set(sharded._contributors)
+        single = FedBuffAggregator(fresh_state(), goal=6)
+        for r in results:
+            single.register_download(r.client_id)
+        for r in results:
+            if r.client_id in survivors:
+                single.receive_update(r)
+
+        assert single.version == sharded.version
+        assert len(single.step_history) == len(sharded.step_history)
+        for a, b in zip(single.step_history, sharded.step_history):
+            assert a.contributors == b.contributors
+            assert a.total_weight == pytest.approx(b.total_weight, abs=1e-9)
+        np.testing.assert_allclose(
+            single.state.current(), sharded.state.current(), rtol=0, atol=ATOL
+        )
+        assert single._weight_sum == pytest.approx(sharded._weight_sum, abs=1e-12)
+
+    def test_dead_shard_slice_reroutes_and_revive_restores(self):
+        sharded = ShardedFedBuffAggregator(
+            fresh_state(), goal=100, num_shards=4, routing="hash"
+        )
+        # Find a client hashed to shard 2.
+        probe = next(
+            cid for cid in range(1000)
+            if HashShardRouting().route(cid, sharded._shards) == 2
+        )
+        sharded.drop_shard(2)
+        assert not sharded.shard_alive(2)
+        assert sharded.live_shards() == [0, 1, 3]
+        sharded.register_download(probe)
+        assert sharded.shard_of(probe) == 3  # probed past the dead shard
+        sharded.client_failed(probe)
+
+        sharded.revive_shard(2)
+        assert sharded.shard_alive(2)
+        sharded.register_download(probe)
+        assert sharded.shard_of(probe) == 2  # slice snaps back
+        assert sharded.shard_failovers == 1
+
+    def test_failure_spanning_epochs(self):
+        """Contributions folded *before* the failure's buffer epoch are
+        already in step history and survive; only the dead shard's
+        current partial is excised."""
+        rng = np.random.default_rng(31)
+        sharded = ShardedFedBuffAggregator(
+            fresh_state(), goal=4, num_shards=2, routing="hash"
+        )
+        results = [make_result(rng, cid) for cid in range(10)]
+        for r in results:
+            sharded.register_download(r.client_id)
+        for r in results[:6]:  # one full step + 2 buffered
+            sharded.receive_update(r)
+        assert sharded.version == 1
+        steps_before = len(sharded.step_history)
+        buffered_before = sharded.buffered_count
+        lost, _ = sharded.drop_shard(0)
+        assert len(sharded.step_history) == steps_before  # history intact
+        assert sharded.buffered_count == buffered_before - lost
+        assert sharded.version == 1
+
+
+class TestShardsExperimentMicro:
+    """Micro-scale runs of the ``shards`` ExperimentSpec (harness/perf.py)."""
+
+    @pytest.mark.parametrize("routing", ["hash", "load"])
+    def test_micro_sweep_is_equivalent_everywhere(self, routing):
+        from repro.harness.perf import shards_speedup
+
+        res = shards_speedup(
+            shard_counts=(1, 2, 4), populations=(16, 64), arrivals=24,
+            vector_length=512, goal=8, routing=routing, repeats=1, seed=3,
+        )
+        assert len(res.points) == 6
+        for p in res.points:
+            assert p.equivalent
+            assert p.max_divergence <= 1e-6
+            assert p.arrivals == 24
+            assert p.single_s > 0 and p.sharded_s > 0
+            assert p.load_skew >= 1.0
+        assert {p.num_shards for p in res.points} == {1, 2, 4}
+        assert {p.population for p in res.points} == {16, 64}
+
+    def test_printer_renders(self, capsys):
+        from repro.harness.perf import print_shards, shards_speedup
+
+        res = shards_speedup(
+            shard_counts=(2,), populations=(8,), arrivals=8,
+            vector_length=64, goal=4, repeats=1,
+        )
+        print_shards(res)
+        out = capsys.readouterr().out
+        assert "Sharded aggregation plane" in out
+        assert "speedup" in out and "load skew" in out
+
+    def test_registered_and_json_round_trips(self):
+        from repro.harness import registry
+        from repro.harness.perf import ShardsResult, shards_speedup
+
+        spec = registry.get("shards")
+        assert spec.result_type is ShardsResult
+        assert not spec.uses_scale
+        res = shards_speedup(
+            shard_counts=(2,), populations=(8,), arrivals=8,
+            vector_length=64, goal=4, repeats=1,
+        )
+        restored = spec.deserialize(spec.serialize(res))
+        assert restored == res  # frozen dataclasses: exact field equality
+
+
+class TestEndToEndShardedSimulation:
+    """Full-simulation differential: sharded plane on one node vs scalar.
+
+    With every shard colocated on a single AggregatorNode the event
+    schedule (queue model, timings, selection) is identical to the
+    unsharded run, so traces must line up event for event and losses to
+    aggregation-reassociation tolerance.
+    """
+
+    @staticmethod
+    def _run(num_shards, max_steps=20):
+        from repro.core.types import TaskConfig, TrainingMode
+        from repro.sim.population import DevicePopulation, PopulationConfig
+        from repro.system.adapters import SurrogateAdapter
+        from repro.system.orchestrator import FederatedSimulation, SystemConfig
+
+        pop = DevicePopulation(PopulationConfig(n_devices=400), seed=0)
+        cfg = TaskConfig(
+            name="t", mode=TrainingMode.ASYNC, concurrency=24,
+            aggregation_goal=6, model_size_bytes=200_000,
+        )
+        fs = FederatedSimulation(
+            [(cfg, SurrogateAdapter(seed=0))], pop, seed=0,
+            system=SystemConfig(n_aggregators=1, num_shards=num_shards),
+        )
+        res = fs.run(t_end=3e5, max_server_steps=max_steps)
+        return res, fs
+
+    def test_traces_identical_on_one_node(self):
+        res1, fs1 = self._run(1)
+        res4, fs4 = self._run(4)
+
+        t1, l1 = res1.trace.loss_curve("t")
+        t4, l4 = res4.trace.loss_curve("t")
+        np.testing.assert_array_equal(t1, t4)
+        np.testing.assert_allclose(l1, l4, rtol=0, atol=1e-6)
+
+        parts1 = [(p.device_id, p.start_time, p.end_time, p.outcome, p.staleness)
+                  for p in res1.trace.participations]
+        parts4 = [(p.device_id, p.start_time, p.end_time, p.outcome, p.staleness)
+                  for p in res4.trace.participations]
+        assert parts1 == parts4
+
+        rt4 = fs4.task_runtimes["t"]
+        loads = rt4.core.shard_loads()
+        assert sum(loads) == res4.stats().aggregated
+        assert sum(1 for load in loads if load > 0) > 1  # really sharded
