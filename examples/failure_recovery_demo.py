@@ -16,34 +16,35 @@ Run:
 """
 
 
-from repro.core import TaskConfig, TrainingMode
+from repro.api import Deployment, ExecutionSpec, PopulationSpec, ScenarioSpec, TaskSpec
 from repro.harness import print_series, print_table
-from repro.sim import DevicePopulation, PopulationConfig
-from repro.system import FederatedSimulation, SurrogateAdapter, SystemConfig
 
 
 def main() -> None:
-    population = DevicePopulation(PopulationConfig(n_devices=20_000), seed=11)
-    task = TaskConfig(
-        name="resilient",
-        mode=TrainingMode.ASYNC,
-        concurrency=64,
-        aggregation_goal=8,
-        model_size_bytes=1_000_000,
+    spec = ScenarioSpec(
+        population=PopulationSpec(n_devices=20_000, seed=11),
+        tasks=(
+            TaskSpec(
+                name="resilient",
+                mode="async",
+                concurrency=64,
+                aggregation_goal=8,
+                model_size_bytes=1_000_000,
+                trainer="surrogate",
+            ),
+        ),
+        system={"n_aggregators": 3, "heartbeat_interval_s": 5.0},
+        execution=ExecutionSpec(seed=11, t_end_s=3600.0),
     )
-    sim = FederatedSimulation(
-        [(task, SurrogateAdapter(seed=11))],
-        population,
-        system=SystemConfig(n_aggregators=3, heartbeat_interval_s=5.0),
-        seed=11,
-    )
+    deployment = Deployment.from_spec(spec)
+    sim = deployment.build()
 
     # Inject: aggregator 0 dies at t=10min; coordinator outage 25-27min.
     sim.inject_aggregator_failure(at_time=600.0, node_id=0)
     sim.inject_coordinator_outage(at_time=1500.0, duration_s=120.0)
 
     print("Running 1 simulated hour with injected failures ...")
-    result = sim.run(t_end=3600.0)
+    result = deployment.run()
 
     times, counts = result.trace.active_series()
     print_series("active clients (note the dips at 10min and 25min)", times, counts)

@@ -1,57 +1,68 @@
 """Quickstart: federated next-word prediction with buffered async aggregation.
 
-Trains a real (NumPy) LSTM language model across a simulated heterogeneous
-device fleet using PAPAYA's AsyncFL mode (FedBuff + FedAdam), then prints
-the training curve and a sample of model completions.
+Describes the whole deployment as a declarative ``repro.api.ScenarioSpec``
+— population, task, trainer, execution knobs — and builds/runs it through
+the ``Deployment`` façade: a real (NumPy) LSTM language model trained
+across a simulated heterogeneous device fleet with PAPAYA's AsyncFL mode
+(FedBuff + FedAdam).  Prints the training curve and a sample of model
+completions.
+
+The spec is plain data (``spec.to_dict()`` round-trips through JSON), so
+the same scenario can be saved to a file, swept over
+(``python -m repro.harness sweep scenario --spec quickstart.json
+--grid tasks.0.concurrency=10,20,40``), or tweaked with
+``spec.override("tasks.0.aggregation_goal", 10)``.
 
 Run:
     python examples/quickstart.py
 """
 
-from repro.core import FedAdam, GlobalModelState, LocalTrainer, TaskConfig, TrainingMode
-from repro.data import CorpusSpec, FederatedDataset, TopicMarkovCorpus, Vocabulary
+from repro.api import Deployment, ExecutionSpec, PopulationSpec, ScenarioSpec, TaskSpec
+from repro.data import Vocabulary
 from repro.harness import print_series, print_table
-from repro.nn import LSTMLanguageModel, ModelConfig
-from repro.sim import DevicePopulation, PopulationConfig
-from repro.system import FederatedSimulation, RealTrainingAdapter
+from repro.nn import LSTMLanguageModel
+
+VOCAB_SIZE = 32
+
+# --- the whole deployment, declaratively -----------------------------------
+# AsyncFL, 20 concurrent clients, a server step every 5 updates, training a
+# real LSTM (the "real_lstm" trainer registered in repro.system.planes).
+SPEC = ScenarioSpec(
+    population=PopulationSpec(
+        n_devices=500,
+        seed=7,
+        overrides={"mean_examples": 24, "max_examples": 80},
+    ),
+    tasks=(
+        TaskSpec(
+            name="quickstart",
+            mode="async",
+            concurrency=20,
+            aggregation_goal=5,
+            model_size_bytes=200_000,
+            trainer="real_lstm",
+            trainer_params={
+                "vocab_size": VOCAB_SIZE,
+                "embed_dim": 12,
+                "hidden_dim": 24,
+                "corpus_seed": 7,
+                "model_seed": 1,
+                "server_lr": 0.05,
+                "client_lr": 1.0,
+                "batch_size": 8,
+                "n_eval_clients": 16,
+                "eval_every": 5,
+            },
+        ),
+    ),
+    execution=ExecutionSpec(seed=7, t_end_s=3_000_000.0, max_server_steps=60),
+)
 
 
 def main() -> None:
-    # --- the federation: a synthetic non-IID corpus over a device fleet ---
-    vocab_size = 32
-    corpus = TopicMarkovCorpus(CorpusSpec(vocab_size=vocab_size, seq_len=10), seed=7)
-    dataset = FederatedDataset(corpus)
-    population = DevicePopulation(
-        PopulationConfig(n_devices=500, mean_examples=24, max_examples=80), seed=7
-    )
-
-    # --- the model + server optimizer (FedAdam, as in the paper) ---
-    model_cfg = ModelConfig(vocab_size=vocab_size, embed_dim=12, hidden_dim=24)
-    model = LSTMLanguageModel(model_cfg, seed=1)
-    state = GlobalModelState(model.get_flat(), FedAdam(lr=0.05))
-    trainer = LocalTrainer(model_cfg, lr=1.0, batch_size=8, seed=1)
-
-    eval_ids = list(range(16))
-    adapter = RealTrainingAdapter(
-        trainer,
-        dataset,
-        state,
-        eval_clients=eval_ids,
-        eval_examples=[population.profile(i).n_examples for i in eval_ids],
-        eval_every=5,
-    )
-
-    # --- the task: AsyncFL, 20 concurrent clients, server step every 5 updates ---
-    task = TaskConfig(
-        name="quickstart",
-        mode=TrainingMode.ASYNC,
-        concurrency=20,
-        aggregation_goal=5,
-        model_size_bytes=200_000,
-    )
-    sim = FederatedSimulation([(task, adapter)], population, seed=7)
+    deployment = Deployment.from_spec(SPEC)
     print("Training an LSTM next-word model with AsyncFL (FedBuff)...")
-    result = sim.run(t_end=3_000_000.0, max_server_steps=60)
+    result = deployment.run()
 
     # --- report ---
     times, losses = result.trace.loss_curve("quickstart")
@@ -71,8 +82,11 @@ def main() -> None:
     )
 
     # --- sample the trained model ---
-    model.set_flat(state.current())
-    vocab = Vocabulary(vocab_size)
+    adapter = deployment.adapter("quickstart")
+    model = LSTMLanguageModel(adapter.trainer.model_config, seed=1)
+    model.set_flat(adapter.state.current())
+    vocab = Vocabulary(VOCAB_SIZE)
+    corpus = adapter.dataset.corpus  # the exact corpus the fleet trained on
     x, _ = corpus.generate_sequences(client_id=999, n_sequences=3, salt="demo")
     logits, _ = model.forward(x)
     print("sample next-word predictions:")

@@ -15,11 +15,12 @@ three levels:
    compare the single plane's sequential wall clock against the sharded
    plane's parallel-lane latency (what the ``shards`` experiment sweeps:
    ``python -m repro.harness shards``).
-3. **System failover** — run a full simulated deployment with
-   ``SystemConfig(num_shards=4)`` spreading one task's shards over three
-   aggregator nodes, kill a node mid-run, and watch the heartbeat sweep
-   drop only that node's shards (their in-flight contributions are lost,
-   their slice re-routes) and re-place them on the survivors.
+3. **System failover** — run a full simulated deployment described by a
+   declarative ``repro.api.ScenarioSpec`` (``plane.name="sharded"``,
+   S = 4) spreading one task's shards over three aggregator nodes, kill
+   a node mid-run, and watch the heartbeat sweep drop only that node's
+   shards (their in-flight contributions are lost, their slice
+   re-routes) and re-place them on the survivors.
 
 Run with: PYTHONPATH=src python examples/sharded_aggregation_demo.py
 """
@@ -28,14 +29,18 @@ import time
 
 import numpy as np
 
+from repro.api import (
+    Deployment,
+    ExecutionSpec,
+    PlaneSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    TaskSpec,
+)
 from repro.core import FedBuffAggregator, ShardedFedBuffAggregator, TrainingResult
 from repro.core.server_opt import FedAdam
 from repro.core.sharding import AggregationPlaneClock
 from repro.core.state import GlobalModelState
-from repro.core.types import TaskConfig, TrainingMode
-from repro.sim.population import DevicePopulation, PopulationConfig
-from repro.system import SurrogateAdapter
-from repro.system.orchestrator import FederatedSimulation, SystemConfig
 
 PARAMS = 20_000
 GOAL = 32
@@ -118,20 +123,24 @@ def critical_path_speedup():
 def system_failover():
     """One task, 4 shards over 3 nodes; node dies mid-run; plane recovers."""
     print("=== 3. system-level shard failover ===")
-    pop = DevicePopulation(PopulationConfig(n_devices=500), seed=SEED)
-    cfg = TaskConfig(
-        name="demo", mode=TrainingMode.ASYNC, concurrency=40,
-        aggregation_goal=10, model_size_bytes=100_000,
+    spec = ScenarioSpec(
+        population=PopulationSpec(n_devices=500, seed=SEED),
+        tasks=(
+            TaskSpec(name="demo", mode="async", concurrency=40,
+                     aggregation_goal=10, model_size_bytes=100_000,
+                     trainer="surrogate"),
+        ),
+        plane=PlaneSpec(name="sharded", num_shards=4, shard_routing="hash"),
+        system={"n_aggregators": 3},
+        execution=ExecutionSpec(seed=SEED, t_end_s=2500.0),
     )
-    fs = FederatedSimulation(
-        [(cfg, SurrogateAdapter(seed=SEED))], pop, seed=SEED,
-        system=SystemConfig(n_aggregators=3, num_shards=4, shard_routing="hash"),
-    )
+    deployment = Deployment.from_spec(spec)
+    fs = deployment.build()
     rt = fs.task_runtimes["demo"]
     print(f"initial shard placement: {fs.coordinator.shard_placement['demo']}")
     victim = rt.shard_nodes[0].node_id
     fs.inject_aggregator_failure(at_time=120.0, node_id=victim)
-    res = fs.run(t_end=2500.0)
+    res = deployment.run()
     stats = res.stats()
     print(f"killed node {victim} at t=120s; detected by heartbeat sweep")
     print(f"placement after failover: {fs.coordinator.shard_placement['demo']}")

@@ -17,10 +17,11 @@ Run from the repository root::
 
 import tempfile
 
+from repro.api import ExecutionSpec, PopulationSpec, ScenarioSpec, TaskSpec
 from repro.harness import Scale
 from repro.harness.cache import ResultCache
 from repro.harness.report import print_aggregate
-from repro.harness.sweep import build_cells, run_sweep
+from repro.harness.sweep import build_cells, build_scenario_cells, run_sweep
 
 # A deliberately tiny scale so the demo finishes in seconds.
 TINY = Scale(
@@ -58,6 +59,34 @@ def main() -> None:
     again = run_sweep(cells, jobs=2, cache=cache)
     print(f"re-run: {again.hits}/{len(cells)} cells served from cache "
           f"in {again.duration_s:.2f}s")
+
+    # --- declarative scenario sweeps -------------------------------------
+    # Any deployment a repro.api.ScenarioSpec can describe is sweepable:
+    # grid keys are dotted spec-override paths applied to the base spec
+    # (the CLI equivalent is
+    #   python -m repro.harness sweep scenario --spec demo.json \
+    #       --grid tasks.0.concurrency=6,12).
+    base = ScenarioSpec(
+        population=PopulationSpec(n_devices=2000, seed=0),
+        tasks=(
+            TaskSpec(name="async", mode="async", concurrency=12,
+                     aggregation_goal=3, model_size_bytes=1_000_000,
+                     trainer="surrogate",
+                     trainer_params={"critical_goal": 5.0}),
+        ),
+        execution=ExecutionSpec(seed=0, t_end_s=1800.0),
+    )
+    scenario_cells = build_scenario_cells(
+        base, seeds=[0, 1], grid={"tasks.0.concurrency": [6, 12]}
+    )
+    print(f"\nsweeping {len(scenario_cells)} scenario cells "
+          f"(grid over tasks.0.concurrency)...")
+    scenario_sweep = run_sweep(scenario_cells, jobs=2, cache=cache)
+    for group in scenario_sweep.groups():
+        conc = dict(group.params)["tasks.0.concurrency"]
+        steps = group.aggregate["tasks"][0]["server_steps"]
+        print(f"  concurrency={conc}: server steps "
+              f"mean={steps['mean']:.1f} (min {steps['min']}, max {steps['max']})")
 
 
 if __name__ == "__main__":

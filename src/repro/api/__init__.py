@@ -1,0 +1,48 @@
+"""repro.api — the unified scenario API of the reproduction.
+
+Describe a deployment declaratively, then build/run it through one
+façade::
+
+    from repro.api import (
+        Deployment, ExecutionSpec, PopulationSpec, ScenarioSpec, TaskSpec,
+    )
+
+    spec = ScenarioSpec(
+        population=PopulationSpec(n_devices=10_000),
+        tasks=(TaskSpec(name="async", mode="async",
+                        concurrency=64, aggregation_goal=8),),
+        execution=ExecutionSpec(seed=0, t_end_s=3600.0),
+    )
+    result = Deployment.from_spec(spec).run()
+
+Specs are frozen and serializable (``spec.to_dict()`` /
+``ScenarioSpec.from_dict``), validate every combination at construction
+with field-named errors, and support dotted-path overrides
+(``spec.override("plane.num_shards", 4)``) — which is what lets
+``repro.harness.sweep`` grid directly over scenario fields.  Planes,
+shard routings, and trainer adapters are looked up by name in
+:mod:`repro.system.planes`, so new ones plug in by registration.
+"""
+
+from repro.api.deployment import Deployment, build, build_population, run
+from repro.api.spec import (
+    ExecutionSpec,
+    PlaneSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    SpecError,
+    TaskSpec,
+)
+
+__all__ = [
+    "Deployment",
+    "build",
+    "run",
+    "build_population",
+    "ScenarioSpec",
+    "PopulationSpec",
+    "TaskSpec",
+    "PlaneSpec",
+    "ExecutionSpec",
+    "SpecError",
+]

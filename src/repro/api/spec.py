@@ -1,0 +1,583 @@
+"""Declarative, serializable scenario descriptions.
+
+A :class:`ScenarioSpec` is the frozen, JSON-round-trippable description
+of one simulated PAPAYA deployment: the device population, the FL tasks
+(each naming a registered trainer adapter), the aggregation plane, and
+the execution knobs.  It is the single source of truth the
+:class:`repro.api.Deployment` façade builds simulations from, and the
+unit the sweep executor grids over (``tasks.0.concurrency=8,16,32``).
+
+Every spec validates itself at construction: invalid combinations raise
+:class:`SpecError` naming the offending field (``plane.num_shards:
+the 'secure' plane cannot be sharded ...``), so a mis-assembled scenario
+fails at definition time with an actionable message, not deep inside the
+orchestrator.  ``from_dict(spec.to_dict())`` reconstructs an *equal*
+spec, which is what makes scenario files, sweep grids, and cache
+fingerprints possible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.core.types import TaskConfig, TrainingMode
+from repro.sim.population import PopulationConfig
+from repro.system.orchestrator import SystemConfig
+
+__all__ = [
+    "SpecError",
+    "PopulationSpec",
+    "TaskSpec",
+    "PlaneSpec",
+    "ExecutionSpec",
+    "ScenarioSpec",
+]
+
+#: plane names with dedicated ScenarioSpec semantics (anything else is
+#: treated as a custom registered plane and pinned via SystemConfig.plane)
+BUILTIN_PLANES = ("single", "sharded", "secure")
+
+
+class SpecError(ValueError):
+    """A scenario spec is invalid; ``field`` names the offending field."""
+
+    def __init__(self, field_name: str, message: str):
+        self.field = field_name
+        super().__init__(f"{field_name}: {message}")
+
+
+def _freeze_value(value: Any, field_name: str) -> Any:
+    """Normalize one parameter value to a hashable JSON-able form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v, field_name) for v in value)
+    raise SpecError(
+        field_name,
+        f"values must be JSON scalars or lists of them, got {type(value).__name__}",
+    )
+
+
+def _freeze_items(
+    items: Mapping[str, Any] | Sequence[tuple[str, Any]] | None, field_name: str
+) -> tuple[tuple[str, Any], ...]:
+    """Normalize a param mapping to a sorted tuple of (key, value) pairs."""
+    if items is None:
+        return ()
+    pairs = items.items() if isinstance(items, Mapping) else items
+    out = []
+    for key, value in pairs:
+        if not isinstance(key, str) or not key:
+            raise SpecError(field_name, f"keys must be non-empty strings, got {key!r}")
+        out.append((key, _freeze_value(value, f"{field_name}.{key}")))
+    out.sort(key=lambda kv: kv[0])
+    seen = [k for k, _ in out]
+    for k in set(seen):
+        if seen.count(k) > 1:
+            raise SpecError(field_name, f"duplicate key {k!r}")
+    return tuple(out)
+
+
+def _thaw_value(value: Any) -> Any:
+    return [_thaw_value(v) for v in value] if isinstance(value, tuple) else value
+
+
+def _thaw_items(items: tuple[tuple[str, Any], ...]) -> dict[str, Any]:
+    return {k: _thaw_value(v) for k, v in items}
+
+
+def _expect_mapping(data: Any, field_name: str) -> dict:
+    if not isinstance(data, Mapping):
+        raise SpecError(field_name, f"expected a mapping, got {type(data).__name__}")
+    return dict(data)
+
+
+def _check_keys(data: Mapping, allowed: Sequence[str], field_name: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise SpecError(
+            field_name,
+            f"unknown keys {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(allowed)}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sub-specs
+# ---------------------------------------------------------------------------
+
+_POPULATION_OVERRIDE_FIELDS = tuple(
+    f.name for f in dataclasses.fields(PopulationConfig) if f.name != "n_devices"
+)
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """The simulated device fleet.
+
+    ``seed=None`` means "use the deployment seed"; ``overrides`` are
+    :class:`~repro.sim.population.PopulationConfig` fields other than
+    ``n_devices`` (e.g. ``mean_examples``, ``max_examples``).
+    """
+
+    n_devices: int = 100_000
+    seed: int | None = None
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "n_devices", int(self.n_devices))
+        if self.seed is not None:
+            object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(
+            self, "overrides", _freeze_items(self.overrides, "population.overrides")
+        )
+        for key, _ in self.overrides:
+            if key not in _POPULATION_OVERRIDE_FIELDS:
+                raise SpecError(
+                    f"population.overrides.{key}",
+                    f"not a PopulationConfig field; known: "
+                    f"{', '.join(_POPULATION_OVERRIDE_FIELDS)}",
+                )
+        try:
+            self.population_config()
+        except SpecError:
+            raise
+        except ValueError as exc:
+            raise SpecError("population", str(exc)) from exc
+
+    def population_config(self) -> PopulationConfig:
+        """The validated :class:`PopulationConfig` this spec describes."""
+        return PopulationConfig(n_devices=self.n_devices, **_thaw_items(self.overrides))
+
+    @classmethod
+    def from_population(cls, population) -> "PopulationSpec":
+        """Describe an already-built :class:`DevicePopulation` faithfully."""
+        cfg = population.config
+        overrides = {
+            f.name: getattr(cfg, f.name)
+            for f in dataclasses.fields(PopulationConfig)
+            if f.name != "n_devices" and getattr(cfg, f.name) != f.default
+        }
+        return cls(n_devices=cfg.n_devices, seed=population.seed, overrides=overrides)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_devices": self.n_devices,
+            "seed": self.seed,
+            "overrides": _thaw_items(self.overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "PopulationSpec":
+        data = _expect_mapping(data, "population")
+        _check_keys(data, ("n_devices", "seed", "overrides"), "population")
+        return cls(
+            n_devices=data.get("n_devices", 100_000),
+            seed=data.get("seed"),
+            overrides=_expect_mapping(data.get("overrides") or {}, "population.overrides"),
+        )
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One FL task: its :class:`TaskConfig` fields plus a named trainer.
+
+    ``trainer`` names a factory registered in
+    :mod:`repro.system.planes` (``"surrogate"``, ``"real_lstm"``, or
+    ``"external"`` for adapters injected via ``Deployment(adapters=...)``);
+    ``trainer_params`` are its JSON-able construction parameters.
+    Whether the task runs through secure aggregation is a *plane*
+    decision (``plane.name == "secure"``), not a per-task flag.
+    """
+
+    name: str = "task"
+    mode: str = "async"
+    concurrency: int = 100
+    aggregation_goal: int = 10
+    over_selection: float = 0.0
+    max_staleness: int = 100
+    client_timeout_s: float = 240.0
+    local_epochs: int = 1
+    batch_size: int = 32
+    client_lr: float = 0.5
+    model_size_bytes: int = 20 * 1024 * 1024
+    trainer: str = "surrogate"
+    trainer_params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError("tasks[].name", "must be a non-empty string")
+        if self.mode not in ("async", "sync"):
+            raise SpecError(
+                f"tasks[{self.name}].mode",
+                f"must be 'async' or 'sync', got {self.mode!r}",
+            )
+        if not self.trainer or not isinstance(self.trainer, str):
+            raise SpecError(f"tasks[{self.name}].trainer", "must be a non-empty string")
+        for attr in ("concurrency", "aggregation_goal", "max_staleness",
+                     "local_epochs", "batch_size", "model_size_bytes"):
+            object.__setattr__(self, attr, int(getattr(self, attr)))
+        for attr in ("over_selection", "client_timeout_s", "client_lr"):
+            object.__setattr__(self, attr, float(getattr(self, attr)))
+        object.__setattr__(
+            self,
+            "trainer_params",
+            _freeze_items(self.trainer_params, f"tasks[{self.name}].trainer_params"),
+        )
+
+    def task_config(self, secure: bool = False) -> TaskConfig:
+        """The validated :class:`TaskConfig` this spec describes."""
+        try:
+            return TaskConfig(
+                name=self.name,
+                mode=TrainingMode(self.mode),
+                concurrency=self.concurrency,
+                aggregation_goal=self.aggregation_goal,
+                over_selection=self.over_selection,
+                max_staleness=self.max_staleness,
+                client_timeout_s=self.client_timeout_s,
+                local_epochs=self.local_epochs,
+                batch_size=self.batch_size,
+                client_lr=self.client_lr,
+                secure_aggregation=secure,
+                model_size_bytes=self.model_size_bytes,
+            )
+        except ValueError as exc:
+            raise SpecError(f"tasks[{self.name}]", str(exc)) from exc
+
+    def to_dict(self) -> dict:
+        out = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "trainer_params"
+        }
+        out["trainer_params"] = _thaw_items(self.trainer_params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TaskSpec":
+        data = _expect_mapping(data, "tasks[]")
+        _check_keys(data, [f.name for f in dataclasses.fields(cls)], "tasks[]")
+        params = data.pop("trainer_params", None)
+        return cls(
+            **data,
+            trainer_params=_expect_mapping(params or {}, "tasks[].trainer_params"),
+        )
+
+
+@dataclass(frozen=True)
+class PlaneSpec:
+    """Which aggregation plane hosts the deployment's tasks.
+
+    ``"single"`` — one aggregation core per task on one node (default).
+    ``"sharded"`` — ``num_shards`` shard cores + a root reducer, clients
+    routed by the ``shard_routing`` policy (async tasks only; sync tasks
+    in a mixed workload fall back to single with a logged
+    ``plane_fallback`` event).  ``num_shards=1`` is the degenerate
+    single-core point — bit-identical to ``"single"`` — so one sweep
+    grid axis can span ``plane.num_shards=1,2,4``.
+    ``"secure"`` — FedBuff through Asynchronous SecAgg (all tasks).
+    Any other name must be a custom plane registered in
+    :mod:`repro.system.planes`; it is pinned for every task.
+    """
+
+    name: str = "single"
+    num_shards: int = 1
+    shard_routing: str = "hash"
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpecError("plane.name", "must be a non-empty string")
+        object.__setattr__(self, "num_shards", int(self.num_shards))
+        if self.num_shards < 1:
+            raise SpecError("plane.num_shards", "must be at least 1")
+        if self.name != "sharded" and self.num_shards != 1:
+            raise SpecError(
+                "plane.num_shards",
+                f"the {self.name!r} plane cannot be sharded — only "
+                "plane.name='sharded' takes num_shards > 1 (its "
+                "num_shards=1 point is the degenerate single-core plane, "
+                "so a shard-count sweep axis can span 1,2,4), and secure + "
+                "sharded does not compose: the TSA releases one unmask "
+                "vector per buffer",
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "num_shards": self.num_shards,
+            "shard_routing": self.shard_routing,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "PlaneSpec":
+        data = _expect_mapping(data, "plane")
+        _check_keys(data, ("name", "num_shards", "shard_routing"), "plane")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """How the deployment runs: seed, horizon, and stop conditions."""
+
+    seed: int = 0
+    t_end_s: float | None = None
+    target_loss: float | None = None
+    max_server_steps: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seed", int(self.seed))
+        if self.t_end_s is not None:
+            object.__setattr__(self, "t_end_s", float(self.t_end_s))
+            if self.t_end_s <= 0:
+                raise SpecError("execution.t_end_s", "must be positive")
+        if self.target_loss is not None:
+            object.__setattr__(self, "target_loss", float(self.target_loss))
+        if self.max_server_steps is not None:
+            object.__setattr__(self, "max_server_steps", int(self.max_server_steps))
+            if self.max_server_steps < 1:
+                raise SpecError("execution.max_server_steps", "must be at least 1")
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ExecutionSpec":
+        data = _expect_mapping(data, "execution")
+        _check_keys(data, [f.name for f in dataclasses.fields(cls)], "execution")
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# The scenario spec
+# ---------------------------------------------------------------------------
+
+def _apply_override(doc: dict, path: str, value: Any) -> None:
+    """Write one dotted override path into a ``ScenarioSpec.to_dict`` doc."""
+    head, _, rest = path.partition(".")
+    if head == "seed" and not rest:
+        doc["execution"]["seed"] = value
+        return
+    if head == "population":
+        if rest in ("n_devices", "seed"):
+            doc["population"][rest] = value
+        elif rest in _POPULATION_OVERRIDE_FIELDS:
+            doc["population"]["overrides"][rest] = value
+        else:
+            raise SpecError(path, "unknown population field")
+        return
+    if head == "tasks":
+        which, _, task_field = rest.partition(".")
+        if not task_field:
+            raise SpecError(path, "expected tasks.<index-or-name>.<field>")
+        names = [t["name"] for t in doc["tasks"]]
+        if which.isdigit():
+            idx = int(which)
+            if idx >= len(names):
+                raise SpecError(path, f"no task at index {idx} ({len(names)} tasks)")
+        elif which in names:
+            idx = names.index(which)
+        else:
+            raise SpecError(path, f"no task {which!r}; tasks: {', '.join(names)}")
+        if task_field.startswith("trainer_params."):
+            doc["tasks"][idx]["trainer_params"][
+                task_field[len("trainer_params."):]
+            ] = value
+        elif task_field in {f.name for f in dataclasses.fields(TaskSpec)}:
+            doc["tasks"][idx][task_field] = value
+        else:
+            raise SpecError(path, f"unknown TaskSpec field {task_field!r}")
+        return
+    if head in ("plane", "execution"):
+        if rest not in doc[head]:
+            raise SpecError(path, f"unknown {head} field {rest!r}")
+        doc[head][rest] = value
+        return
+    if head == "system":
+        if not rest:
+            raise SpecError(path, "expected system.<field>")
+        doc["system"][rest] = value
+        return
+    raise SpecError(
+        path, "unknown section; use population/tasks/plane/system/execution/seed"
+    )
+
+
+_SYSTEM_FIELDS = tuple(f.name for f in dataclasses.fields(SystemConfig))
+#: SystemConfig fields owned by PlaneSpec — setting them via ``system``
+#: would silently fight the plane section, so they are rejected by name.
+_PLANE_OWNED = ("num_shards", "shard_routing", "plane")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, declarative description of one simulated deployment.
+
+    ``system`` holds :class:`~repro.system.orchestrator.SystemConfig`
+    overrides by field name (``n_aggregators``, ``cohort_batch_size``,
+    ``drain_threads``, ...); the plane-owned fields (``num_shards``,
+    ``shard_routing``, ``plane``) live in the ``plane`` section instead
+    and are rejected here with a pointer.
+    """
+
+    population: PopulationSpec
+    tasks: tuple[TaskSpec, ...] = ()
+    plane: PlaneSpec = field(default_factory=PlaneSpec)
+    system: tuple[tuple[str, Any], ...] = ()
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.population, PopulationSpec):
+            raise SpecError("population", "must be a PopulationSpec")
+        if not isinstance(self.plane, PlaneSpec):
+            raise SpecError("plane", "must be a PlaneSpec")
+        if not isinstance(self.execution, ExecutionSpec):
+            raise SpecError("execution", "must be an ExecutionSpec")
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        for i, task in enumerate(self.tasks):
+            if not isinstance(task, TaskSpec):
+                raise SpecError(f"tasks[{i}]", "must be a TaskSpec")
+        object.__setattr__(self, "system", _freeze_items(self.system, "system"))
+        self._validate()
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self.tasks:
+            raise SpecError("tasks", "a scenario needs at least one task")
+        names = [t.name for t in self.tasks]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SpecError("tasks", f"duplicate task names: {', '.join(dupes)}")
+
+        secure = self.plane.name == "secure"
+        for i, task in enumerate(self.tasks):
+            if secure and task.mode != "async":
+                raise SpecError(
+                    f"tasks[{i}].mode",
+                    f"task {task.name!r} is sync but plane.name='secure' "
+                    "requires async tasks (Asynchronous SecAgg has no "
+                    "synchronous round protocol)",
+                )
+            task.task_config(secure=secure)  # raises SpecError on bad combos
+
+        if (
+            self.plane.name == "sharded"
+            and self.plane.num_shards > 1
+            and not any(t.mode == "async" for t in self.tasks)
+        ):
+            raise SpecError(
+                "plane.name",
+                "the sharded plane requires at least one async task "
+                "(FedBuff's buffered fold is what the shards partially "
+                "evaluate); every task here is sync",
+            )
+
+        for key, _ in self.system:
+            if key == "n_shards":
+                raise SpecError(
+                    "system.n_shards",
+                    "renamed to drain_threads (per-node queue-drain thread "
+                    "count); aggregation-plane shards are plane.num_shards",
+                )
+            if key in _PLANE_OWNED:
+                target = "plane.name" if key == "plane" else f"plane.{key}"
+                raise SpecError(
+                    f"system.{key}", f"owned by the plane section; set {target}"
+                )
+            if key not in _SYSTEM_FIELDS:
+                raise SpecError(
+                    f"system.{key}",
+                    f"not a SystemConfig field; known: "
+                    f"{', '.join(n for n in _SYSTEM_FIELDS if n not in _PLANE_OWNED)}",
+                )
+        try:
+            self.system_config()
+        except SpecError:
+            raise
+        except (ValueError, KeyError) as exc:
+            raise SpecError("system", str(exc)) from exc
+
+    # -- derived configs ----------------------------------------------------
+
+    def system_config(self) -> SystemConfig:
+        """The :class:`SystemConfig` the deployment is built with."""
+        kwargs = _thaw_items(self.system)
+        if self.plane.name == "sharded":
+            kwargs["num_shards"] = self.plane.num_shards
+            kwargs["shard_routing"] = self.plane.shard_routing
+        elif self.plane.name not in BUILTIN_PLANES:
+            kwargs["plane"] = self.plane.name
+        return SystemConfig(**kwargs)
+
+    def task_configs(self) -> list[TaskConfig]:
+        """Validated :class:`TaskConfig` objects, in task order."""
+        secure = self.plane.name == "secure"
+        return [t.task_config(secure=secure) for t in self.tasks]
+
+    def population_seed(self) -> int:
+        """The population's seed (defaults to the deployment seed)."""
+        seed = self.population.seed
+        return self.execution.seed if seed is None else seed
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able document; ``from_dict`` reconstructs an equal spec."""
+        return {
+            "population": self.population.to_dict(),
+            "tasks": [t.to_dict() for t in self.tasks],
+            "plane": self.plane.to_dict(),
+            "system": _thaw_items(self.system),
+            "execution": self.execution.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict` (tolerant of omitted sections)."""
+        data = _expect_mapping(data, "scenario")
+        _check_keys(
+            data, ("population", "tasks", "plane", "system", "execution"), "scenario"
+        )
+        if "population" not in data:
+            raise SpecError("population", "required section is missing")
+        tasks_data = data.get("tasks", [])
+        if not isinstance(tasks_data, Sequence) or isinstance(tasks_data, (str, bytes)):
+            raise SpecError("tasks", "must be a list of task mappings")
+        return cls(
+            population=PopulationSpec.from_dict(data["population"]),
+            tasks=tuple(TaskSpec.from_dict(t) for t in tasks_data),
+            plane=PlaneSpec.from_dict(data.get("plane") or {"name": "single"}),
+            system=_expect_mapping(data.get("system") or {}, "system"),
+            execution=ExecutionSpec.from_dict(data.get("execution") or {}),
+        )
+
+    # -- declarative overrides (what sweeps grid over) ----------------------
+
+    def override(self, path: str, value: Any) -> "ScenarioSpec":
+        """A copy with one dotted field path replaced (and revalidated).
+
+        Paths address every declarative knob::
+
+            population.n_devices      population.mean_examples
+            tasks.0.concurrency       tasks.async.aggregation_goal
+            tasks.0.trainer_params.critical_goal
+            plane.num_shards          system.cohort_batch_size
+            execution.target_loss     seed   (alias of execution.seed)
+        """
+        return self.with_overrides({path: value})
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """Apply several dotted override paths *atomically*.
+
+        All paths are written into the spec document first and the result
+        is validated once, so interdependent changes — e.g.
+        ``{"plane.name": "sharded", "plane.num_shards": 4}`` — never trip
+        over an invalid intermediate state.
+        """
+        doc = self.to_dict()
+        for path in sorted(overrides):
+            _apply_override(doc, path, overrides[path])
+        return ScenarioSpec.from_dict(doc)

@@ -68,16 +68,25 @@ from repro.harness.sweep import (
     SweepResult,
     aggregate_payloads,
     build_cells,
+    build_scenario_cells,
     expand_grid,
     run_sweep,
 )
 from repro.harness.runner import (
     DEFAULT_TARGET_LOSS,
+    async_scenario,
     build_async,
     build_sync,
     make_population,
     run_async,
     run_sync,
+    sync_scenario,
+)
+from repro.harness.scenario import (
+    ScenarioRunSummary,
+    ScenarioTaskSummary,
+    print_scenario,
+    run_scenario,
 )
 
 __all__ = [
@@ -134,9 +143,16 @@ __all__ = [
     "print_series",
     "print_table",
     "DEFAULT_TARGET_LOSS",
+    "async_scenario",
+    "sync_scenario",
     "build_async",
     "build_sync",
     "make_population",
     "run_async",
     "run_sync",
+    "ScenarioRunSummary",
+    "ScenarioTaskSummary",
+    "run_scenario",
+    "print_scenario",
+    "build_scenario_cells",
 ]

@@ -19,6 +19,17 @@ Sweep cells are cached content-addressed under ``.sweep-cache/`` (or
 cells; aggregated output is identical whatever ``--jobs`` is.  ``--json``
 dumps the machine-readable sweep report CI uploads as an artifact.
 
+Declarative scenario runs/sweeps (any ``repro.api.ScenarioSpec``)::
+
+    python -m repro.harness scenario --spec my_scenario.json
+    python -m repro.harness sweep scenario --spec my_scenario.json \
+        --seeds 0..4 --grid plane.num_shards=1,2,4
+
+where ``--grid`` keys are dotted spec-override paths
+(``tasks.0.concurrency``, ``system.cohort_batch_size``, ...).  The
+``scenario`` experiment is excluded from ``all`` (it has no default
+spec).
+
 Failures in an ``all`` run no longer abort the remaining experiments:
 each failure is reported on stderr and the process exits nonzero.
 
@@ -38,9 +49,15 @@ import traceback
 from repro.harness import configs, registry
 from repro.harness import figures  # noqa: F401  (imports register the experiments)
 from repro.harness import perf  # noqa: F401  (registers the cohort experiment)
+from repro.harness import scenario  # noqa: F401  (registers the scenario experiment)
 from repro.harness.cache import ResultCache
 from repro.harness.report import print_aggregate
-from repro.harness.sweep import SweepError, build_cells, run_sweep
+from repro.harness.sweep import (
+    SweepError,
+    build_cells,
+    build_scenario_cells,
+    run_sweep,
+)
 
 _SCALES = {"smoke": configs.SMOKE, "default": configs.DEFAULT, "paper": configs.PAPER}
 
@@ -108,19 +125,43 @@ def _resolve_experiments(names: list[str]) -> list[str]:
                 f"unknown experiment {name!r}; choose from: {', '.join(known + ['all'])}"
             )
     if "all" in names:
-        return known
+        # 'scenario' is parameterized by a --spec document and has no
+        # standalone default, so it never rides along with 'all'.
+        return [name for name in known if name != "scenario"]
     return list(dict.fromkeys(names))
+
+
+def _load_spec_doc(path: str) -> dict:
+    """Read a ScenarioSpec JSON document for the scenario experiment."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read spec {path!r}: {exc}")
 
 
 def _run_main(args: argparse.Namespace) -> int:
     scale = _SCALES[args.scale]
+    params = {}
+    # A scenario run honors the spec document's own execution.seed unless
+    # the user explicitly passes --seed; other experiments default to 0.
+    seed = args.seed
+    if args.experiment == "scenario":
+        if not args.spec:
+            raise SystemExit("error: the scenario experiment requires --spec PATH")
+        params["spec"] = _load_spec_doc(args.spec)
+    else:
+        if args.spec:
+            raise SystemExit("error: --spec only applies to the scenario experiment")
+        seed = 0 if seed is None else seed
     failures = []
     for name in _resolve_experiments([args.experiment]):
         spec = registry.get(name)
-        print(f"=== {name} (scale={scale.name}, seed={args.seed}) ===")
+        seed_label = "spec" if seed is None else seed
+        print(f"=== {name} (scale={scale.name}, seed={seed_label}) ===")
         start = time.perf_counter()
         try:
-            result = spec.run(scale, args.seed)
+            result = spec.run(scale, seed, **params)
             spec.printer(result)  # a broken renderer is a failure too
         except Exception:
             failures.append(name)
@@ -159,7 +200,26 @@ def _sweep_main(args: argparse.Namespace) -> int:
         # applying one grid to all of them would TypeError mid-sweep.
         print("error: --grid requires exactly one experiment", file=sys.stderr)
         return 2
-    cells = build_cells(experiments, scale, seeds, grid=grid)
+    if args.spec or experiments == ["scenario"]:
+        # Scenario sweeps grid over dotted ScenarioSpec field paths.
+        if experiments != ["scenario"]:
+            print("error: --spec only applies to the scenario experiment",
+                  file=sys.stderr)
+            return 2
+        if not args.spec:
+            print("error: sweeping 'scenario' requires --spec PATH",
+                  file=sys.stderr)
+            return 2
+        from repro.api import ScenarioSpec, SpecError
+
+        try:
+            base = ScenarioSpec.from_dict(_load_spec_doc(args.spec))
+            cells = build_scenario_cells(base, seeds, grid=grid, scale=scale)
+        except SpecError as exc:
+            print(f"error: invalid scenario spec: {exc}", file=sys.stderr)
+            return 2
+    else:
+        cells = build_cells(experiments, scale, seeds, grid=grid)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     print(
         f"=== sweep {' '.join(experiments)} (scale={scale.name}, "
@@ -244,7 +304,15 @@ def _build_parsers() -> tuple[argparse.ArgumentParser, argparse.ArgumentParser]:
         help="operating-point scale (paper values are divided down; "
         "shapes are scale-free)",
     )
-    run_parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    run_parser.add_argument(
+        "--seed", type=int, default=None,
+        help="experiment seed (default 0; for the scenario experiment the "
+        "default is the spec's own execution.seed)",
+    )
+    run_parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="ScenarioSpec JSON document (scenario experiment only)",
+    )
 
     sweep_parser = argparse.ArgumentParser(
         prog="python -m repro.harness sweep",
@@ -280,6 +348,11 @@ def _build_parsers() -> tuple[argparse.ArgumentParser, argparse.ArgumentParser]:
     sweep_parser.add_argument(
         "--json", default=None, metavar="PATH",
         help="write the machine-readable sweep report here",
+    )
+    sweep_parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="ScenarioSpec JSON document (scenario experiment only); "
+        "--grid keys become dotted spec-override paths",
     )
     return run_parser, sweep_parser
 

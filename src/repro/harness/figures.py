@@ -30,11 +30,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import (
+    Deployment,
+    ExecutionSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    TaskSpec,
+)
 from repro.core.server_opt import FedAdam
 from repro.core.state import GlobalModelState
 from repro.core.client_trainer import LocalTrainer
 from repro.core.surrogate import SurrogateParams
-from repro.core.types import TaskConfig, TrainingMode
+from repro.core.types import TrainingMode
 from repro.data.federated import FederatedDataset
 from repro.data.synthetic_text import CorpusSpec, TopicMarkovCorpus
 from repro.harness import registry
@@ -43,9 +50,10 @@ from repro.harness.ks import KSResult, ks_two_sample
 from repro.harness.report import print_series, print_table
 from repro.harness.runner import (
     DEFAULT_TARGET_LOSS,
-    build_async,
-    build_sync,
+    async_scenario,
+    deploy,
     make_population,
+    sync_scenario,
 )
 from repro.nn.model import LSTMLanguageModel, ModelConfig
 from repro.secagg.protocol import BoundaryCostModel
@@ -66,6 +74,28 @@ __all__ = [
 
 def _params(scale: Scale) -> SurrogateParams:
     return SurrogateParams(critical_goal=scale.critical_goal)
+
+
+def _async_sim(
+    concurrency: int, goal: int, pop: DevicePopulation, scale: Scale, seed: int,
+) -> FederatedSimulation:
+    """An AsyncFL figure deployment, built through the scenario API."""
+    spec = async_scenario(
+        concurrency, goal, pop, seed=seed, surrogate=_params(scale)
+    )
+    return deploy(spec, population=pop)
+
+
+def _sync_sim(
+    goal: int, pop: DevicePopulation, scale: Scale, seed: int,
+    over_selection: float = OVER_SELECTION,
+) -> FederatedSimulation:
+    """A SyncFL figure deployment, built through the scenario API."""
+    spec = sync_scenario(
+        goal, pop, over_selection=over_selection, seed=seed,
+        surrogate=_params(scale),
+    )
+    return deploy(spec, population=pop)
 
 
 def _sync_goal(concurrency: int, over_selection: float = OVER_SELECTION) -> int:
@@ -185,7 +215,7 @@ def figure3(
     points = []
     for conc in scale.concurrency_sweep:
         goal = _sync_goal(conc)
-        sim = build_sync(goal, pop, seed=seed, surrogate=_params(scale))
+        sim = _sync_sim(goal, pop, scale, seed=seed)
         res = sim.run(t_end=scale.sim_seconds * 4, target_loss=target_loss)
         s = res.stats("sync")
         t = s.time_to_target
@@ -296,10 +326,9 @@ def figure7(
     conc = scale.base_concurrency
     pop = make_population(scale.population, seed=seed)
 
-    sync_sim = build_sync(_sync_goal(conc), pop, seed=seed, surrogate=_params(scale))
+    sync_sim = _sync_sim(_sync_goal(conc), pop, scale, seed=seed)
     sync_res = sync_sim.run(t_end=duration)
-    async_sim = build_async(conc, scale.base_goal, pop, seed=seed + 1,
-                            surrogate=_params(scale))
+    async_sim = _async_sim(conc, scale.base_goal, pop, scale, seed=seed + 1)
     async_res = async_sim.run(t_end=duration)
 
     st, sc = sync_res.trace.active_series()
@@ -351,10 +380,9 @@ def figure8(
     pop = make_population(scale.population, seed=seed)
     sync_rates, async_rates = [], []
     for conc in scale.concurrency_sweep:
-        sync_sim = build_sync(_sync_goal(conc), pop, seed=seed, surrogate=_params(scale))
+        sync_sim = _sync_sim(_sync_goal(conc), pop, scale, seed=seed)
         sync_rates.append(sync_sim.run(t_end=duration).trace.steps_per_hour("sync"))
-        async_sim = build_async(conc, scale.base_goal, pop, seed=seed + 1,
-                                surrogate=_params(scale))
+        async_sim = _async_sim(conc, scale.base_goal, pop, scale, seed=seed + 1)
         async_rates.append(async_sim.run(t_end=duration).trace.steps_per_hour("async"))
     return Fig8Result(
         concurrencies=scale.concurrency_sweep,
@@ -413,12 +441,11 @@ def figure9(
     pop = make_population(scale.population, seed=seed)
     rows = []
     for conc in scale.concurrency_sweep:
-        sync_sim = build_sync(_sync_goal(conc), pop, seed=seed, surrogate=_params(scale))
+        sync_sim = _sync_sim(_sync_goal(conc), pop, scale, seed=seed)
         sync_res = sync_sim.run(t_end=scale.sim_seconds * 4, target_loss=target_loss)
         sync_t = sync_res.stats("sync").time_to_target
 
-        async_sim = build_async(conc, scale.base_goal, pop, seed=seed + 1,
-                                surrogate=_params(scale))
+        async_sim = _async_sim(conc, scale.base_goal, pop, scale, seed=seed + 1)
         async_res = async_sim.run(t_end=scale.sim_seconds * 4, target_loss=target_loss)
         async_t = async_res.stats("async").time_to_target
 
@@ -496,7 +523,7 @@ def figure10(
     for goal in scale.goal_sweep:
         if goal > conc:
             continue
-        sim = build_async(conc, goal, pop, seed=seed, surrogate=_params(scale))
+        sim = _async_sim(conc, goal, pop, scale, seed=seed)
         res = sim.run(t_end=scale.sim_seconds * 4, target_loss=target_loss)
         t = res.stats("async").time_to_target
         rows.append(
@@ -567,12 +594,12 @@ def figure11(
             np.array([p.n_examples for p in parts], dtype=float),
         )
 
-    truth_res = build_sync(goal, pop, over_selection=0.0, seed=seed,
-                           surrogate=_params(scale)).run(t_end=duration)
-    os_res = build_sync(goal, pop, over_selection=OVER_SELECTION, seed=seed,
-                        surrogate=_params(scale)).run(t_end=duration)
-    async_res = build_async(conc, scale.base_goal, pop, seed=seed,
-                            surrogate=_params(scale)).run(t_end=duration)
+    truth_res = _sync_sim(goal, pop, scale, seed=seed,
+                          over_selection=0.0).run(t_end=duration)
+    os_res = _sync_sim(goal, pop, scale, seed=seed,
+                       over_selection=OVER_SELECTION).run(t_end=duration)
+    async_res = _async_sim(conc, scale.base_goal, pop, scale,
+                           seed=seed).run(t_end=duration)
 
     truth_exec, truth_n = aggregated_arrays(truth_res, "sync")
     os_exec, os_n = aggregated_arrays(os_res, "sync")
@@ -640,14 +667,12 @@ def _four_config_sims(
     conc = scale.base_concurrency
     big_goal = _sync_goal(conc)  # e.g. 1000 at paper scale
     return {
-        "async_small_k": build_async(conc, scale.base_goal, pop, seed=seed,
-                                     surrogate=_params(scale)),
-        "async_big_k": build_async(conc, big_goal, pop, seed=seed,
-                                   surrogate=_params(scale)),
-        "sync_with_os": build_sync(big_goal, pop, over_selection=OVER_SELECTION,
-                                   seed=seed, surrogate=_params(scale)),
-        "sync_without_os": build_sync(big_goal, pop, over_selection=0.0,
-                                      seed=seed, surrogate=_params(scale)),
+        "async_small_k": _async_sim(conc, scale.base_goal, pop, scale, seed=seed),
+        "async_big_k": _async_sim(conc, big_goal, pop, scale, seed=seed),
+        "sync_with_os": _sync_sim(big_goal, pop, scale, seed=seed,
+                                  over_selection=OVER_SELECTION),
+        "sync_without_os": _sync_sim(big_goal, pop, scale, seed=seed,
+                                     over_selection=0.0),
     }
 
 
@@ -802,11 +827,20 @@ def table1(
         conc = concurrency if mode is TrainingMode.ASYNC else int(
             math.ceil(goal * (1.0 + over))
         )
-        cfg = TaskConfig(
-            name=name, mode=mode, concurrency=conc, aggregation_goal=goal,
-            over_selection=over, model_size_bytes=200_000,
+        spec = ScenarioSpec(
+            population=PopulationSpec.from_population(pop),
+            tasks=(
+                TaskSpec(
+                    name=name, mode=mode.value, concurrency=conc,
+                    aggregation_goal=goal, over_selection=over,
+                    model_size_bytes=200_000, trainer="external",
+                ),
+            ),
+            execution=ExecutionSpec(seed=seed),
         )
-        fs = FederatedSimulation([(cfg, adapter)], pop, seed=seed)
+        fs = Deployment.from_spec(
+            spec, population=pop, adapters={name: adapter}
+        ).build()
         max_steps = max(1, update_budget // goal)
         res = fs.run(t_end=3e6, max_server_steps=max_steps)
 

@@ -69,10 +69,10 @@ from repro.core.state import GlobalModelState
 from repro.core.types import TrainingResult
 from repro.data.federated import FederatedDataset
 from repro.data.synthetic_text import CorpusSpec, TopicMarkovCorpus
+from repro.api import PopulationSpec, build_population
 from repro.harness import registry
 from repro.harness.configs import Scale
 from repro.harness.report import print_table
-from repro.harness.runner import make_population
 from repro.nn.model import LSTMLanguageModel, ModelConfig
 from repro.secagg.attestation import SigningAuthority
 from repro.secagg.client import SecAggClient
@@ -153,9 +153,15 @@ def cohort_speedup(
     # mean): without it a single data-rich straggler serializes the tail
     # of every cohort and the comparison measures that client, not the
     # engine.
-    pop = make_population(
-        100_000, seed=seed, mean_examples=mean_examples,
-        max_examples=int(mean_examples * 4),
+    pop = build_population(
+        PopulationSpec(
+            n_devices=100_000,
+            seed=seed,
+            overrides={
+                "mean_examples": mean_examples,
+                "max_examples": int(mean_examples * 4),
+            },
+        )
     )
     base_model = LSTMLanguageModel(model_cfg, seed=seed).get_flat()
     rng = child_rng(seed, "cohort-perf")

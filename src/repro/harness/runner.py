@@ -1,16 +1,38 @@
-"""Run helpers shared by every figure regenerator."""
+"""Scenario builders shared by every figure regenerator.
+
+The figure functions describe their deployments as
+:class:`~repro.api.ScenarioSpec` values via :func:`async_scenario` /
+:func:`sync_scenario` and build them through the :mod:`repro.api`
+façade.  The pre-redesign helpers (:func:`build_async`,
+:func:`build_sync`, :func:`run_async`, :func:`run_sync`) remain as thin
+**deprecated** shims over the same path — a shim-built simulation is
+trace-identical to its spec-built equivalent (pinned by
+``tests/test_api_deployment.py``).
+"""
 
 from __future__ import annotations
 
+import dataclasses
+
+from repro.api import (
+    Deployment,
+    ExecutionSpec,
+    PlaneSpec,
+    PopulationSpec,
+    ScenarioSpec,
+    TaskSpec,
+    build_population,
+)
 from repro.core.surrogate import SurrogateParams
-from repro.core.types import TaskConfig, TrainingMode
 from repro.harness.configs import CLIENT_TIMEOUT_S, OVER_SELECTION
-from repro.sim.population import DevicePopulation, PopulationConfig
-from repro.system.adapters import SurrogateAdapter
+from repro.sim.population import DevicePopulation
 from repro.system.orchestrator import FederatedSimulation, RunResult, SystemConfig
 
 __all__ = [
     "make_population",
+    "async_scenario",
+    "sync_scenario",
+    "deploy",
     "build_async",
     "build_sync",
     "run_async",
@@ -30,8 +52,143 @@ SIM_MODEL_BYTES = 1_000_000
 
 def make_population(n_devices: int, seed: int = 0, **overrides) -> DevicePopulation:
     """The standard heterogeneous population (Figure 2-calibrated)."""
-    return DevicePopulation(PopulationConfig(n_devices=n_devices, **overrides), seed=seed)
+    return build_population(
+        PopulationSpec(n_devices=n_devices, seed=seed, overrides=overrides)
+    )
 
+
+def _trainer_params(surrogate: SurrogateParams | None) -> dict:
+    """Serialize surrogate calibration constants for a TaskSpec."""
+    if surrogate is None:
+        return {}
+    return {
+        f.name: getattr(surrogate, f.name)
+        for f in dataclasses.fields(SurrogateParams)
+    }
+
+
+def _plane_and_system(system: SystemConfig | None) -> tuple[PlaneSpec, dict]:
+    """Split a SystemConfig into a PlaneSpec + plain system overrides."""
+    if system is None:
+        return PlaneSpec(), {}
+    if system.plane in ("auto", "sharded") and system.num_shards > 1:
+        plane = PlaneSpec(
+            name="sharded",
+            num_shards=system.num_shards,
+            shard_routing=system.shard_routing,
+        )
+    elif system.plane != "auto":
+        if system.num_shards > 1:
+            # A custom pinned plane carrying shard knobs has no ScenarioSpec
+            # representation; refusing beats silently dropping the shards.
+            raise ValueError(
+                f"cannot express SystemConfig(plane={system.plane!r}, "
+                f"num_shards={system.num_shards}) as a ScenarioSpec plane"
+            )
+        plane = PlaneSpec(name=system.plane)
+    else:
+        plane = PlaneSpec()
+    overrides = {
+        f.name: getattr(system, f.name)
+        for f in dataclasses.fields(SystemConfig)
+        if f.name not in ("num_shards", "shard_routing", "plane")
+        and getattr(system, f.name) != f.default
+    }
+    return plane, overrides
+
+
+def _population_spec(
+    population: DevicePopulation | PopulationSpec,
+) -> PopulationSpec:
+    if isinstance(population, PopulationSpec):
+        return population
+    return PopulationSpec.from_population(population)
+
+
+def async_scenario(
+    concurrency: int,
+    goal: int,
+    population: DevicePopulation | PopulationSpec,
+    seed: int = 0,
+    max_staleness: int = 100,
+    surrogate: SurrogateParams | None = None,
+    system: SystemConfig | None = None,
+    target_loss: float | None = None,
+    t_end_s: float | None = None,
+) -> ScenarioSpec:
+    """An AsyncFL (FedBuff) deployment with a surrogate trainer, as a spec."""
+    plane, overrides = _plane_and_system(system)
+    return ScenarioSpec(
+        population=_population_spec(population),
+        tasks=(
+            TaskSpec(
+                name="async",
+                mode="async",
+                concurrency=concurrency,
+                aggregation_goal=goal,
+                max_staleness=max_staleness,
+                client_timeout_s=CLIENT_TIMEOUT_S,
+                model_size_bytes=SIM_MODEL_BYTES,
+                trainer="surrogate",
+                trainer_params=_trainer_params(surrogate),
+            ),
+        ),
+        plane=plane,
+        system=overrides,
+        execution=ExecutionSpec(
+            seed=seed, t_end_s=t_end_s, target_loss=target_loss
+        ),
+    )
+
+
+def sync_scenario(
+    goal: int,
+    population: DevicePopulation | PopulationSpec,
+    over_selection: float = OVER_SELECTION,
+    seed: int = 0,
+    surrogate: SurrogateParams | None = None,
+    system: SystemConfig | None = None,
+    target_loss: float | None = None,
+    t_end_s: float | None = None,
+) -> ScenarioSpec:
+    """A SyncFL deployment spec; concurrency = the over-selected cohort."""
+    import math
+
+    cohort = int(math.ceil(goal * (1.0 + over_selection)))
+    plane, overrides = _plane_and_system(system)
+    return ScenarioSpec(
+        population=_population_spec(population),
+        tasks=(
+            TaskSpec(
+                name="sync",
+                mode="sync",
+                concurrency=cohort,
+                aggregation_goal=goal,
+                over_selection=over_selection,
+                client_timeout_s=CLIENT_TIMEOUT_S,
+                model_size_bytes=SIM_MODEL_BYTES,
+                trainer="surrogate",
+                trainer_params=_trainer_params(surrogate),
+            ),
+        ),
+        plane=plane,
+        system=overrides,
+        execution=ExecutionSpec(
+            seed=seed, t_end_s=t_end_s, target_loss=target_loss
+        ),
+    )
+
+
+def deploy(
+    spec: ScenarioSpec, population: DevicePopulation | None = None
+) -> FederatedSimulation:
+    """Build a spec through the façade, reusing a built population."""
+    return Deployment.from_spec(spec, population=population).build()
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims (pre-redesign helper surface)
+# ---------------------------------------------------------------------------
 
 def build_async(
     concurrency: int,
@@ -42,18 +199,12 @@ def build_async(
     surrogate: SurrogateParams | None = None,
     system: SystemConfig | None = None,
 ) -> FederatedSimulation:
-    """An AsyncFL (FedBuff) deployment with a surrogate trainer."""
-    cfg = TaskConfig(
-        name="async",
-        mode=TrainingMode.ASYNC,
-        concurrency=concurrency,
-        aggregation_goal=goal,
-        max_staleness=max_staleness,
-        client_timeout_s=CLIENT_TIMEOUT_S,
-        model_size_bytes=SIM_MODEL_BYTES,
+    """Deprecated: use :func:`async_scenario` + :func:`repro.api.build`."""
+    spec = async_scenario(
+        concurrency, goal, population, seed=seed, max_staleness=max_staleness,
+        surrogate=surrogate, system=system,
     )
-    adapter = SurrogateAdapter(surrogate, seed=seed)
-    return FederatedSimulation([(cfg, adapter)], population, system=system, seed=seed)
+    return deploy(spec, population=population)
 
 
 def build_sync(
@@ -64,21 +215,12 @@ def build_sync(
     surrogate: SurrogateParams | None = None,
     system: SystemConfig | None = None,
 ) -> FederatedSimulation:
-    """A SyncFL deployment; concurrency = the over-selected cohort size."""
-    import math
-
-    cohort = int(math.ceil(goal * (1.0 + over_selection)))
-    cfg = TaskConfig(
-        name="sync",
-        mode=TrainingMode.SYNC,
-        concurrency=cohort,
-        aggregation_goal=goal,
-        over_selection=over_selection,
-        client_timeout_s=CLIENT_TIMEOUT_S,
-        model_size_bytes=SIM_MODEL_BYTES,
+    """Deprecated: use :func:`sync_scenario` + :func:`repro.api.build`."""
+    spec = sync_scenario(
+        goal, population, over_selection=over_selection, seed=seed,
+        surrogate=surrogate, system=system,
     )
-    adapter = SurrogateAdapter(surrogate, seed=seed)
-    return FederatedSimulation([(cfg, adapter)], population, system=system, seed=seed)
+    return deploy(spec, population=population)
 
 
 def run_async(
@@ -90,7 +232,7 @@ def run_async(
     seed: int = 0,
     **kw,
 ) -> RunResult:
-    """Build and run an async deployment in one call."""
+    """Deprecated: build a spec and run it through :class:`Deployment`."""
     sim = build_async(concurrency, goal, population, seed=seed, **kw)
     return sim.run(t_end=t_end, target_loss=target_loss)
 
@@ -104,6 +246,6 @@ def run_sync(
     seed: int = 0,
     **kw,
 ) -> RunResult:
-    """Build and run a sync deployment in one call."""
+    """Deprecated: build a spec and run it through :class:`Deployment`."""
     sim = build_sync(goal, population, over_selection=over_selection, seed=seed, **kw)
     return sim.run(t_end=t_end, target_loss=target_loss)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import functools
 import importlib
 import itertools
+import json
 import math
 import time
 import traceback
@@ -47,6 +48,7 @@ __all__ = [
     "cell_payload",
     "expand_grid",
     "build_cells",
+    "build_scenario_cells",
     "run_sweep",
     "aggregate_payloads",
 ]
@@ -82,8 +84,14 @@ class SweepCell:
         return cell_fingerprint(self.experiment, self.scale, self.seed, self.params_dict)
 
     def label(self) -> str:
-        extra = "".join(f" {k}={v}" for k, v in self.params)
+        extra = "".join(f" {k}={_fmt_param(v)}" for k, v in self.params)
         return f"{self.experiment} scale={self.scale.name} seed={self.seed}{extra}"
+
+
+def _fmt_param(value: Any) -> str:
+    """Human-readable param value; long ones (spec documents) are elided."""
+    text = str(value)
+    return text if len(text) <= 64 else f"<{len(text)}-char document>"
 
 
 def expand_grid(grid: Mapping[str, Sequence[Any]] | None) -> list[dict[str, Any]]:
@@ -122,6 +130,56 @@ def build_cells(
                         runner_module=getattr(spec.runner, "__module__", None),
                     )
                 )
+    return cells
+
+
+def build_scenario_cells(
+    spec,
+    seeds: Sequence[int],
+    grid: Mapping[str, Sequence[Any]] | None = None,
+    scale: Scale | None = None,
+) -> list[SweepCell]:
+    """Sweep cells gridding directly over :class:`ScenarioSpec` fields.
+
+    ``spec`` is the base :class:`repro.api.ScenarioSpec`; ``grid`` keys
+    are dotted ``spec.override`` paths (``plane.num_shards``,
+    ``tasks.0.concurrency``, ``system.cohort_batch_size``, ...) fanned
+    out as a cartesian product on top of it.  Every cell runs the
+    ``scenario`` experiment with the serialized spec as a parameter, so
+    caching, parallel execution, and multi-seed aggregation work exactly
+    as for the figure experiments.  Grid paths are validated up-front
+    against the spec (a typo fails before any cell runs).
+    """
+    from repro.harness import scenario as scenario_module
+    from repro.harness.configs import SMOKE
+
+    if grid:
+        for path, values in grid.items():
+            if not values:
+                raise ValueError(f"scenario grid axis {path!r} has no values")
+    points = expand_grid(grid)
+    # Validate every actual cell's override combination atomically, so a
+    # typo'd path or an invalid combination fails before any cell runs —
+    # and interdependent multi-axis grids (plane.name × plane.num_shards)
+    # are judged as the cells will apply them, not axis-by-axis.
+    for params in points:
+        spec.with_overrides(params)
+    # The spec rides along as canonical JSON (cells must stay hashable
+    # for result grouping, and the fingerprint must not depend on dict
+    # ordering).
+    spec_doc = json.dumps(spec.to_dict(), sort_keys=True)
+    cells = []
+    for params in points:
+        for seed in seeds:
+            cells.append(
+                SweepCell(
+                    experiment="scenario",
+                    scale=scale if scale is not None else SMOKE,
+                    seed=int(seed),
+                    params=tuple(sorted({"spec": spec_doc, **params}.items())),
+                    runner_module=scenario_module.__name__,
+                )
+            )
     return cells
 
 
@@ -223,7 +281,7 @@ class SweepGroup:
         return aggregate_payloads([c.payload["result"] for c in self.cells])
 
     def describe(self) -> str:
-        extra = "".join(f" {k}={v}" for k, v in self.params)
+        extra = "".join(f" {k}={_fmt_param(v)}" for k, v in self.params)
         return (
             f"{self.experiment} scale={self.scale.name}{extra} "
             f"seeds={self.seeds}"

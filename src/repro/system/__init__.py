@@ -1,7 +1,10 @@
 """PAPAYA server and client runtime: Coordinator, Selectors, Aggregators.
 
 The system layer of the paper (Sections 4, 6, Appendix E), driven by the
-discrete-event simulator in :mod:`repro.sim`.
+discrete-event simulator in :mod:`repro.sim`.  Aggregation planes, shard
+routing policies, and trainer adapters are pluggable name registries in
+:mod:`repro.system.planes`; construction of whole deployments goes
+through :mod:`repro.api`.
 """
 
 from repro.system.adapters import RealTrainingAdapter, SurrogateAdapter, TrainerAdapter
@@ -17,6 +20,13 @@ from repro.system.orchestrator import (
     RunResult,
     SystemConfig,
     TaskStats,
+)
+from repro.system.planes import (
+    PlaneContext,
+    PlaneFactory,
+    register_plane,
+    register_routing,
+    register_trainer,
 )
 from repro.system.secure import LegPool, SecureBufferedAggregator
 from repro.system.selector import Selector
@@ -46,4 +56,9 @@ __all__ = [
     "HashShardRouting",
     "LoadAwareShardRouting",
     "ShardedFLTaskRuntime",
+    "PlaneContext",
+    "PlaneFactory",
+    "register_plane",
+    "register_routing",
+    "register_trainer",
 ]

@@ -250,22 +250,22 @@ class AggregatorNode:
         node_id: int,
         sim: Simulator,
         log: EventLog,
-        n_shards: int = 4,
+        drain_threads: int = 4,
         update_process_time_s: float = 0.01,
     ):
-        if n_shards < 1:
-            raise ValueError("n_shards must be at least 1")
+        if drain_threads < 1:
+            raise ValueError("drain_threads must be at least 1")
         if update_process_time_s < 0:
             raise ValueError("update_process_time_s must be non-negative")
         self.node_id = node_id
         self.sim = sim
         self.log = log
-        self.n_shards = n_shards
+        self.drain_threads = drain_threads
         self.update_process_time_s = update_process_time_s
         self.tasks: dict[str, FLTaskRuntime] = {}
         self.alive = True
         self.last_heartbeat = 0.0
-        self._shard_free_at = [0.0] * n_shards
+        self._thread_free_at = [0.0] * drain_threads
         self.updates_processed = 0
 
     # -- placement ------------------------------------------------------------
@@ -298,22 +298,24 @@ class AggregatorNode:
     ) -> None:
         """Push an uploaded update into the in-memory queue.
 
-        The draining thread pool is modeled as ``n_shards`` parallel
+        The draining thread pool is modeled as ``drain_threads`` parallel
         servers; an arriving update is dispatched to the earliest-free
-        shard and costs ``update_process_time_s`` of deserialization +
+        thread and costs ``update_process_time_s`` of deserialization +
         intermediate aggregation.
         """
         now = self.sim.now
-        shard = min(range(self.n_shards), key=lambda i: self._shard_free_at[i])
-        start = max(now, self._shard_free_at[shard])
+        thread = min(
+            range(self.drain_threads), key=lambda i: self._thread_free_at[i]
+        )
+        start = max(now, self._thread_free_at[thread])
         done = start + self.update_process_time_s
-        self._shard_free_at[shard] = done
+        self._thread_free_at[thread] = done
         self.updates_processed += 1
         self.sim.schedule(done - now, lambda: task_rt.process_update(session, payload))
 
     def queue_depth_seconds(self) -> float:
-        """How far behind the busiest shard is (backpressure signal)."""
-        return max(0.0, max(self._shard_free_at) - self.sim.now)
+        """How far behind the busiest drain thread is (backpressure signal)."""
+        return max(0.0, max(self._thread_free_at) - self.sim.now)
 
     # -- liveness ------------------------------------------------------------
 
@@ -336,5 +338,5 @@ class AggregatorNode:
     def recover(self) -> None:
         """Bring the node back empty (tasks were reassigned elsewhere)."""
         self.alive = True
-        self._shard_free_at = [self.sim.now] * self.n_shards
+        self._thread_free_at = [self.sim.now] * self.drain_threads
         self.log.emit(self.sim.now, f"aggregator:{self.node_id}", "recovered")

@@ -14,21 +14,22 @@ methods so the recovery behaviour of Appendix E.4 is testable.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.types import TaskConfig, TrainingMode
+from repro.core.types import TaskConfig
 from repro.sim.engine import Simulator
 from repro.sim.network import NetworkModel
 from repro.sim.population import DevicePopulation
 from repro.sim.trace import MetricsTrace, Outcome
+from repro.system import planes
 from repro.system.adapters import TrainerAdapter
 from repro.system.aggregator import AggregatorNode, FLTaskRuntime
 from repro.system.client_runtime import ClientSession, CohortDispatcher
 from repro.system.coordinator import Coordinator
 from repro.system.selector import Selector
-from repro.system.sharding import ShardedFLTaskRuntime
 from repro.utils.logging import EventLog
 from repro.utils.rng import child_rng
 
@@ -55,20 +56,33 @@ class SystemConfig:
     ``num_shards`` / ``shard_routing`` switch every (async, non-secure)
     task onto the sharded hierarchical aggregation plane: ``num_shards``
     shard cores spread across the aggregator pool, clients routed to
-    shards by ``"hash"`` or ``"load"`` policy, one root reducer merging
+    shards by a routing policy registered in :mod:`repro.system.planes`
+    (``"hash"`` and ``"load"`` built in), one root reducer merging
     shard partials per server step (see :mod:`repro.system.sharding`).
     The default ``num_shards=1`` never constructs any of it — the
     single-aggregator path is byte-for-byte the pre-sharding code.
 
+    ``drain_threads`` (previously the confusingly named ``n_shards``,
+    which predates the PR-4 aggregation-plane shards) is the size of
+    each :class:`AggregatorNode`'s queue-draining thread pool — a
+    per-node concurrency knob, unrelated to ``num_shards``.
+
+    ``plane`` selects the aggregation-plane factory from
+    :mod:`repro.system.planes`: ``"auto"`` (default) derives it per task
+    — secure tasks → ``"secure"``, ``num_shards > 1`` → ``"sharded"``
+    for async non-secure tasks, else ``"single"`` — while an explicit
+    registered name pins every task to that plane (the extension point
+    for custom planes).
+
     ``rebalance_queue_threshold_s`` is the aggregation-queue backpressure
-    (seconds of backlog on a node's busiest shard thread) above which
+    (seconds of backlog on a node's busiest drain thread) above which
     the Coordinator's heartbeat loop moves a task off an overloaded
     node (Section 6.3).
     """
 
     n_aggregators: int = 2
     n_selectors: int = 2
-    n_shards: int = 4
+    drain_threads: int = 4
     selection_latency_s: float = 1.0
     update_process_time_s: float = 0.01
     heartbeat_interval_s: float = 10.0
@@ -81,10 +95,13 @@ class SystemConfig:
     num_shards: int = 1
     shard_routing: str = "hash"
     rebalance_queue_threshold_s: float = 30.0
+    plane: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_aggregators < 1 or self.n_selectors < 1:
             raise ValueError("need at least one aggregator and one selector")
+        if self.drain_threads < 1:
+            raise ValueError("drain_threads must be at least 1")
         if self.selection_latency_s < 0 or self.failure_detection_s < 0:
             raise ValueError("latencies must be non-negative")
         if self.min_reparticipation_interval_s < 0:
@@ -93,10 +110,56 @@ class SystemConfig:
             raise ValueError("cohort_batch_size must be at least 1")
         if self.num_shards < 1:
             raise ValueError("num_shards must be at least 1")
-        if self.shard_routing not in ("hash", "load"):
-            raise ValueError("shard_routing must be 'hash' or 'load'")
+        if self.shard_routing not in planes.routing_names():
+            raise ValueError(
+                f"shard_routing must be one of "
+                f"{', '.join(planes.routing_names())} (got {self.shard_routing!r})"
+            )
         if self.rebalance_queue_threshold_s <= 0:
             raise ValueError("rebalance_queue_threshold_s must be positive")
+        if self.plane != "auto" and self.plane not in planes.plane_names():
+            raise ValueError(
+                f"plane must be 'auto' or a registered plane "
+                f"({', '.join(planes.plane_names())}); got {self.plane!r}"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        """Deprecated alias of :attr:`drain_threads` (renamed: it never
+        meant aggregation-plane shards — that is ``num_shards``)."""
+        warnings.warn(
+            "SystemConfig.n_shards was renamed to drain_threads (it is the "
+            "per-node queue-drain thread count, not the aggregation-plane "
+            "shard count num_shards)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.drain_threads
+
+
+_SYSTEM_CONFIG_INIT = SystemConfig.__init__
+
+
+def _system_config_init(self, *args, n_shards: int | None = None, **kwargs):
+    """Accept the deprecated ``n_shards=`` keyword as ``drain_threads``."""
+    if n_shards is not None:
+        warnings.warn(
+            "SystemConfig(n_shards=...) was renamed to drain_threads (the "
+            "per-node queue-drain thread count; aggregation-plane shards "
+            "are num_shards)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if "drain_threads" in kwargs or len(args) >= 3:
+            raise TypeError(
+                "SystemConfig got both drain_threads and its deprecated "
+                "alias n_shards"
+            )
+        kwargs["drain_threads"] = n_shards
+    _SYSTEM_CONFIG_INIT(self, *args, **kwargs)
+
+
+SystemConfig.__init__ = _system_config_init  # type: ignore[method-assign]
 
 
 @dataclass(frozen=True)
@@ -170,7 +233,7 @@ class FederatedSimulation:
                 i,
                 self.sim,
                 self.log,
-                n_shards=self.system.n_shards,
+                drain_threads=self.system.drain_threads,
                 update_process_time_s=self.system.update_process_time_s,
             )
             for i in range(self.system.n_aggregators)
@@ -193,21 +256,23 @@ class FederatedSimulation:
                 dispatcher = CohortDispatcher(
                     adapter, max_cohort=self.system.cohort_batch_size
                 )
-            shardable = (
-                cfg.mode is TrainingMode.ASYNC and not cfg.secure_aggregation
+            # Plane selection + construction go through the registry in
+            # repro.system.planes: new planes plug in by registration,
+            # not by editing this loop.
+            plane_name, fallback = planes.resolve_plane(cfg, self.system)
+            if fallback is not None:
+                self.log.emit(
+                    self.sim.now, f"task:{cfg.name}", "plane_fallback",
+                    task=cfg.name, requested=fallback["requested"],
+                    chosen=plane_name, reason=fallback["reason"],
+                )
+            rt: FLTaskRuntime = planes.get_plane(plane_name).build(
+                planes.PlaneContext(
+                    config=cfg, adapter=adapter, sim=self.sim,
+                    trace=self.trace, log=self.log, on_slot_free=self._pump,
+                    cohort=dispatcher, system=self.system,
+                )
             )
-            if self.system.num_shards > 1 and shardable:
-                rt: FLTaskRuntime = ShardedFLTaskRuntime(
-                    cfg, adapter, self.sim, self.trace, self.log,
-                    on_slot_free=self._pump, cohort=dispatcher,
-                    num_shards=self.system.num_shards,
-                    shard_routing=self.system.shard_routing,
-                )
-            else:
-                rt = FLTaskRuntime(
-                    cfg, adapter, self.sim, self.trace, self.log,
-                    on_slot_free=self._pump, cohort=dispatcher,
-                )
             self.task_runtimes[cfg.name] = rt
             self.coordinator.register_task(rt)
 

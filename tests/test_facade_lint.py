@@ -1,0 +1,65 @@
+"""The façade lint: no direct FederatedSimulation construction sneaks in.
+
+``tools/check_facade.py`` (run by the CI lint job and here, in tier-1)
+forbids ``FederatedSimulation(...)`` call sites outside
+``repro/api/deployment.py`` and the allowlist — keeping
+``Deployment.from_spec`` the single construction path.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_facade():
+    spec = importlib.util.spec_from_file_location(
+        "check_facade", REPO_ROOT / "tools" / "check_facade.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_is_clean(check_facade):
+    violations = check_facade.find_violations(REPO_ROOT)
+    assert violations == [], (
+        "direct FederatedSimulation(...) construction outside repro.api; "
+        "build through Deployment.from_spec instead: "
+        + "; ".join(f"{f}:{n}" for f, n, _ in violations)
+    )
+
+
+def test_check_detects_a_violation(check_facade, tmp_path):
+    (tmp_path / "tools").mkdir()
+    (tmp_path / "tools" / "facade_allowlist.txt").write_text(
+        "src/allowed.py\n# comment\n"
+    )
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "allowed.py").write_text("sim = FederatedSimulation(tasks, pop)\n")
+    (src / "direct.py").write_text(
+        "class FederatedSimulation(Base):\n"
+        "    pass\n"
+        "sim = FederatedSimulation(tasks, pop)\n"
+    )
+    violations = check_facade.find_violations(tmp_path)
+    # The allowlisted file and the class definition pass; the call doesn't.
+    assert [(f, n) for f, n, _ in violations] == [("src/direct.py", 3)]
+    assert check_facade.main(tmp_path) == 1
+
+
+def test_cli_entry_point_is_clean():
+    import subprocess
+
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_facade.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr

@@ -250,21 +250,21 @@ class TestAggregatorNode:
         node.host(rt)
         assert node.estimated_workload() == 10 * 1000
 
-    def test_shard_queueing_serializes_busy_shards(self, sim, log):
-        node = AggregatorNode(0, sim, log, n_shards=1, update_process_time_s=1.0)
+    def test_queueing_serializes_busy_drain_threads(self, sim, log):
+        node = AggregatorNode(0, sim, log, drain_threads=1, update_process_time_s=1.0)
         rt = make_runtime(sim, log, goal=10)
         node.host(rt)
 
         class FakeSession:
             device_id = 1
 
-        # Two updates arriving together on one shard: the second waits.
+        # Two updates arriving together on one drain thread: the second waits.
         node.enqueue_update(rt, FakeSession(), None)
         node.enqueue_update(rt, FakeSession(), None)
         assert node.queue_depth_seconds() == pytest.approx(2.0)
 
-    def test_parallel_shards_absorb_burst(self, sim, log):
-        node = AggregatorNode(0, sim, log, n_shards=4, update_process_time_s=1.0)
+    def test_parallel_drain_threads_absorb_burst(self, sim, log):
+        node = AggregatorNode(0, sim, log, drain_threads=4, update_process_time_s=1.0)
         rt = make_runtime(sim, log, goal=10)
         node.host(rt)
 
@@ -284,12 +284,12 @@ class TestAggregatorNode:
 
     def test_invalid_args(self, sim, log):
         with pytest.raises(ValueError):
-            AggregatorNode(0, sim, log, n_shards=0)
+            AggregatorNode(0, sim, log, drain_threads=0)
         with pytest.raises(ValueError):
             AggregatorNode(0, sim, log, update_process_time_s=-1)
 
     def test_recover_resets_shards(self, sim, log):
-        node = AggregatorNode(0, sim, log, n_shards=1, update_process_time_s=1.0)
+        node = AggregatorNode(0, sim, log, drain_threads=1, update_process_time_s=1.0)
         rt = make_runtime(sim, log)
         node.host(rt)
 
@@ -313,3 +313,53 @@ class TestTaskRuntimeDemand:
     def test_sync_demand_capped_by_concurrency(self, sim, log):
         rt = make_runtime(sim, log, concurrency=4, goal=10, mode=TrainingMode.SYNC)
         assert rt.demand() <= 4
+
+
+class TestSystemConfigDrainThreadsRename:
+    """SystemConfig.n_shards -> drain_threads (ISSUE 5 satellite)."""
+
+    def test_drain_threads_is_the_field(self):
+        from repro.system import SystemConfig
+
+        cfg = SystemConfig(drain_threads=7)
+        assert cfg.drain_threads == 7
+
+    def test_legacy_kwarg_maps_with_deprecation_warning(self):
+        from repro.system import SystemConfig
+
+        with pytest.warns(DeprecationWarning, match="drain_threads"):
+            cfg = SystemConfig(n_shards=7)
+        assert cfg.drain_threads == 7
+
+    def test_legacy_property_warns(self):
+        from repro.system import SystemConfig
+
+        cfg = SystemConfig(drain_threads=5)
+        with pytest.warns(DeprecationWarning, match="drain_threads"):
+            assert cfg.n_shards == 5
+
+    def test_both_spellings_rejected(self):
+        from repro.system import SystemConfig
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="n_shards"):
+                SystemConfig(drain_threads=2, n_shards=3)
+
+    def test_drain_threads_validated(self):
+        from repro.system import SystemConfig
+
+        with pytest.raises(ValueError, match="drain_threads"):
+            SystemConfig(drain_threads=0)
+
+    def test_node_drain_threads_flow_from_config(self, sim, log):
+        from repro.sim import DevicePopulation, PopulationConfig
+        from repro.system import FederatedSimulation, SystemConfig
+
+        pop = DevicePopulation(PopulationConfig(n_devices=50), seed=0)
+        cfg = TaskConfig(name="t", mode=TrainingMode.ASYNC, concurrency=8,
+                         aggregation_goal=4, model_size_bytes=1000)
+        fs = FederatedSimulation(
+            [(cfg, SurrogateAdapter(seed=0))], pop,
+            system=SystemConfig(drain_threads=2), seed=0,
+        )
+        assert all(node.drain_threads == 2 for node in fs.aggregators)

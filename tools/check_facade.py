@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Forbid direct ``FederatedSimulation(...)`` construction outside the façade.
+
+``repro.api.Deployment`` is the single construction path for simulations
+(ISSUE 5); this check keeps it that way.  It scans every ``*.py`` file
+under ``src/``, ``examples/``, and ``benchmarks/`` (tests are exempt —
+the differential suites deliberately hand-wire the pre-redesign
+construction to pin trace equivalence) for a ``FederatedSimulation(``
+call, skipping ``class FederatedSimulation(`` definitions and files
+listed in ``tools/facade_allowlist.txt``.
+
+Run from the repository root (CI does, in the lint job)::
+
+    python tools/check_facade.py
+
+Exit status 0 when clean; 1 with one ``file:line`` diagnostic per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: call sites of FederatedSimulation( that are not class definitions
+PATTERN = re.compile(r"(?<!class )\bFederatedSimulation\(")
+SCAN_DIRS = ("src", "examples", "benchmarks")
+ALLOWLIST_FILE = "tools/facade_allowlist.txt"
+
+
+def load_allowlist(root: pathlib.Path) -> set[str]:
+    """Posix-style repo-relative paths allowed to construct directly."""
+    allowlist_path = root / ALLOWLIST_FILE
+    entries: set[str] = set()
+    for line in allowlist_path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def find_violations(root: pathlib.Path) -> list[tuple[str, int, str]]:
+    """Every (file, line, text) that bypasses the Deployment façade."""
+    allowlist = load_allowlist(root)
+    violations = []
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel in allowlist:
+                continue
+            for lineno, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if PATTERN.search(line):
+                    violations.append((rel, lineno, line.strip()))
+    return violations
+
+
+def main(root: str | pathlib.Path = ".") -> int:
+    violations = find_violations(pathlib.Path(root))
+    if not violations:
+        return 0
+    print(
+        "Direct FederatedSimulation(...) construction outside the repro.api "
+        "facade:\n",
+        file=sys.stderr,
+    )
+    for rel, lineno, text in violations:
+        print(f"  {rel}:{lineno}: {text}", file=sys.stderr)
+    print(
+        "\nBuild simulations through repro.api "
+        "(Deployment.from_spec(spec).build()) instead, or add the file to "
+        f"{ALLOWLIST_FILE} with a justification.",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
