@@ -25,7 +25,7 @@ from typing import Mapping
 
 from repro.api.spec import ScenarioSpec, SpecError
 from repro.sim.network import NetworkModel
-from repro.sim.population import DevicePopulation
+from repro.sim.population import ColumnarDevicePopulation, DevicePopulation
 from repro.system import planes
 from repro.system.adapters import TrainerAdapter
 from repro.system.orchestrator import FederatedSimulation, RunResult
@@ -38,8 +38,10 @@ def build_population(spec) -> DevicePopulation:
 
     ``spec.seed=None`` (deployment-seed deferral) resolves to 0 here;
     deployments resolve it against their execution seed instead.
+    ``spec.columnar`` selects the struct-of-arrays fleet representation.
     """
-    return DevicePopulation(spec.population_config(), seed=spec.seed or 0)
+    cls = ColumnarDevicePopulation if spec.columnar else DevicePopulation
+    return cls(spec.population_config(), seed=spec.seed or 0)
 
 
 class Deployment:
@@ -89,8 +91,10 @@ class Deployment:
     def population(self) -> DevicePopulation:
         """The device fleet (built once per deployment)."""
         if self._population is None:
-            self._population = DevicePopulation(
-                self.spec.population.population_config(),
+            pop_spec = self.spec.population
+            cls = ColumnarDevicePopulation if pop_spec.columnar else DevicePopulation
+            self._population = cls(
+                pop_spec.population_config(),
                 seed=self.spec.population_seed(),
             )
         return self._population

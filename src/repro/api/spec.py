@@ -120,14 +120,23 @@ class PopulationSpec:
     ``seed=None`` means "use the deployment seed"; ``overrides`` are
     :class:`~repro.sim.population.PopulationConfig` fields other than
     ``n_devices`` (e.g. ``mean_examples``, ``max_examples``).
+
+    ``columnar=True`` builds the struct-of-arrays
+    :class:`~repro.sim.population.ColumnarDevicePopulation` (the
+    million-client fleet representation) instead of the object-per-device
+    default.  The columnar fleet is its own deterministic realization, so
+    the default stays ``False`` to keep existing scenario traces
+    byte-identical.
     """
 
     n_devices: int = 100_000
     seed: int | None = None
     overrides: tuple[tuple[str, Any], ...] = ()
+    columnar: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "n_devices", int(self.n_devices))
+        object.__setattr__(self, "columnar", bool(self.columnar))
         if self.seed is not None:
             object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(
@@ -154,29 +163,42 @@ class PopulationSpec:
     @classmethod
     def from_population(cls, population) -> "PopulationSpec":
         """Describe an already-built :class:`DevicePopulation` faithfully."""
+        from repro.sim.population import ColumnarDevicePopulation
+
         cfg = population.config
         overrides = {
             f.name: getattr(cfg, f.name)
             for f in dataclasses.fields(PopulationConfig)
             if f.name != "n_devices" and getattr(cfg, f.name) != f.default
         }
-        return cls(n_devices=cfg.n_devices, seed=population.seed, overrides=overrides)
+        return cls(
+            n_devices=cfg.n_devices,
+            seed=population.seed,
+            overrides=overrides,
+            columnar=isinstance(population, ColumnarDevicePopulation),
+        )
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "n_devices": self.n_devices,
             "seed": self.seed,
             "overrides": _thaw_items(self.overrides),
         }
+        # Omitted when default so canonical JSON — and therefore every
+        # existing sweep-cache fingerprint — is unchanged.
+        if self.columnar:
+            doc["columnar"] = True
+        return doc
 
     @classmethod
     def from_dict(cls, data: Any) -> "PopulationSpec":
         data = _expect_mapping(data, "population")
-        _check_keys(data, ("n_devices", "seed", "overrides"), "population")
+        _check_keys(data, ("n_devices", "seed", "overrides", "columnar"), "population")
         return cls(
             n_devices=data.get("n_devices", 100_000),
             seed=data.get("seed"),
             overrides=_expect_mapping(data.get("overrides") or {}, "population.overrides"),
+            columnar=data.get("columnar", False),
         )
 
 
@@ -361,7 +383,7 @@ def _apply_override(doc: dict, path: str, value: Any) -> None:
         doc["execution"]["seed"] = value
         return
     if head == "population":
-        if rest in ("n_devices", "seed"):
+        if rest in ("n_devices", "seed", "columnar"):
             doc["population"][rest] = value
         elif rest in _POPULATION_OVERRIDE_FIELDS:
             doc["population"]["overrides"][rest] = value
@@ -562,7 +584,8 @@ class ScenarioSpec:
         Paths address every declarative knob::
 
             population.n_devices      population.mean_examples
-            tasks.0.concurrency       tasks.async.aggregation_goal
+            population.columnar       tasks.async.aggregation_goal
+            tasks.0.concurrency
             tasks.0.trainer_params.critical_goal
             plane.num_shards          system.cohort_batch_size
             execution.target_loss     seed   (alias of execution.seed)

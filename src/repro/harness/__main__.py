@@ -358,10 +358,27 @@ def _build_parsers() -> tuple[argparse.ArgumentParser, argparse.ArgumentParser]:
 
 
 def _list_main() -> int:
-    """``python -m repro.harness list``: names + one-line descriptions."""
-    width = max((len(name) for name in registry.names()), default=0)
-    for spec in registry.specs():
-        print(f"{spec.name:<{width}}  {spec.description}")
+    """``python -m repro.harness list``: one metadata line per experiment.
+
+    Sourced from the same :class:`~repro.harness.registry.ExperimentSpec`
+    metadata that ``docs/EXPERIMENTS.md`` catalogues (and that
+    ``tools/check_docs.py`` keeps in sync): the one-line description,
+    plus bracketed flags for specs that ignore ``--scale``
+    (``scale-free``), ignore ``--seed`` (``deterministic``), or sweep a
+    default ``--grid`` axis.
+    """
+    specs = registry.specs()
+    width = max((len(spec.name) for spec in specs), default=0)
+    for spec in specs:
+        flags = []
+        if not spec.uses_scale:
+            flags.append("scale-free")
+        if not spec.uses_seed:
+            flags.append("deterministic")
+        if spec.default_grid:
+            flags.append("grid: " + ", ".join(sorted(spec.default_grid)))
+        suffix = f"  [{'; '.join(flags)}]" if flags else ""
+        print(f"{spec.name:<{width}}  {spec.description}{suffix}")
     return 0
 
 

@@ -41,13 +41,26 @@ share), and the final-model max divergence — bounded by float64-rounding
 reassociation surviving the float32 state cast (the differential suite,
 ``tests/test_sharded_equivalence.py``, pins the tight per-step bound).
 
+The ``million`` experiment measures the *population* axis: the columnar
+struct-of-arrays fleet (:class:`repro.sim.population
+.ColumnarDevicePopulation`) driven by the batched tick loop
+(:class:`repro.sim.fleet.FleetSimulation`) over the calendar-queue
+event engine, sweeping the fleet from 10k to 1M devices.  For each
+population size it reports wall-clock, events fired, events/sec,
+µs/event, peak RSS, the columns' numpy footprint, and the bounded
+trace's record count; the headline is *flatness* — the max/min ratio of
+per-event cost across the sweep, ~1 when cost per event is independent
+of fleet size.
+
 Run / sweep them through the PR-1 harness layer::
 
     python -m repro.harness cohort
     python -m repro.harness secagg
     python -m repro.harness shards
+    python -m repro.harness million
     python -m repro.harness sweep secagg --seeds 0..2 --json secagg.json
     python -m repro.harness sweep shards --seeds 0..2 --json shards.json
+    python -m repro.harness sweep million --json million.json
 
 so before/after JSON reports of future engine changes land in the same
 cache + CI-artifact pipeline as every figure.
@@ -55,6 +68,7 @@ cache + CI-artifact pipeline as every figure.
 
 from __future__ import annotations
 
+import resource
 import time
 from dataclasses import dataclass
 
@@ -74,6 +88,8 @@ from repro.harness import registry
 from repro.harness.configs import Scale
 from repro.harness.report import print_table
 from repro.nn.model import LSTMLanguageModel, ModelConfig
+from repro.sim.fleet import FleetConfig, FleetSimulation
+from repro.sim.trace import BoundedMetricsTrace
 from repro.secagg.attestation import SigningAuthority
 from repro.secagg.client import SecAggClient
 from repro.secagg.fixedpoint import FixedPointCodec
@@ -760,6 +776,170 @@ registry.register(
         ),
         default_grid={},
         uses_scale=False,
+    ),
+    replace=True,
+)
+
+
+# ---------------------------------------------------------------------------
+# Million-client fleet: per-event cost vs population size
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MillionPoint:
+    """One population-size operating point of the columnar fleet."""
+
+    population: int
+    demand: int             # concurrent-session capacity at this size
+    horizon_s: float        # simulated span driven
+    events: int             # engine events fired
+    sessions: int           # sessions completed
+    wall_s: float           # wall-clock of the run() call
+    events_per_sec: float
+    us_per_event: float
+    peak_rss_mb: float      # ru_maxrss after the point (process lifetime max)
+    columns_mb: float       # struct-of-arrays footprint of the fleet
+    trace_records: int      # participation records the bounded trace holds
+    total_participations: int  # exact tally (sampled records notwithstanding)
+
+
+@dataclass(frozen=True)
+class MillionResult:
+    """Fleet-scaling sweep 10k→1M devices."""
+
+    points: list[MillionPoint]
+    flatness: float         # max/min us_per_event across points (~1 = flat)
+    tick_s: float
+    mean_sleep_s: float
+    max_trace_records: int
+
+
+def million_scaling(
+    populations: tuple[int, ...] = (10_000, 100_000, 1_000_000),
+    horizon_s: float = 1800.0,
+    demand_divisor: int = 200,
+    min_demand: int = 64,
+    tick_s: float = 60.0,
+    mean_sleep_s: float = 7200.0,
+    max_trace_records: int = 10_000,
+    seed: int = 0,
+) -> MillionResult:
+    """Drive the columnar fleet at each population size; measure per-event cost.
+
+    Demand (concurrent-session capacity) scales with the population
+    (``population // demand_divisor``) so the event load grows with the
+    fleet — the claim under test is that the *per-event* cost does not:
+    arrivals, eligibility and session setup are batched per tick over the
+    struct-of-arrays columns, and the calendar queue keeps scheduling
+    O(1) as the pending-event count grows.  ``peak_rss_mb`` is the
+    process-lifetime high-water mark (``ru_maxrss``), so within one sweep
+    it is non-decreasing across points; the 1M point's value is the
+    honest fleet-scale figure.
+    """
+    points: list[MillionPoint] = []
+    for population in populations:
+        fleet_pop = build_population(
+            PopulationSpec(n_devices=population, seed=seed, columnar=True)
+        )
+        trace = BoundedMetricsTrace(max_records=max_trace_records, seed=seed)
+        fleet = FleetSimulation(
+            fleet_pop,
+            FleetConfig(
+                tick_s=tick_s,
+                demand=max(min_demand, population // demand_divisor),
+                mean_sleep_s=mean_sleep_s,
+            ),
+            trace=trace,
+            seed=seed,
+        )
+        t0 = time.perf_counter()
+        fleet.run(horizon_s)
+        wall = time.perf_counter() - t0
+        events = fleet.sim.events_fired
+        points.append(
+            MillionPoint(
+                population=population,
+                demand=fleet.config.demand,
+                horizon_s=horizon_s,
+                events=events,
+                sessions=fleet.sessions_completed,
+                wall_s=wall,
+                events_per_sec=events / wall if wall > 0 else float("inf"),
+                us_per_event=wall / events * 1e6 if events else float("nan"),
+                peak_rss_mb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                / 1024.0,
+                columns_mb=fleet_pop.columns_nbytes() / 1e6,
+                trace_records=len(trace.participations),
+                total_participations=trace.total_participations,
+            )
+        )
+    costs = [p.us_per_event for p in points if p.events]
+    flatness = max(costs) / min(costs) if costs else float("nan")
+    return MillionResult(
+        points=points,
+        flatness=flatness,
+        tick_s=tick_s,
+        mean_sleep_s=mean_sleep_s,
+        max_trace_records=max_trace_records,
+    )
+
+
+def print_million(res: MillionResult) -> None:
+    """Render the fleet-scaling sweep as text."""
+    print_table(
+        [
+            "population",
+            "demand",
+            "events",
+            "sessions",
+            "wall (s)",
+            "events/s",
+            "µs/event",
+            "peak RSS (MB)",
+            "columns (MB)",
+            "trace recs",
+        ],
+        [
+            [
+                p.population,
+                p.demand,
+                p.events,
+                p.sessions,
+                p.wall_s,
+                p.events_per_sec,
+                p.us_per_event,
+                p.peak_rss_mb,
+                p.columns_mb,
+                p.trace_records,
+            ]
+            for p in res.points
+        ],
+        title=(
+            f"Columnar fleet scaling — per-event cost vs population "
+            f"(tick {res.tick_s:g}s, mean sleep {res.mean_sleep_s:g}s, "
+            f"flatness {res.flatness:.2f}x)"
+        ),
+    )
+
+
+def _run_million(scale: Scale, seed: int, **params) -> MillionResult:
+    # The smoke scale trims the simulated span so CI stays fast; the
+    # population axis is the experiment's point and is never scaled down.
+    params.setdefault("horizon_s", float(min(1800.0, scale.sim_hours * 200.0)))
+    return million_scaling(seed=seed, **params)
+
+
+registry.register(
+    registry.ExperimentSpec(
+        "million",
+        _run_million,
+        print_million,
+        MillionResult,
+        description=(
+            "columnar fleet 10k→1M devices: events/sec, per-event cost "
+            "flatness, peak RSS"
+        ),
+        default_grid={},
     ),
     replace=True,
 )

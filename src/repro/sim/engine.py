@@ -6,9 +6,21 @@ intervals, failure-detection delays — is an event on one global virtual
 clock, so experiments over "hours" of fleet time run in seconds and are
 perfectly reproducible.
 
-The engine is a classic priority-queue event loop with cancellable
-handles (cancellation is how the system layer models aborting in-flight
-clients when a synchronous round closes or staleness bounds trip).
+The event queue is a bucketed *calendar queue* (Brown, CACM 1988): a
+wheel of time buckets sized from the observed event-gap distribution, so
+``schedule``/``pop`` stay O(1) amortized as the pending-event count
+grows from thousands to millions.  A binary heap pays O(log n) per
+operation and, worse, its cache behaviour degrades with n — per-event
+cost visibly climbs between a 10k-client and a 1M-client fleet.  The
+calendar queue keys on exactly the heap's old ``(time, seq)`` tuple, so
+event order — including the FIFO tie-break for same-instant events — is
+bit-identical to the previous implementation and every recorded trace is
+unchanged.
+
+The engine keeps cancellable handles (cancellation is how the system
+layer models aborting in-flight clients when a synchronous round closes
+or staleness bounds trip); cancelled entries are pruned lazily when
+their bucket is drained, never paying an eager O(n) removal.
 
 :class:`DeferredQueue` is the engine's cohort-dispatch primitive: work
 whose *result* is not needed at schedule time (client training compute,
@@ -21,8 +33,9 @@ timestamp.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import math
+from bisect import insort
 from typing import Callable, Generic, TypeVar
 
 __all__ = ["EventHandle", "Simulator", "DeferredQueue"]
@@ -116,6 +129,132 @@ class EventHandle:
             self._sim = None
 
 
+#: within a bucket, entries are kept sorted *descending* by (time, seq) so
+#: the next event to fire is at the tail and ``list.pop()`` is O(1).  seq
+#: is unique, so comparisons never reach the handle.
+def _bucket_key(entry) -> tuple[float, int]:
+    return (-entry[0], -entry[1])
+
+
+class _CalendarQueue:
+    """Calendar queue over ``(time, seq, handle, action)`` entries.
+
+    A non-wrapping wheel of ``_n_buckets`` buckets of ``_width`` seconds
+    starting at ``_start``; entries at or beyond the wheel's end go to an
+    unsorted ``_overflow`` list.  When the wheel is exhausted (or grossly
+    over-full) the queue rebuilds: it re-centres the wheel on the
+    earliest live entry and re-sizes buckets from the observed event
+    span, the classic Brown adaptation that keeps ~O(1) entries per
+    bucket regardless of load.
+
+    Total order is exactly ``(time, seq)`` ascending — identical to the
+    binary heap this replaces — so simulation traces are byte-identical.
+    Invariant: for live entries a < b, bucket(a) <= bucket(b); the
+    floor-based index is monotone in time and both clamps (to the
+    current scan bucket below, to overflow above) preserve monotonicity,
+    while within-bucket order is exact.
+    """
+
+    __slots__ = ("_buckets", "_n_buckets", "_start", "_width", "_cur",
+                 "_overflow", "_count")
+
+    _MIN_BUCKETS = 64
+    _MAX_BUCKETS = 1 << 16
+
+    def __init__(self) -> None:
+        self._init_wheel(start=0.0, width=1.0, n_buckets=self._MIN_BUCKETS)
+        self._overflow: list = []
+        self._count = 0  # entries physically stored (incl. not-yet-pruned cancels)
+
+    def _init_wheel(self, start: float, width: float, n_buckets: int) -> None:
+        self._buckets: list[list] = [[] for _ in range(n_buckets)]
+        self._n_buckets = n_buckets
+        self._start = start
+        self._width = width
+        self._cur = 0  # scan pointer: buckets before it are empty
+
+    def push(self, entry) -> None:
+        time = entry[0]
+        if self._count == 0:
+            # Empty queue: re-anchor the wheel at this event so bucket
+            # indices stay small after long quiet stretches.
+            self._start = time
+            self._cur = 0
+        idx = int((time - self._start) / self._width)
+        if idx >= self._n_buckets:
+            self._overflow.append(entry)
+        else:
+            # Clamp below to the scan pointer: guards float rounding at
+            # bucket boundaries and events scheduled for instants the
+            # scan already passed (always >= the last fired (time, seq),
+            # so within-bucket exact ordering keeps them correct).
+            if idx < self._cur:
+                idx = self._cur
+            insort(self._buckets[idx], entry, key=_bucket_key)
+        self._count += 1
+        if (self._count > 8 * self._n_buckets
+                and self._n_buckets < self._MAX_BUCKETS):
+            self._rebuild()
+
+    def peek(self):
+        """Next live entry (without removing it), or None when empty."""
+        while True:
+            while self._cur < self._n_buckets:
+                bucket = self._buckets[self._cur]
+                while bucket and bucket[-1][2].cancelled:
+                    bucket.pop()  # lazy prune
+                    self._count -= 1
+                if bucket:
+                    return bucket[-1]
+                self._cur += 1
+            # Wheel exhausted — everything live (if anything) is in
+            # overflow; re-centre the wheel on it and keep scanning.
+            if not self._rebuild():
+                return None
+
+    def pop(self):
+        """Remove and return the next live entry, or None when empty."""
+        entry = self.peek()
+        if entry is not None:
+            self._buckets[self._cur].pop()
+            self._count -= 1
+        return entry
+
+    def _rebuild(self) -> bool:
+        """Re-centre and re-size the wheel around the live entries.
+
+        Returns False when no live entries remain.
+        """
+        live = [e for b in self._buckets[self._cur:] for e in b
+                if not e[2].cancelled]
+        live.extend(e for e in self._overflow if not e[2].cancelled)
+        self._overflow = []
+        self._count = len(live)
+        if not live:
+            self._init_wheel(start=self._start, width=self._width,
+                             n_buckets=self._n_buckets)
+            return False
+        times = sorted(e[0] for e in live)
+        n_buckets = self._MIN_BUCKETS
+        while n_buckets < len(live) and n_buckets < self._MAX_BUCKETS:
+            n_buckets *= 2
+        span = times[-1] - times[0]
+        if span <= 0.0:
+            width = 1.0
+        else:
+            # Slightly over-wide so the latest entry lands inside the
+            # wheel rather than bouncing straight back to overflow.
+            width = max(span * 1.5 / n_buckets, 1e-9)
+        self._init_wheel(start=times[0], width=width, n_buckets=n_buckets)
+        for entry in live:
+            idx = int((entry[0] - self._start) / self._width)
+            if idx >= self._n_buckets:
+                self._overflow.append(entry)
+            else:
+                insort(self._buckets[idx], entry, key=_bucket_key)
+        return True
+
+
 class Simulator:
     """Single-clock discrete-event loop.
 
@@ -125,7 +264,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, EventHandle, Callable[[], None]]] = []
+        self._queue = _CalendarQueue()
         self._seq = itertools.count()
         self._fired = 0
         self._live = 0  # scheduled, not yet fired or cancelled
@@ -160,24 +299,25 @@ class Simulator:
         """Schedule ``action`` at absolute simulated ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule into the past ({time} < {self._now})")
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite (got {time})")
         handle = EventHandle(time, self)
-        heapq.heappush(self._queue, (time, next(self._seq), handle, action))
+        self._queue.push((time, next(self._seq), handle, action))
         self._live += 1
         return handle
 
     def step(self) -> bool:
         """Fire the next event.  Returns False when the queue is empty."""
-        while self._queue:
-            time, _, handle, action = heapq.heappop(self._queue)
-            if handle.cancelled:
-                continue  # cancel() already decremented the live counter
-            handle._sim = None
-            self._live -= 1
-            self._now = time
-            self._fired += 1
-            action()
-            return True
-        return False
+        entry = self._queue.pop()
+        if entry is None:
+            return False
+        time, _, handle, action = entry
+        handle._sim = None
+        self._live -= 1
+        self._now = time
+        self._fired += 1
+        action()
+        return True
 
     def run_until(
         self,
@@ -203,14 +343,11 @@ class Simulator:
         The simulated time when the run stopped.
         """
         fired = 0
-        while self._queue:
-            time, _, handle, action = self._queue[0]
-            if handle.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if time > t_end:
+        while True:
+            head = self._queue.peek()
+            if head is None or head[0] > t_end:
                 break
-            heapq.heappop(self._queue)
+            time, _, handle, action = self._queue.pop()
             handle._sim = None
             self._live -= 1
             self._now = time

@@ -29,7 +29,12 @@ import numpy as np
 
 from repro.utils.rng import child_rng
 
-__all__ = ["PopulationConfig", "DeviceProfile", "DevicePopulation"]
+__all__ = [
+    "PopulationConfig",
+    "DeviceProfile",
+    "DevicePopulation",
+    "ColumnarDevicePopulation",
+]
 
 
 @dataclass(frozen=True)
@@ -168,6 +173,26 @@ class DevicePopulation:
         self._cache[device_id] = prof
         return prof
 
+    # -- session-scoped materialization ----------------------------------------
+    #
+    # The orchestrator acquires a profile with ``checkout`` when a session
+    # starts and calls ``release`` when it ends.  For this object-per-device
+    # population both are trivial (profiles are cached forever), so the
+    # default path is unchanged; :class:`ColumnarDevicePopulation` overrides
+    # them to keep Python objects alive only while a session is active.
+
+    def checkout(self, device_id: int) -> DeviceProfile:
+        """Materialize a profile for the duration of an active session."""
+        return self.profile(device_id)
+
+    def release(self, device_id: int) -> None:
+        """Session over — drop any session-scoped materialization (no-op)."""
+
+    @property
+    def active_profiles(self) -> int:
+        """Profiles currently pinned by active sessions (all cached here)."""
+        return len(self._cache)
+
     # -- stochastic per-participation behaviour --------------------------------
 
     def eligibility_rate_at(self, time_s: float) -> float:
@@ -235,3 +260,185 @@ class DevicePopulation:
                 )
             ),
         }
+
+
+class ColumnarDevicePopulation(DevicePopulation):
+    """Struct-of-arrays fleet: one numpy column per attribute, no objects.
+
+    The object-per-device :class:`DevicePopulation` tops out around 10^5
+    clients — each profile is a Python object plus a per-device SHA-256
+    seed derivation, and a million of them is ~1 GB of interpreter heap.
+    Here the whole fleet lives in eight numpy columns (~50 bytes/device,
+    so a 1M fleet is ~50 MB) generated vectorized in fixed-size chunks,
+    and :class:`DeviceProfile` objects exist only while a client is in an
+    active session (``checkout``/``release``).
+
+    Columns use the same distributional formulas as the scalar path (the
+    shared latent factor, log-normal speed/data/bandwidth, Section 2's
+    correlation) but draw them chunk-vectorized from
+    ``child_rng(seed, "columnar-fleet", chunk)`` — a deliberate, separate
+    deterministic realization.  Matching the scalar path bit-for-bit
+    would require one SHA-256 seed derivation per device, which is
+    exactly the per-device cost this class removes; the default
+    (object) path is therefore byte-identical to before, and the
+    columnar path is its own reproducible fleet.
+
+    Extra fleet-dynamics columns beyond the scalar profile fields:
+
+    * ``speed_tier`` — population speed quartile (0 fastest … 3
+      slowest), the paper's Figure 2 banding, cheap to group by;
+    * ``payload_bytes`` — per-device serialized-update size (log-normal
+      around ``payload_base_bytes``);
+    * ``next_wake_s`` — mutable: when each device next checks in;
+    * ``available`` — mutable: whether the device is currently idle,
+      charging and unmetered.
+    """
+
+    #: devices generated per vectorized RNG draw
+    CHUNK = 262_144
+
+    def __init__(
+        self,
+        config: PopulationConfig | None = None,
+        seed: int = 0,
+        payload_base_bytes: int = 2_000_000,
+        payload_sigma: float = 0.25,
+    ):
+        super().__init__(config, seed)
+        if payload_base_bytes < 1:
+            raise ValueError("payload_base_bytes must be positive")
+        if payload_sigma < 0:
+            raise ValueError("payload_sigma must be non-negative")
+        self.payload_base_bytes = payload_base_bytes
+        self.payload_sigma = payload_sigma
+        self._active: dict[int, DeviceProfile] = {}
+        self._build_columns()
+
+    def _build_columns(self) -> None:
+        cfg = self.config
+        n = cfg.n_devices
+        rho = cfg.speed_data_correlation
+        sec = np.empty(n, dtype=np.float64)
+        n_ex = np.empty(n, dtype=np.int32)
+        bw = np.empty(n, dtype=np.float64)
+        payload = np.empty(n, dtype=np.int64)
+        for chunk in range(0, n, self.CHUNK):
+            stop = min(chunk + self.CHUNK, n)
+            m = stop - chunk
+            rng = child_rng(self.seed, "columnar-fleet", chunk // self.CHUNK)
+            z, e_speed, e_data, e_pay = rng.standard_normal((4, m))
+            speed_factor = rho * z + np.sqrt(1.0 - rho * rho) * e_speed
+            data_factor = z if rho != 0 else e_data
+            sec[chunk:stop] = cfg.median_sec_per_example * np.exp(
+                cfg.sigma_speed * speed_factor
+            )
+            n_ex[chunk:stop] = np.clip(
+                np.round(cfg.mean_examples * np.exp(cfg.sigma_examples * data_factor)),
+                1,
+                cfg.max_examples,
+            ).astype(np.int32)
+            bw[chunk:stop] = rng.lognormal(mean=0.0, sigma=0.5, size=m)
+            payload[chunk:stop] = np.maximum(
+                np.round(
+                    self.payload_base_bytes * np.exp(self.payload_sigma * e_pay)
+                ),
+                1,
+            ).astype(np.int64)
+        self.sec_per_example = sec
+        self.n_examples = n_ex
+        self.download_bandwidth = 2e6 * bw
+        self.upload_bandwidth = 1e6 * bw
+        self.payload_bytes = payload
+        # Quartile banding over the realized speed distribution.
+        edges = np.quantile(sec, [0.25, 0.5, 0.75])
+        self.speed_tier = np.searchsorted(edges, sec).astype(np.uint8)
+        # Fleet-dynamics state, owned by the driver (FleetSimulation).
+        self.next_wake_s = np.zeros(n, dtype=np.float64)
+        self.available = np.ones(n, dtype=bool)
+
+    def columns_nbytes(self) -> int:
+        """Total bytes held by the fleet columns (the SoA footprint)."""
+        return sum(
+            arr.nbytes
+            for arr in (
+                self.sec_per_example, self.n_examples, self.download_bandwidth,
+                self.upload_bandwidth, self.payload_bytes, self.speed_tier,
+                self.next_wake_s, self.available,
+            )
+        )
+
+    # -- lazy per-session materialization --------------------------------------
+
+    def profile(self, device_id: int) -> DeviceProfile:
+        """A transient :class:`DeviceProfile` view of one device's columns.
+
+        Unlike the scalar population this does **not** cache: the object
+        is garbage once the caller drops it.  Use ``checkout``/``release``
+        to pin a profile for the lifetime of an active session.
+        """
+        if not (0 <= device_id < self.config.n_devices):
+            raise ValueError(f"device_id {device_id} outside population")
+        pinned = self._active.get(device_id)
+        if pinned is not None:
+            return pinned
+        return DeviceProfile(
+            device_id=device_id,
+            sec_per_example=float(self.sec_per_example[device_id]),
+            n_examples=int(self.n_examples[device_id]),
+            download_bandwidth=float(self.download_bandwidth[device_id]),
+            upload_bandwidth=float(self.upload_bandwidth[device_id]),
+        )
+
+    def checkout(self, device_id: int) -> DeviceProfile:
+        """Materialize and pin a profile while its session is active."""
+        pinned = self._active.get(device_id)
+        if pinned is None:
+            pinned = self.profile(device_id)
+            self._active[device_id] = pinned
+        return pinned
+
+    def release(self, device_id: int) -> None:
+        """Drop the pinned profile once the session ends."""
+        self._active.pop(device_id, None)
+
+    @property
+    def active_profiles(self) -> int:
+        """Profiles currently pinned by active sessions."""
+        return len(self._active)
+
+    # -- batched fleet sampling -------------------------------------------------
+    #
+    # These take a device-id array plus an *engine-owned* generator and
+    # roll the whole batch in one vectorized draw.  The realization
+    # differs from the scalar per-device ``is_eligible``/``dropout_point``
+    # streams (which remain available and deterministic per device); the
+    # batched driver owns one RNG for the whole fleet instead.
+
+    def execution_times(self, ids: np.ndarray, epochs: int = 1) -> np.ndarray:
+        """Vectorized ``DeviceProfile.execution_time`` over ``ids``."""
+        return (
+            self.config.overhead_s
+            + epochs * self.n_examples[ids] * self.sec_per_example[ids]
+        )
+
+    def transfer_times(self, ids: np.ndarray) -> np.ndarray:
+        """Payload download + upload seconds for each device in ``ids``."""
+        payload = self.payload_bytes[ids]
+        return (
+            payload / self.download_bandwidth[ids]
+            + payload / self.upload_bandwidth[ids]
+        )
+
+    def eligibility_mask(
+        self, ids: np.ndarray, time_s: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """One eligibility roll per device at the (diurnal) rate for ``time_s``."""
+        return rng.random(len(ids)) < self.eligibility_rate_at(time_s)
+
+    def dropout_fractions(
+        self, ids: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-device dropout point in (0, 1), or NaN for completed runs."""
+        u = rng.random(len(ids))
+        frac = rng.uniform(0.05, 0.95, len(ids))
+        return np.where(u < self.config.dropout_rate, frac, np.nan)

@@ -347,7 +347,10 @@ class FederatedSimulation:
             self.sim.schedule(self.system.pump_interval_s, self._pump)
             return
 
-        profile = self.population.profile(device_id)
+        # checkout/release scope the profile object to the session: a no-op
+        # for the cached object population, the lazy-materialization path
+        # for the columnar fleet.
+        profile = self.population.checkout(device_id)
         participation = self._participation_count.get(device_id, 0)
         self._participation_count[device_id] = participation + 1
         self._active_devices.add(device_id)
@@ -370,6 +373,7 @@ class FederatedSimulation:
     def _session_ended(self, task_rt: FLTaskRuntime, session: ClientSession) -> None:
         self._active_devices.discard(session.device_id)
         self._last_participation_end[session.device_id] = self.sim.now
+        self.population.release(session.device_id)
         task_rt.session_ended(session)
 
     # -- control plane loops ------------------------------------------------------

@@ -318,3 +318,59 @@ class TestSerialization:
         assert spec.plane == PlaneSpec()
         assert spec.execution == ExecutionSpec()
         assert spec.system == ()
+
+
+class TestColumnarKnob:
+    def test_defaults_off_and_omitted_from_canonical_json(self):
+        spec = simple_spec()
+        assert spec.population.columnar is False
+        # Omitted when False so pre-existing sweep-cache fingerprints
+        # (which hash the canonical spec JSON) are unchanged.
+        assert "columnar" not in spec.to_dict()["population"]
+
+    def test_roundtrips_when_enabled(self):
+        spec = simple_spec(
+            population=PopulationSpec(n_devices=1000, seed=0, columnar=True)
+        )
+        doc = spec.to_dict()
+        assert doc["population"]["columnar"] is True
+        assert ScenarioSpec.from_dict(doc) == spec
+        assert ScenarioSpec.from_dict(json.loads(json.dumps(doc))) == spec
+
+    def test_override_path(self):
+        flipped = simple_spec().override("population.columnar", True)
+        assert flipped.population.columnar is True
+        assert simple_spec().population.columnar is False
+
+    def test_from_population_detects_representation(self):
+        from repro.sim.population import ColumnarDevicePopulation
+
+        cfg = PopulationConfig(n_devices=500)
+        assert PopulationSpec.from_population(
+            ColumnarDevicePopulation(cfg, seed=2)
+        ).columnar is True
+        assert PopulationSpec.from_population(
+            DevicePopulation(cfg, seed=2)
+        ).columnar is False
+
+    def test_build_population_switches_representation(self):
+        from repro.api.deployment import build_population
+        from repro.sim.population import ColumnarDevicePopulation
+
+        scalar = build_population(PopulationSpec(n_devices=500, seed=1))
+        assert type(scalar) is DevicePopulation
+        columnar = build_population(
+            PopulationSpec(n_devices=500, seed=1, columnar=True)
+        )
+        assert type(columnar) is ColumnarDevicePopulation
+        # Same distribution parameters flow into both representations.
+        assert columnar.config == scalar.config
+
+    def test_deployment_population_honours_knob(self):
+        from repro.api import Deployment
+        from repro.sim.population import ColumnarDevicePopulation
+
+        spec = simple_spec().override("population.columnar", True)
+        assert isinstance(
+            Deployment.from_spec(spec).population, ColumnarDevicePopulation
+        )

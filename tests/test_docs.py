@@ -1,0 +1,99 @@
+"""The docs tree stays truthful.
+
+Two mechanisms, both also run by the CI docs job:
+
+* ``tools/check_docs.py`` — ``docs/EXPERIMENTS.md`` is in lockstep with
+  the experiment registry (every registered experiment has a section
+  with the registry description verbatim and a CLI invocation, and no
+  section documents an unregistered experiment);
+* doctests — every ``pycon`` block in the README and ``docs/*.md`` is
+  an executable example, run here so the prose can't rot.
+"""
+
+import doctest
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def drifted_copy(tmp_path, mutate):
+    """A tmp repo root whose EXPERIMENTS.md is ``mutate``-d."""
+    text = (REPO_ROOT / "docs" / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src").mkdir()  # load_registry path insert; repro is cached
+    (tmp_path / "docs" / "EXPERIMENTS.md").write_text(
+        mutate(text), encoding="utf-8"
+    )
+    return tmp_path
+
+
+class TestRegistrySync:
+    def test_repo_docs_are_in_sync(self, check_docs):
+        problems = check_docs.find_drift(REPO_ROOT)
+        assert problems == [], "\n".join(problems)
+
+    def test_main_exit_status(self, check_docs):
+        assert check_docs.main(REPO_ROOT) == 0
+
+    def test_missing_section_detected(self, check_docs, tmp_path):
+        root = drifted_copy(
+            tmp_path, lambda t: t.replace("### `million`", "### drop")
+        )
+        problems = check_docs.find_drift(root)
+        assert any("'million'" in p and "no" in p for p in problems)
+
+    def test_unregistered_section_detected(self, check_docs, tmp_path):
+        root = drifted_copy(tmp_path, lambda t: t + "\n### `ghost`\n\nstuff\n")
+        problems = check_docs.find_drift(root)
+        assert any("'ghost'" in p for p in problems)
+
+    def test_description_drift_detected(self, check_docs, tmp_path):
+        root = drifted_copy(
+            tmp_path,
+            lambda t: t.replace("*columnar fleet 10k→1M devices", "*reworded"),
+        )
+        problems = check_docs.find_drift(root)
+        assert any("'million'" in p and "verbatim" in p for p in problems)
+
+    def test_missing_cli_invocation_detected(self, check_docs, tmp_path):
+        root = drifted_copy(
+            tmp_path,
+            lambda t: t.replace("python -m repro.harness fig2\n", ""),
+        )
+        problems = check_docs.find_drift(root)
+        assert any("'fig2'" in p and "fenced" in p for p in problems)
+
+    def test_missing_doc_file_detected(self, check_docs, tmp_path):
+        (tmp_path / "src").mkdir()
+        assert check_docs.find_drift(tmp_path) == [
+            "docs/EXPERIMENTS.md is missing"
+        ]
+        assert check_docs.main(tmp_path) == 1
+
+
+class TestDoctests:
+    def test_docs_exist(self):
+        names = {p.name for p in DOC_FILES}
+        assert {"README.md", "ARCHITECTURE.md", "EXPERIMENTS.md"} <= names
+
+    @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+    def test_doc_examples_run(self, path):
+        results = doctest.testfile(str(path), module_relative=False)
+        assert results.attempted > 0, f"{path.name} has no executable examples"
+        assert results.failed == 0

@@ -568,3 +568,28 @@ class TestSweepCell:
         assert cells[0].runner_module == "repro.harness.figures"
         bare = SweepCell("fig9", SMOKE, 0)
         assert cells[0].fingerprint == bare.fingerprint
+
+
+class TestListCommand:
+    def test_every_experiment_listed_with_description(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        listed = {ln.split()[0] for ln in lines}
+        assert listed == set(registry.names())
+        for spec in registry.specs():
+            assert spec.description, f"{spec.name} has no description"
+            line = next(ln for ln in lines if ln.split()[0] == spec.name)
+            assert spec.description in line
+
+    def test_flags_reflect_metadata(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for spec in registry.specs():
+            line = next(
+                ln for ln in out.splitlines() if ln.split() and
+                ln.split()[0] == spec.name
+            )
+            assert ("scale-free" in line) == (not spec.uses_scale)
+            assert ("deterministic" in line) == (not spec.uses_seed)
+            assert ("grid:" in line) == bool(spec.default_grid)

@@ -299,3 +299,122 @@ class TestDeferredQueue:
         q.discard(a)
         assert len(q) == 1
         assert q.drain(b) == [b]
+
+
+class TestCalendarQueue:
+    """Edge cases of the bucketed calendar queue behind the Simulator.
+
+    Exercised purely through the public API: far-future (overflow)
+    events, rebuild under load, horizon/bucket-boundary interplay, and
+    re-anchoring after long quiet stretches.
+    """
+
+    def test_far_future_events_order_correctly(self):
+        # Way beyond the initial 64 x 1s wheel: these live in overflow
+        # until a rebuild re-centres the wheel on them.
+        sim = Simulator()
+        fired = []
+        for t in (1e9, 5.0, 1e6, 0.5, 1e3):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run_until_idle()
+        assert fired == [0.5, 5.0, 1e3, 1e6, 1e9]
+
+    def test_interleaved_near_and_far_pushes(self):
+        # Events scheduled *while running*, repeatedly straddling the
+        # wheel horizon, still fire in global (time, seq) order.
+        sim = Simulator()
+        fired = []
+
+        def hop(n):
+            fired.append(sim.now)
+            if n < 40:
+                sim.schedule(0.1, lambda: hop(n + 1))       # in-wheel
+                sim.schedule(500.0 + n, lambda: fired.append(sim.now))
+
+        sim.schedule(0.0, lambda: hop(0))
+        sim.run_until_idle()
+        assert fired == sorted(fired)
+
+    def test_rebuild_under_load_keeps_exact_order(self):
+        # >8 entries/bucket forces a wheel rebuild mid-stream; the
+        # (time, seq) total order must survive redistribution, including
+        # the FIFO tie-break for duplicate timestamps.
+        import random
+
+        rng = random.Random(7)
+        sim = Simulator()
+        times = [round(rng.uniform(0.0, 300.0), 1) for _ in range(2000)]
+        fired = []
+        expected = []
+        for i, t in enumerate(times):
+            sim.schedule_at(t, lambda t=t, i=i: fired.append((t, i)))
+            expected.append((t, i))
+        sim.run_until_idle()
+        assert fired == sorted(expected)
+
+    def test_run_until_exactly_at_event_time_fires_it(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(60.0, lambda: fired.append("at"))
+        sim.schedule_at(60.0 + 1e-9, lambda: fired.append("after"))
+        sim.run_until(60.0)
+        assert fired == ["at"]          # horizon is inclusive
+        assert sim.pending == 1
+        sim.run_until_idle()
+        assert fired == ["at", "after"]
+
+    def test_horizon_stops_between_bucket_boundaries(self):
+        # Repeated short horizons that land mid-bucket and exactly on
+        # multiples of the tick never skip or re-fire events.
+        sim = Simulator()
+        fired = []
+        for k in range(1, 61):
+            sim.schedule_at(k * 10.0, lambda k=k: fired.append(k))
+        for horizon in (95.0, 100.0, 155.5, 600.0):
+            sim.run_until(horizon)
+            assert fired == list(range(1, int(horizon // 10) + 1))
+            assert sim.now == horizon
+
+    def test_reanchor_after_long_idle_gap(self):
+        # Drain the queue, then schedule years ahead: the empty-queue
+        # re-anchor keeps bucket indices small and the event fires.
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run_until_idle()
+        fired = []
+        sim.schedule_at(3.15e8, lambda: fired.append(sim.now))   # ~10 years
+        sim.schedule_at(3.15e8 + 1.0, lambda: fired.append(sim.now))
+        sim.run_until_idle()
+        assert fired == [3.15e8, 3.15e8 + 1.0]
+
+    def test_cancelled_overflow_entries_drain_cleanly(self):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule_at(1e6 + k, lambda: fired.append("x"))
+                   for k in range(10)]
+        keep = sim.schedule_at(2.0, lambda: fired.append("keep"))
+        for h in handles:
+            h.cancel()
+        assert keep is not None
+        sim.run_until_idle()
+        assert fired == ["keep"]
+        assert sim.pending == 0
+
+    def test_nonfinite_event_time_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_at(float("inf"), lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(float("nan"), lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_identical_timestamps_en_masse_stay_fifo(self):
+        # A degenerate span (every event at one instant) exercises the
+        # width fallback in the rebuild path.
+        sim = Simulator()
+        fired = []
+        for i in range(1000):
+            sim.schedule_at(42.0, lambda i=i: fired.append(i))
+        sim.run_until_idle()
+        assert fired == list(range(1000))

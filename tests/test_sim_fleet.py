@@ -1,0 +1,214 @@
+"""Tests for the batched million-client fleet driver.
+
+Pins the tick-batched dynamics over the columnar population: counter
+consistency, capacity (demand) enforcement, backoff of turned-away and
+ineligible arrivals, lazy profile materialization being released after
+session end, determinism, and re-entrant runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    BoundedMetricsTrace,
+    ColumnarDevicePopulation,
+    FleetConfig,
+    FleetSimulation,
+    MetricsTrace,
+    Outcome,
+    PopulationConfig,
+)
+
+
+def fleet(
+    n_devices=400,
+    seed=0,
+    mean_sleep_s=600.0,
+    demand=64,
+    tick_s=60.0,
+    eligibility_rate=0.8,
+    dropout_rate=0.1,
+    deep_trace_fraction=0.0,
+    trace=None,
+    **cfg_kwargs,
+):
+    pop = ColumnarDevicePopulation(
+        PopulationConfig(
+            n_devices=n_devices,
+            eligibility_rate=eligibility_rate,
+            dropout_rate=dropout_rate,
+            # Short sessions so plenty complete inside short horizons.
+            mean_examples=5.0,
+            median_sec_per_example=0.05,
+            max_examples=40,
+        ),
+        seed=seed,
+    )
+    config = FleetConfig(
+        tick_s=tick_s,
+        demand=demand,
+        mean_sleep_s=mean_sleep_s,
+        deep_trace_fraction=deep_trace_fraction,
+        **cfg_kwargs,
+    )
+    return FleetSimulation(pop, config, trace=trace, seed=seed)
+
+
+class TestFleetConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tick_s": 0.0},
+            {"demand": -1},
+            {"mean_sleep_s": 0.0},
+            {"backoff_s": 0.0},
+            {"epochs": 0},
+            {"deep_trace_fraction": 1.5},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FleetConfig(**kwargs)
+
+
+class TestDynamics:
+    def test_counters_are_consistent(self):
+        f = fleet()
+        f.run(3600.0)
+        assert f.sessions_started > 0
+        assert f.sessions_completed + f.in_flight == f.sessions_started
+        assert f.in_flight >= 0
+        # Every completed session logged exactly one participation.
+        assert f.trace.total_participations == f.sessions_completed
+        counts = f.trace.outcome_counts()
+        assert (
+            counts[Outcome.AGGREGATED] + counts[Outcome.FAILED]
+            == f.sessions_completed
+        )
+
+    def test_demand_caps_concurrency(self):
+        f = fleet(demand=8, mean_sleep_s=120.0)
+        f.run(3600.0)
+        assert f.trace.peak_active <= 8
+        assert f.turned_away > 0  # the cap actually bit
+
+    def test_zero_demand_tick_admits_nobody(self):
+        # Arrivals happen, everyone is turned away (or ineligible), and
+        # the turned-away devices come back: the tick loop never stalls.
+        f = fleet(demand=0)
+        f.run(3600.0)
+        assert f.sessions_started == 0
+        assert f.in_flight == 0
+        assert f.turned_away > 0
+        assert f.trace.total_participations == 0
+
+    def test_no_arrivals_before_horizon_is_a_quiet_run(self):
+        # Mean sleep far beyond the horizon: with overwhelming
+        # probability some tick buckets are empty, and often all of
+        # them — the driver must tolerate ticks with no arrivals.
+        f = fleet(n_devices=3, mean_sleep_s=1e9)
+        end = f.run(600.0)
+        assert end == 600.0
+        assert f.sessions_started == 0
+        assert f.trace.total_participations == 0
+
+    def test_single_client_fleet(self):
+        f = fleet(n_devices=1, mean_sleep_s=120.0, eligibility_rate=1.0)
+        f.run(4 * 3600.0)
+        assert f.sessions_completed > 0
+        assert f.trace.peak_active == 1  # can never overlap itself
+        recs = list(f.trace.participations)
+        assert {r.device_id for r in recs} == {0}
+
+    def test_ineligible_arrivals_backoff_and_retry(self):
+        f = fleet(eligibility_rate=0.2, mean_sleep_s=300.0)
+        f.run(3600.0)
+        assert f.ineligible > 0
+        # Backoff re-books them: far more check-in attempts than devices.
+        attempts = f.sessions_started + f.ineligible + f.turned_away
+        assert attempts > f.population.config.n_devices
+
+    def test_availability_column_tracks_sessions(self):
+        f = fleet(deep_trace_fraction=0.0)
+        f.run(1800.0)
+        # Devices in flight are marked unavailable, everyone else is back.
+        assert int(np.sum(~f.population.available)) == f.in_flight
+
+
+class TestLazyMaterialization:
+    def test_profiles_released_after_session_end(self):
+        f = fleet(deep_trace_fraction=1.0)
+        f.run(3600.0)
+        assert f.sessions_completed > 0
+        # Only still-running sessions may hold a pinned profile.
+        assert f.population.active_profiles == f.in_flight
+        assert f.population.active_profiles == len(f._checked_out)
+
+    def test_fully_drained_fleet_pins_nothing(self):
+        f = fleet(deep_trace_fraction=1.0, demand=4)
+        f.run(1800.0)
+        # Let every in-flight session finish (no new ticks are booked
+        # past the horizon, so the queue drains to completions only).
+        f.sim.run_until_idle()
+        assert f.in_flight == 0
+        assert f.population.active_profiles == 0
+
+
+class TestDeterminismAndResume:
+    def test_same_seed_same_run(self):
+        a, b = fleet(seed=3), fleet(seed=3)
+        a.run(3600.0)
+        b.run(3600.0)
+        assert a.sessions_started == b.sessions_started
+        assert a.sessions_completed == b.sessions_completed
+        assert a.turned_away == b.turned_away
+        assert a.ineligible == b.ineligible
+        assert a.trace.to_dict() == b.trace.to_dict()
+
+    def test_different_seed_differs(self):
+        a, b = fleet(seed=0), fleet(seed=1)
+        a.run(3600.0)
+        b.run(3600.0)
+        assert (
+            a.sessions_started != b.sessions_started
+            or a.trace.to_dict() != b.trace.to_dict()
+        )
+
+    def test_reentrant_run_resumes(self):
+        f = fleet()
+        f.run(1800.0)
+        started_then = f.sessions_started
+        completed_then = f.sessions_completed
+        end = f.run(3600.0)
+        assert end == 3600.0
+        assert f.sessions_started >= started_then
+        assert f.sessions_completed >= completed_then
+        assert f.sessions_completed + f.in_flight == f.sessions_started
+
+    def test_horizon_in_past_rejected(self):
+        f = fleet()
+        f.run(1200.0)
+        with pytest.raises(ValueError):
+            f.run(600.0)
+
+
+class TestTraceWiring:
+    def test_default_trace_is_bounded(self):
+        assert isinstance(fleet().trace, BoundedMetricsTrace)
+
+    def test_exact_trace_can_be_injected(self):
+        f = fleet(trace=MetricsTrace())
+        f.run(1800.0)
+        assert isinstance(f.trace, MetricsTrace)
+        assert len(f.trace.participations) == f.sessions_completed
+
+    def test_bounded_trace_caps_records_but_counts_all(self):
+        f = fleet(
+            n_devices=800,
+            mean_sleep_s=120.0,
+            trace=BoundedMetricsTrace(max_records=25, seed=0),
+        )
+        f.run(3600.0)
+        assert f.trace.total_participations == f.sessions_completed
+        assert f.trace.total_participations > 25
+        assert len(f.trace.participations) == 25

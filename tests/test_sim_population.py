@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.sim import DevicePopulation, NetworkModel, PopulationConfig
+from repro.sim import (
+    ColumnarDevicePopulation,
+    DevicePopulation,
+    NetworkModel,
+    PopulationConfig,
+)
 from repro.utils import child_rng
 
 
@@ -180,3 +185,144 @@ class TestNetworkModel:
             NetworkModel(rtt_s=-1)
         with pytest.raises(ValueError):
             NetworkModel(chunk_bytes=0)
+
+
+@pytest.fixture(scope="module")
+def cpop():
+    return ColumnarDevicePopulation(PopulationConfig(n_devices=5_000), seed=7)
+
+
+class TestColumnarColumns:
+    def test_deterministic_across_instances(self, cpop):
+        other = ColumnarDevicePopulation(PopulationConfig(n_devices=5_000), seed=7)
+        np.testing.assert_array_equal(cpop.sec_per_example, other.sec_per_example)
+        np.testing.assert_array_equal(cpop.n_examples, other.n_examples)
+        np.testing.assert_array_equal(cpop.payload_bytes, other.payload_bytes)
+        np.testing.assert_array_equal(cpop.speed_tier, other.speed_tier)
+
+    def test_seed_changes_columns(self, cpop):
+        other = ColumnarDevicePopulation(PopulationConfig(n_devices=5_000), seed=8)
+        assert not np.array_equal(cpop.sec_per_example, other.sec_per_example)
+
+    def test_multi_chunk_fleet_is_deterministic(self):
+        # A fleet spanning several vectorized chunks realizes each chunk
+        # from its own child stream: rebuilds reproduce exactly, and the
+        # second chunk is not a replay of the first.
+        n = ColumnarDevicePopulation.CHUNK + 1_000
+        a = ColumnarDevicePopulation(PopulationConfig(n_devices=n), seed=3)
+        b = ColumnarDevicePopulation(PopulationConfig(n_devices=n), seed=3)
+        np.testing.assert_array_equal(a.sec_per_example, b.sec_per_example)
+        assert not np.array_equal(
+            a.sec_per_example[a.CHUNK:], a.sec_per_example[:1_000]
+        )
+
+    def test_footprint_is_about_50_bytes_per_device(self, cpop):
+        n = cpop.config.n_devices
+        # f8 speed + i32 examples + f8 down + f8 up + i64 payload +
+        # u8 tier + f8 next_wake + bool available = 46 bytes/device.
+        assert cpop.columns_nbytes() == n * (8 + 4 + 8 + 8 + 8 + 1 + 8 + 1)
+
+    def test_speed_tiers_are_quartiles(self, cpop):
+        tiers, counts = np.unique(cpop.speed_tier, return_counts=True)
+        np.testing.assert_array_equal(tiers, [0, 1, 2, 3])
+        n = cpop.config.n_devices
+        assert counts.min() > 0.2 * n and counts.max() < 0.3 * n
+        # Banding is monotone in realized speed: every tier-3 device is
+        # slower than every tier-0 device.
+        sec = cpop.sec_per_example
+        assert sec[cpop.speed_tier == 3].min() >= sec[cpop.speed_tier == 0].max()
+
+    def test_distribution_matches_scalar_model(self):
+        # Different realization, same distributional formulas: medians
+        # and correlation sign line up with the object-per-device fleet.
+        cfg = PopulationConfig(n_devices=20_000)
+        cp = ColumnarDevicePopulation(cfg, seed=1)
+        assert np.median(cp.sec_per_example) == pytest.approx(
+            cfg.median_sec_per_example, rel=0.1
+        )
+        r = np.corrcoef(np.log(cp.sec_per_example), np.log(cp.n_examples))[0, 1]
+        assert r > 0.3  # slow devices hold more data
+
+    def test_invalid_payload_params_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnarDevicePopulation(payload_base_bytes=0)
+        with pytest.raises(ValueError):
+            ColumnarDevicePopulation(payload_sigma=-0.1)
+
+
+class TestColumnarProfiles:
+    def test_profile_matches_columns(self, cpop):
+        p = cpop.profile(123)
+        assert p.sec_per_example == cpop.sec_per_example[123]
+        assert p.n_examples == cpop.n_examples[123]
+        assert p.download_bandwidth == cpop.download_bandwidth[123]
+
+    def test_profile_is_transient(self, cpop):
+        assert cpop.profile(5) == cpop.profile(5)
+        assert cpop.profile(5) is not cpop.profile(5)
+        assert cpop.active_profiles == 0
+
+    def test_out_of_range_rejected(self, cpop):
+        with pytest.raises(ValueError):
+            cpop.profile(5_000)
+        with pytest.raises(ValueError):
+            cpop.profile(-1)
+
+    def test_checkout_pins_release_drops(self):
+        cp = ColumnarDevicePopulation(PopulationConfig(n_devices=100), seed=0)
+        pinned = cp.checkout(7)
+        assert cp.checkout(7) is pinned        # idempotent while active
+        assert cp.profile(7) is pinned         # profile() serves the pin
+        assert cp.active_profiles == 1
+        cp.release(7)
+        assert cp.active_profiles == 0
+        assert cp.profile(7) is not pinned     # transient again
+        cp.release(7)                          # double release is a no-op
+
+    def test_base_population_checkout_is_the_cache(self):
+        pop = DevicePopulation(PopulationConfig(n_devices=100), seed=0)
+        p = pop.checkout(3)
+        assert p is pop.profile(3)
+        pop.release(3)                         # no-op: cache keeps it
+        assert pop.profile(3) is p
+        assert pop.active_profiles == 1
+
+
+class TestColumnarBatchedSampling:
+    def test_execution_times_match_scalar_formula(self, cpop):
+        ids = np.array([0, 17, 999, 4_321])
+        batched = cpop.execution_times(ids, epochs=2)
+        expected = [
+            cpop.profile(int(i)).execution_time(cpop.config.overhead_s, epochs=2)
+            for i in ids
+        ]
+        np.testing.assert_allclose(batched, expected)
+
+    def test_transfer_times_match_profile_bandwidths(self, cpop):
+        ids = np.array([4, 8])
+        got = cpop.transfer_times(ids)
+        for k, i in enumerate(ids):
+            p = cpop.profile(int(i))
+            payload = cpop.payload_bytes[i]
+            expected = payload / p.download_bandwidth + payload / p.upload_bandwidth
+            assert got[k] == pytest.approx(expected)
+
+    def test_eligibility_mask_respects_rate(self):
+        cp = ColumnarDevicePopulation(
+            PopulationConfig(n_devices=100, eligibility_rate=1.0), seed=0
+        )
+        ids = np.arange(100)
+        assert cp.eligibility_mask(ids, 0.0, child_rng(0, "t")).all()
+
+    def test_dropout_fractions_nan_when_disabled(self):
+        cp = ColumnarDevicePopulation(
+            PopulationConfig(n_devices=50, dropout_rate=0.0), seed=0
+        )
+        fr = cp.dropout_fractions(np.arange(50), child_rng(0, "t"))
+        assert np.isnan(fr).all()
+
+    def test_dropout_fractions_in_range(self, cpop):
+        fr = cpop.dropout_fractions(np.arange(2_000), child_rng(1, "t"))
+        hit = fr[~np.isnan(fr)]
+        assert len(hit) > 0
+        assert ((hit >= 0.05) & (hit <= 0.95)).all()

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.sim import MetricsTrace, Outcome, ParticipationRecord, ServerStepRecord
+from repro.sim import (
+    BoundedMetricsTrace,
+    MetricsTrace,
+    Outcome,
+    ParticipationRecord,
+    ServerStepRecord,
+)
 
 
 def part(device=0, task="t", outcome=Outcome.AGGREGATED, n=10, exec_t=5.0, stal=0,
@@ -145,3 +151,114 @@ class TestExport:
         loaded = json.loads(path.read_text())
         assert len(loaded["participations"]) == 1
         assert len(loaded["server_steps"]) == 1
+
+
+class TestBoundedTraceValidation:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedMetricsTrace(max_records=0)
+        with pytest.raises(ValueError):
+            BoundedMetricsTrace(policy="fifo")
+        with pytest.raises(ValueError):
+            BoundedMetricsTrace(active_bin_s=0.0)
+
+
+class TestBoundedTraceSampling:
+    def test_under_capacity_keeps_everything(self):
+        tr = BoundedMetricsTrace(max_records=100)
+        for i in range(40):
+            tr.record_participation(part(device=i))
+        assert [r.device_id for r in tr.participations] == list(range(40))
+        assert tr.total_participations == 40
+
+    def test_reservoir_is_bounded_and_uniformish(self):
+        tr = BoundedMetricsTrace(max_records=50, policy="reservoir", seed=0)
+        for i in range(5_000):
+            tr.record_participation(part(device=i))
+        assert len(tr.participations) == 50
+        assert tr.total_participations == 5_000
+        # A uniform sample over the whole run, not just its head/tail.
+        kept = sorted(r.device_id for r in tr.participations)
+        assert kept[0] < 1_000 and kept[-1] >= 4_000
+
+    def test_reservoir_is_deterministic(self):
+        def run(seed):
+            tr = BoundedMetricsTrace(max_records=20, seed=seed)
+            for i in range(1_000):
+                tr.record_participation(part(device=i))
+            return [r.device_id for r in tr.participations]
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+    def test_ring_keeps_most_recent(self):
+        tr = BoundedMetricsTrace(max_records=10, policy="ring")
+        for i in range(100):
+            tr.record_participation(part(device=i))
+        assert [r.device_id for r in tr.participations] == list(range(90, 100))
+        assert tr.total_participations == 100
+
+    def test_exact_tallies_survive_sampling(self):
+        tr = BoundedMetricsTrace(max_records=5, seed=1)
+        for i in range(300):
+            out = Outcome.FAILED if i % 3 == 0 else Outcome.AGGREGATED
+            tr.record_participation(part(device=i, outcome=out))
+            tr.record_upload(10)
+        counts = tr.outcome_counts()
+        assert counts[Outcome.FAILED] == 100
+        assert counts[Outcome.AGGREGATED] == 200
+        assert tr.uploads == 300 and tr.upload_bytes == 3_000
+
+    def test_memory_estimate_is_bounded(self):
+        tr = BoundedMetricsTrace(max_records=100, active_bin_s=60.0)
+        for i in range(10_000):
+            tr.record_participation(part(device=i))
+            tr.record_active_delta(float(i % 600), +1)
+        # Bins cover a fixed 600 s window; records cap at 100.
+        assert tr.approx_bytes() < 100 * 200 + 600 * 100 + 1
+
+
+class TestBoundedActiveSeries:
+    def test_binned_series_cumulates(self):
+        tr = BoundedMetricsTrace(active_bin_s=60.0)
+        tr.record_active_delta(10.0, +1)    # bin 0
+        tr.record_active_delta(30.0, +1)    # bin 0
+        tr.record_active_delta(70.0, -1)    # bin 1
+        times, counts = tr.active_series()
+        np.testing.assert_array_equal(times, [0.0, 60.0])
+        np.testing.assert_array_equal(counts, [2, 1])
+
+    def test_peak_active_is_exact_within_bins(self):
+        tr = BoundedMetricsTrace(active_bin_s=3600.0)
+        for _ in range(7):
+            tr.record_active_delta(5.0, +1)
+        for _ in range(7):
+            tr.record_active_delta(6.0, -1)
+        # The bin nets to zero but the true peak was seen.
+        assert tr.peak_active == 7
+        _, counts = tr.active_series()
+        assert counts[-1] == 0
+
+    def test_empty_series(self):
+        times, counts = BoundedMetricsTrace().active_series()
+        assert counts[0] == 0
+
+
+class TestBoundedExport:
+    def test_to_dict_flags_sampling(self):
+        tr = BoundedMetricsTrace(max_records=2, policy="ring")
+        for i in range(5):
+            tr.record_participation(part(device=i, outcome=Outcome.FAILED))
+        d = tr.to_dict()
+        assert d["trace_policy"] == "ring"
+        assert d["max_records"] == 2
+        assert d["total_participations"] == 5
+        assert d["outcome_totals"]["failed"] == 5
+        assert len(d["participations"]) == 2
+
+    def test_server_steps_stay_exact(self):
+        tr = BoundedMetricsTrace(max_records=1)
+        for v in range(10):
+            tr.record_server_step(step(time=float(v), version=v))
+        assert len(tr.server_steps) == 10
+        assert tr.step_counts["t"] == 10

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Keep ``docs/EXPERIMENTS.md`` in lockstep with the experiment registry.
+
+The experiment catalogue is documentation *about* the registry
+(``repro.harness.registry``), so it can drift: an experiment gets
+registered without a docs section, a section outlives its experiment,
+or a registry description is reworded without updating the page.  This
+check makes each of those a CI failure:
+
+* every registered experiment has a ``### `name` `` section, and every
+  section names a registered experiment (set equality, both directions);
+* each section quotes the registry description **verbatim** (the line
+  ``*<description>*`` right under the heading);
+* each section contains a fenced code block with the experiment's CLI
+  invocation (``python -m repro.harness <name>``).
+
+Run from the repository root (CI does, in the docs job)::
+
+    python tools/check_docs.py
+
+Exit status 0 when in sync; 1 with one diagnostic per drift otherwise.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+DOC_FILE = "docs/EXPERIMENTS.md"
+
+#: a catalogue section heading: ### `name`
+HEADING = re.compile(r"^### `([a-z0-9_]+)`\s*$", re.MULTILINE)
+
+
+def load_registry(root: pathlib.Path):
+    """Import the populated registry from the repo's ``src/`` tree."""
+    sys.path.insert(0, str(root / "src"))
+    # Importing the runner modules executes their register() calls.
+    from repro.harness import figures, perf, scenario  # noqa: F401
+    from repro.harness import registry
+
+    return registry
+
+
+def split_sections(text: str) -> dict[str, str]:
+    """Map each ``### `name` `` heading to its section body."""
+    matches = list(HEADING.finditer(text))
+    sections: dict[str, str] = {}
+    for i, match in enumerate(matches):
+        end = matches[i + 1].start() if i + 1 < len(matches) else len(text)
+        sections[match.group(1)] = text[match.end():end]
+    return sections
+
+
+def find_drift(root: pathlib.Path) -> list[str]:
+    """Every way the catalogue disagrees with the registry."""
+    registry = load_registry(root)
+    doc_path = root / DOC_FILE
+    if not doc_path.is_file():
+        return [f"{DOC_FILE} is missing"]
+    sections = split_sections(doc_path.read_text(encoding="utf-8"))
+
+    registered = set(registry.names())
+    documented = set(sections)
+    problems = []
+    for name in sorted(registered - documented):
+        problems.append(
+            f"{DOC_FILE}: registered experiment {name!r} has no"
+            " ### `" + name + "` section"
+        )
+    for name in sorted(documented - registered):
+        problems.append(
+            f"{DOC_FILE}: section {name!r} does not match any registered"
+            " experiment"
+        )
+
+    for name in sorted(registered & documented):
+        body = sections[name]
+        description = registry.get(name).description
+        if f"*{description}*" not in body:
+            problems.append(
+                f"{DOC_FILE}: section {name!r} must quote the registry"
+                f" description verbatim: *{description}*"
+            )
+        invocation = f"python -m repro.harness {name}"
+        if "```" not in body or invocation not in body:
+            problems.append(
+                f"{DOC_FILE}: section {name!r} needs a fenced code block"
+                f" containing `{invocation}`"
+            )
+    return problems
+
+
+def main(root: str | pathlib.Path = ".") -> int:
+    problems = find_drift(pathlib.Path(root))
+    if not problems:
+        return 0
+    print(f"{DOC_FILE} is out of sync with the experiment registry:\n",
+          file=sys.stderr)
+    for problem in problems:
+        print(f"  {problem}", file=sys.stderr)
+    print(
+        "\nRe-sync the catalogue: one ### `name` section per registered"
+        " experiment, the registry description verbatim as *italics*, and"
+        " a fenced CLI invocation. The registry metadata lives next to"
+        " each register() call in repro/harness/{figures,perf,scenario}.py.",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
