@@ -13,6 +13,15 @@ shared CI runners are noisy and the lane model charges *measured* fold
 costs, so the benchmark must fail only on real regressions.  The
 measured curve lands in ``extra_info`` so the artifact tracks the true
 trajectory per run.
+
+The process-executor arm (real worker processes over shared memory)
+adds two contractual checks: its final state must be *bit-identical* to
+the inline sharded plane at every point and on every runner, and its
+*measured* wall-clock speedup must clear 1.8x at S=4 on the large
+population — but only when the runner actually exposes ≥ 4 cores
+(``ShardsResult.cpu_count``); on smaller runners the measured curve is
+physically capped near 1x and only the bit-identity contract is
+enforced, with the measured numbers still recorded in ``extra_info``.
 """
 
 from repro.harness import perf  # noqa: F401  (registers the shards experiment)
@@ -29,9 +38,18 @@ class TestShardedPlane:
                 f"S={point.num_shards}, pop={point.population}: divergence "
                 f"{point.max_divergence:.2e} or step-structure mismatch"
             )
+            assert point.process_identical, (
+                f"S={point.num_shards}, pop={point.population}: process "
+                "executor diverged from the inline sharded plane"
+            )
             key = f"s{point.num_shards}_pop{point.population}"
             benchmark.extra_info[f"speedup_{key}"] = round(point.speedup, 3)
+            benchmark.extra_info[f"measured_{key}"] = round(
+                point.measured_speedup, 3
+            )
+            benchmark.extra_info[f"gap_{key}"] = round(point.speedup_gap, 3)
             benchmark.extra_info[f"skew_{key}"] = round(point.load_skew, 3)
+        benchmark.extra_info["cpu_count"] = res.cpu_count
 
         # One shard is the single plane plus lane bookkeeping: it must
         # not cost a meaningful constant factor.
@@ -45,6 +63,16 @@ class TestShardedPlane:
         # Hash routing over a large population balances the shards:
         # lifetime folds stay near the ideal even share.
         assert by_point[(8, large_pop)].load_skew <= 1.8
+
+        # Measured multi-core acceptance: only meaningful where the
+        # hardware can parallelize (a 1-core runner caps measured near
+        # 1x no matter how good the executor is).
+        if res.cpu_count >= 4:
+            assert by_point[(4, large_pop)].measured_speedup >= 1.8, (
+                f"measured speedup "
+                f"{by_point[(4, large_pop)].measured_speedup:.2f}x at S=4 "
+                f"on a {res.cpu_count}-core runner (floor 1.8x)"
+            )
 
         best = max(p.speedup for p in res.points if p.num_shards >= 4)
         benchmark.extra_info["best_speedup_s4plus"] = round(best, 3)

@@ -303,11 +303,19 @@ class PlaneSpec:
     ``"secure"`` — FedBuff through Asynchronous SecAgg (all tasks).
     Any other name must be a custom plane registered in
     :mod:`repro.system.planes`; it is pinned for every task.
+
+    ``executor`` picks where the sharded plane's fold work runs:
+    ``"inline"`` (default — folds on the simulation thread, speedup
+    modeled by the plane clock) or ``"process"`` (folds on real
+    ``multiprocessing`` shard workers over shared memory, bit-identical
+    to inline; see :mod:`repro.core.parallel`).  Only the sharded plane
+    takes a non-default executor.
     """
 
     name: str = "single"
     num_shards: int = 1
     shard_routing: str = "hash"
+    executor: str = "inline"
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -325,18 +333,35 @@ class PlaneSpec:
                 "sharded does not compose: the TSA releases one unmask "
                 "vector per buffer",
             )
+        if self.executor not in ("inline", "process"):
+            raise SpecError(
+                "plane.executor", "must be 'inline' or 'process'"
+            )
+        if self.executor != "inline" and self.name != "sharded":
+            raise SpecError(
+                "plane.executor",
+                f"the {self.name!r} plane has no worker backend — only "
+                "plane.name='sharded' takes executor='process'",
+            )
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "name": self.name,
             "num_shards": self.num_shards,
             "shard_routing": self.shard_routing,
         }
+        # Omitted when default so canonical JSON — and therefore every
+        # existing sweep-cache fingerprint — is unchanged.
+        if self.executor != "inline":
+            doc["executor"] = self.executor
+        return doc
 
     @classmethod
     def from_dict(cls, data: Any) -> "PlaneSpec":
         data = _expect_mapping(data, "plane")
-        _check_keys(data, ("name", "num_shards", "shard_routing"), "plane")
+        _check_keys(
+            data, ("name", "num_shards", "shard_routing", "executor"), "plane"
+        )
         return cls(**data)
 
 
@@ -413,7 +438,11 @@ def _apply_override(doc: dict, path: str, value: Any) -> None:
             raise SpecError(path, f"unknown TaskSpec field {task_field!r}")
         return
     if head in ("plane", "execution"):
-        if rest not in doc[head]:
+        # Check field names, not doc keys: fields omitted from to_dict()
+        # when at their default (e.g. plane.executor) are still
+        # overridable.
+        cls = PlaneSpec if head == "plane" else ExecutionSpec
+        if rest not in {f.name for f in dataclasses.fields(cls)}:
             raise SpecError(path, f"unknown {head} field {rest!r}")
         doc[head][rest] = value
         return
@@ -430,7 +459,7 @@ def _apply_override(doc: dict, path: str, value: Any) -> None:
 _SYSTEM_FIELDS = tuple(f.name for f in dataclasses.fields(SystemConfig))
 #: SystemConfig fields owned by PlaneSpec — setting them via ``system``
 #: would silently fight the plane section, so they are rejected by name.
-_PLANE_OWNED = ("num_shards", "shard_routing", "plane")
+_PLANE_OWNED = ("num_shards", "shard_routing", "shard_executor", "plane")
 
 
 @dataclass(frozen=True)
@@ -505,7 +534,10 @@ class ScenarioSpec:
                     "count); aggregation-plane shards are plane.num_shards",
                 )
             if key in _PLANE_OWNED:
-                target = "plane.name" if key == "plane" else f"plane.{key}"
+                target = {
+                    "plane": "plane.name",
+                    "shard_executor": "plane.executor",
+                }.get(key, f"plane.{key}")
                 raise SpecError(
                     f"system.{key}", f"owned by the plane section; set {target}"
                 )
@@ -530,6 +562,7 @@ class ScenarioSpec:
         if self.plane.name == "sharded":
             kwargs["num_shards"] = self.plane.num_shards
             kwargs["shard_routing"] = self.plane.shard_routing
+            kwargs["shard_executor"] = self.plane.executor
         elif self.plane.name not in BUILTIN_PLANES:
             kwargs["plane"] = self.plane.name
         return SystemConfig(**kwargs)

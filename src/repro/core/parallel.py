@@ -1,0 +1,710 @@
+"""Real multi-core sharded aggregation — shared-memory lane workers.
+
+PR-4's sharded plane parallelism is *modeled*: a single thread folds
+every shard partial and :class:`~repro.core.sharding.AggregationPlaneClock`
+charges the measured costs to virtual lanes.  This module makes the
+parallelism real while keeping the numbers bit-identical:
+
+* :class:`ShardWorkerPool` runs one ``multiprocessing`` worker process
+  per shard.  Delta blocks travel through two
+  ``multiprocessing.shared_memory`` slabs — a float32 *input slab* of
+  reusable slots the parent writes arrivals into, and a float64
+  *partials slab* with exactly one row per shard, written **only** by
+  that shard's worker (single-writer discipline; the parent only reads
+  it at merge time).  Task messages carry slot indices and weights, so
+  no update payload is ever pickled.
+* :class:`ProcessShardedFedBuffAggregator` overrides the
+  ``_fold_one`` / ``_fold_group`` / ``_merge_shards`` seam of
+  :class:`~repro.core.sharding.ShardedFedBuffAggregator`: folds are
+  dispatched asynchronously to the shard's worker, and the root reducer
+  barriers on the acks, then merges the shard partials in ascending
+  shard order.
+
+Determinism contract
+--------------------
+The worker executes the *identical* float operation sequence as the
+in-process shard core — scalar ``partial += w * delta.astype(float64)``,
+grouped ``partial += weights @ deltas.astype(float64)`` on arrays of the
+same dtype, shape, and layout, accumulated in per-shard arrival order
+from a zeroed partial — and the root merge is the same
+ascending-shard-order ``np.add.reduce``.  The process-executor plane is
+therefore **bit-identical** to the in-process plane (pinned by
+``tests/test_sharded_equivalence.py``), which in turn carries the PR-4
+contract against the single aggregator.
+
+Worker lifecycle
+----------------
+Workers are spawned at pool construction (``fork``/``spawn``/
+``forkserver`` via ``start_method``), torn down by :meth:`close` (also
+registered as a GC finalizer so interrupted runs don't leak processes).
+A worker that dies — or an exhausted input slab — triggers a permanent
+fallback to the inline executor: the parent replays the current epoch's
+dispatch log against the still-live input slab with the same fold
+kernel, reconstructing every shard partial bit-identically, and surfaces
+a structured ``executor_fallback`` event (``on_event`` callback; the
+system layer wires it into the run's :class:`EventLog`).  Mirroring the
+sweep executor in ``repro.harness.sweep``, a failed worker therefore
+costs a log line and the lost parallelism, never the result.
+
+A pluggable fold kernel rides the same seam: :func:`register_fold_kernel`
+names the function each worker applies per task (numpy default); custom
+kernels register at import time of ``kernel_module``, the same
+re-import-by-module-name convention ``SweepCell.runner_module`` uses for
+spawn-started pool workers.
+"""
+
+from __future__ import annotations
+
+import importlib
+import logging
+import multiprocessing
+import queue as queue_mod
+import time
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.sharding import ShardedFedBuffAggregator
+
+__all__ = [
+    "WorkerPoolError",
+    "ShardWorkerPool",
+    "ProcessShardedFedBuffAggregator",
+    "register_fold_kernel",
+    "get_fold_kernel",
+    "fold_kernel_names",
+    "numpy_fold_kernel",
+]
+
+_LOG = logging.getLogger("repro.core.parallel")
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker died, timed out, or the pool can't accept more work."""
+
+
+# -- fold-kernel registry ------------------------------------------------------
+
+_FOLD_KERNELS: dict[str, object] = {}
+
+
+def register_fold_kernel(name: str, kernel, *, replace: bool = False) -> None:
+    """Register a fold kernel under ``name``.
+
+    A kernel is ``kernel(partial, inputs, slots, weights, grouped)``:
+    fold the float32 ``inputs`` rows named by ``slots``, scaled by
+    ``weights``, into the float64 ``partial`` row in place.  Workers
+    resolve kernels by name at startup, so custom kernels must be
+    registered at import time of a module named via the pool's
+    ``kernel_module`` (the sweep executor's ``runner_module`` convention
+    — required for ``spawn``-started workers, which re-import rather
+    than inherit).
+    """
+    if not replace and name in _FOLD_KERNELS:
+        raise ValueError(f"fold kernel {name!r} is already registered")
+    _FOLD_KERNELS[name] = kernel
+
+
+def get_fold_kernel(name: str):
+    """Look up a registered fold kernel (raises ``ValueError`` if unknown)."""
+    try:
+        return _FOLD_KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fold kernel {name!r} (registered: {fold_kernel_names()})"
+        ) from None
+
+
+def fold_kernel_names() -> list[str]:
+    """Sorted names of every registered fold kernel."""
+    return sorted(_FOLD_KERNELS)
+
+
+def numpy_fold_kernel(partial, inputs, slots, weights, grouped) -> None:
+    """Default kernel: op-for-op the in-process shard fold.
+
+    Scalar path is the single core's AXPY
+    (``partial += w * delta.astype(float64)``); grouped path is the
+    block path's GEMV (``partial += weights @ deltas.astype(float64)``)
+    over a C-contiguous float32 block, exactly like
+    ``np.stack`` produces in-process — same dtypes, same layout, same
+    BLAS call, hence bit-identical accumulation.
+    """
+    if grouped:
+        w = np.asarray(weights, dtype=np.float64)
+        deltas = inputs[list(slots)].astype(np.float64)
+        partial += w @ deltas
+    else:
+        partial += weights[0] * inputs[slots[0]].astype(np.float64)
+
+
+register_fold_kernel("numpy", numpy_fold_kernel)
+
+
+# -- worker process ------------------------------------------------------------
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without registering it with a resource tracker.
+
+    Attaching registers the segment again (bpo-39959), which either
+    double-unlinks it at worker exit (spawn: the worker has its own
+    tracker) or erases the parent's registration (fork: the tracker is
+    shared).  The parent owns segment lifecycle, so workers attach with
+    registration suppressed.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _worker_main(
+    shard_id: int,
+    input_name: str,
+    partials_name: str,
+    num_shards: int,
+    vector_length: int,
+    slots: int,
+    kernel_name: str,
+    kernel_module: str | None,
+    task_queue,
+    ack_queue,
+) -> None:
+    """One shard lane: apply fold/reset tasks to this shard's partial row.
+
+    Runs in a child process.  The loop body is deliberately thin — all
+    float math lives in the registered kernel, which the equivalence
+    suite also drives in-process.
+    """
+    if kernel_module:
+        importlib.import_module(kernel_module)
+    kernel = get_fold_kernel(kernel_name)
+    input_shm = _attach_untracked(input_name)
+    partials_shm = _attach_untracked(partials_name)
+    inputs = np.ndarray(
+        (slots, vector_length), dtype=np.float32, buffer=input_shm.buf
+    )
+    partials = np.ndarray(
+        (num_shards, vector_length), dtype=np.float64, buffer=partials_shm.buf
+    )
+    partial = partials[shard_id]  # the one row this process may write
+    try:
+        while True:
+            msg = task_queue.get()
+            if msg is None:
+                break
+            if msg[0] == "fold":
+                _, task_slots, weights, grouped, token = msg
+                kernel(partial, inputs, task_slots, weights, grouped)
+            else:  # "reset"
+                token = msg[1]
+                partial[:] = 0.0
+            ack_queue.put((shard_id, token))
+    finally:
+        del inputs, partials, partial
+        input_shm.close()
+        partials_shm.close()
+
+
+# -- pool ----------------------------------------------------------------------
+
+
+def _default_on_event(kind: str, fields: dict) -> None:
+    _LOG.warning(
+        "%s %s", kind, " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+    )
+
+
+def _cleanup(procs, task_queues, ack_queue, shms) -> None:
+    """Idempotent teardown shared by close() and the GC finalizer."""
+    for q in task_queues:
+        try:
+            q.put_nowait(None)
+        except Exception:
+            pass
+    for p in procs:
+        p.join(timeout=2.0)
+    for p in procs:
+        if p.is_alive():  # pragma: no cover - stuck worker safety net
+            p.terminate()
+            p.join(timeout=2.0)
+    for q in [*task_queues, ack_queue]:
+        try:
+            q.close()
+            q.cancel_join_thread()
+        except Exception:
+            pass
+    for shm in shms:
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+
+
+class ShardWorkerPool:
+    """One worker process per shard + the shared-memory slabs they fold on.
+
+    Parameters
+    ----------
+    num_shards, vector_length:
+        Shape of the partials slab (one float64 row per shard).
+    slots:
+        Input-slab capacity in arrivals.  Slots are held for the whole
+        buffer epoch (so a fallback can replay the epoch from the slab)
+        and all freed at the merge barrier; size it at ~2x the
+        aggregation goal to ride out shard-failover refills.
+    fold_kernel, kernel_module:
+        Registered kernel name workers apply per task, and an optional
+        module to import in the worker before resolving it.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default).
+    on_event:
+        ``callback(kind, fields)`` for structured lifecycle events
+        (defaults to a ``repro.core.parallel`` warning log line).
+    ack_timeout_s:
+        Barrier patience before the pool is declared wedged.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        vector_length: int,
+        slots: int,
+        *,
+        fold_kernel: str = "numpy",
+        kernel_module: str | None = None,
+        start_method: str | None = None,
+        on_event=None,
+        ack_timeout_s: float = 60.0,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if vector_length < 1:
+            raise ValueError("vector_length must be at least 1")
+        if slots < 1:
+            raise ValueError("slots must be at least 1")
+        if kernel_module:
+            importlib.import_module(kernel_module)
+        self._kernel = get_fold_kernel(fold_kernel)  # validates the name
+        self.num_shards = num_shards
+        self.vector_length = vector_length
+        self.slots = slots
+        self.fold_kernel = fold_kernel
+        self.start_method = start_method
+        self.on_event = on_event or _default_on_event
+        self.ack_timeout_s = ack_timeout_s
+        self.healthy = True
+
+        ctx = multiprocessing.get_context(start_method)
+        self._input_shm = shared_memory.SharedMemory(
+            create=True, size=slots * vector_length * 4
+        )
+        self._partials_shm = shared_memory.SharedMemory(
+            create=True, size=num_shards * vector_length * 8
+        )
+        self.inputs = np.ndarray(
+            (slots, vector_length), dtype=np.float32, buffer=self._input_shm.buf
+        )
+        self._partials = np.ndarray(
+            (num_shards, vector_length),
+            dtype=np.float64,
+            buffer=self._partials_shm.buf,
+        )
+        self._partials[:] = 0.0  # workers are not running yet
+        self._task_queues = [ctx.Queue() for _ in range(num_shards)]
+        self._ack_queue = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    sid,
+                    self._input_shm.name,
+                    self._partials_shm.name,
+                    num_shards,
+                    vector_length,
+                    slots,
+                    fold_kernel,
+                    kernel_module,
+                    self._task_queues[sid],
+                    self._ack_queue,
+                ),
+                daemon=True,
+                name=f"shard-worker-{sid}",
+            )
+            for sid in range(num_shards)
+        ]
+        for p in self._procs:
+            p.start()
+
+        self._free_slots = list(range(slots - 1, -1, -1))
+        self._epoch_slots: list[int] = []
+        self._outstanding: dict[int, int] = {}  # token -> shard id
+        self._next_token = 0
+        # Per-epoch dispatch log: (shard, slots, weights, grouped) in
+        # dispatch order — the inline-replay script for fallback.
+        self._log: list[tuple[int, tuple[int, ...], tuple[float, ...], bool]] = []
+        self._finalizer = weakref.finalize(
+            self,
+            _cleanup,
+            self._procs,
+            self._task_queues,
+            self._ack_queue,
+            [self._input_shm, self._partials_shm],
+        )
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _take_slot(self) -> int:
+        if not self._free_slots:
+            self.healthy = False
+            raise WorkerPoolError(
+                f"input slab exhausted ({self.slots} slots in flight; "
+                "shard failover churned more arrivals than one epoch holds)"
+            )
+        slot = self._free_slots.pop()
+        self._epoch_slots.append(slot)
+        return slot
+
+    def _dispatch(
+        self,
+        shard_id: int,
+        task_slots: tuple[int, ...],
+        weights: tuple[float, ...],
+        grouped: bool,
+    ) -> None:
+        token = self._next_token
+        self._next_token += 1
+        self._outstanding[token] = shard_id
+        self._log.append((shard_id, task_slots, weights, grouped))
+        self._task_queues[shard_id].put(
+            ("fold", task_slots, weights, grouped, token)
+        )
+
+    def fold_scalar(self, shard_id: int, delta: np.ndarray, weight: float) -> None:
+        """Asynchronously fold one arrival into ``shard_id``'s partial."""
+        slot = self._take_slot()
+        self.inputs[slot, :] = delta
+        self._dispatch(shard_id, (slot,), (float(weight),), False)
+
+    def fold_group(self, shard_id: int, deltas, weights) -> None:
+        """Asynchronously fold a grouped block into ``shard_id``'s partial."""
+        task_slots = tuple(self._take_slot() for _ in deltas)
+        for slot, delta in zip(task_slots, deltas):
+            self.inputs[slot, :] = delta
+        self._dispatch(
+            shard_id, task_slots, tuple(float(w) for w in weights), True
+        )
+
+    # -- synchronization -------------------------------------------------------
+
+    def dead_workers(self) -> list[int]:
+        """Shard ids whose worker process is no longer alive."""
+        return [sid for sid, p in enumerate(self._procs) if not p.is_alive()]
+
+    def barrier(self) -> None:
+        """Wait until every dispatched task has been acked.
+
+        Raises :class:`WorkerPoolError` (and marks the pool unhealthy)
+        if a worker dies or the acks stall past ``ack_timeout_s``.
+        """
+        deadline = time.monotonic() + self.ack_timeout_s
+        while self._outstanding:
+            try:
+                _, token = self._ack_queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                dead = self.dead_workers()
+                if dead:
+                    self.healthy = False
+                    raise WorkerPoolError(
+                        f"shard worker(s) {dead} died with "
+                        f"{len(self._outstanding)} task(s) outstanding"
+                    ) from None
+                if time.monotonic() > deadline:
+                    self.healthy = False
+                    raise WorkerPoolError(
+                        f"timed out after {self.ack_timeout_s}s waiting for "
+                        f"{len(self._outstanding)} worker ack(s)"
+                    ) from None
+            else:
+                self._outstanding.pop(token, None)
+
+    def partial(self, shard_id: int) -> np.ndarray:
+        """Read-only view of one shard's float64 partial row.
+
+        Only meaningful after :meth:`barrier`; the parent must never
+        write through it (single-writer discipline).
+        """
+        return self._partials[shard_id]
+
+    # -- epoch lifecycle -------------------------------------------------------
+
+    def reset_epoch(self) -> None:
+        """After a merged server step: zero every partial, free all slots."""
+        for shard_id in range(self.num_shards):
+            token = self._next_token
+            self._next_token += 1
+            self._outstanding[token] = shard_id
+            self._task_queues[shard_id].put(("reset", token))
+        self._free_slots.extend(self._epoch_slots)
+        self._epoch_slots.clear()
+        self._log.clear()
+
+    def discard_shard(self, shard_id: int) -> None:
+        """Shard failover: drop its epoch tasks and zero its partial."""
+        self._log = [t for t in self._log if t[0] != shard_id]
+        token = self._next_token
+        self._next_token += 1
+        self._outstanding[token] = shard_id
+        self._task_queues[shard_id].put(("reset", token))
+
+    def replay_partials(self) -> dict[int, np.ndarray]:
+        """Recompute every shard partial inline from the dispatch log.
+
+        The log preserves per-shard dispatch (= arrival) order and every
+        epoch slot is still live in the input slab, so applying the same
+        kernel from a zeroed buffer reproduces each worker's fold
+        sequence bit-for-bit — this is the dead-worker fallback path.
+        """
+        out: dict[int, np.ndarray] = {}
+        for shard_id, task_slots, weights, grouped in self._log:
+            buf = out.get(shard_id)
+            if buf is None:
+                buf = out[shard_id] = np.zeros(
+                    self.vector_length, dtype=np.float64
+                )
+            self._kernel(buf, self.inputs, task_slots, weights, grouped)
+        return out
+
+    # -- teardown --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and release both slabs (idempotent)."""
+        if self._finalizer.alive:
+            self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else ("ok" if self.healthy else "unhealthy")
+        return (
+            f"ShardWorkerPool(shards={self.num_shards}, "
+            f"vector_length={self.vector_length}, slots={self.slots}, "
+            f"kernel={self.fold_kernel!r}, {state})"
+        )
+
+
+# -- process-executor aggregator -----------------------------------------------
+
+
+class ProcessShardedFedBuffAggregator(ShardedFedBuffAggregator):
+    """Sharded FedBuff whose shard cores run on real worker processes.
+
+    Admission, staleness, weighting, routing, failover, and step
+    triggering are the inherited in-process code paths; only the three
+    numeric seams differ — folds are dispatched to the shard's worker,
+    and the root merge barriers on the acks before reducing the
+    shared-memory partials in ascending shard order.  Bit-identical to
+    the in-process plane by the module's determinism contract.
+
+    Parameters beyond :class:`ShardedFedBuffAggregator`'s:
+
+    pool:
+        A pre-built :class:`ShardWorkerPool` to fold on (shared across
+        drives, e.g. by the perf harness).  When ``None`` the aggregator
+        spawns and owns one sized at ``2 * goal`` slots.
+    start_method, fold_kernel, kernel_module:
+        Forwarded to the owned pool (ignored when ``pool`` is given).
+    on_event:
+        Structured lifecycle callback (see :class:`ShardWorkerPool`).
+    """
+
+    def __init__(
+        self,
+        state,
+        goal: int,
+        *,
+        num_shards: int = 1,
+        routing="hash",
+        pool: ShardWorkerPool | None = None,
+        start_method: str | None = None,
+        fold_kernel: str = "numpy",
+        kernel_module: str | None = None,
+        on_event=None,
+        **kwargs,
+    ):
+        super().__init__(
+            state, goal, num_shards=num_shards, routing=routing, **kwargs
+        )
+        self._on_event = on_event or _default_on_event
+        if pool is None:
+            pool = ShardWorkerPool(
+                num_shards=num_shards,
+                vector_length=int(state.size),
+                slots=2 * goal,
+                fold_kernel=fold_kernel,
+                kernel_module=kernel_module,
+                start_method=start_method,
+                on_event=self._on_event,
+            )
+            self._owns_pool = True
+        else:
+            if pool.num_shards != num_shards:
+                raise ValueError(
+                    f"pool has {pool.num_shards} shards, aggregator needs "
+                    f"{num_shards}"
+                )
+            if pool.vector_length != int(state.size):
+                raise ValueError(
+                    f"pool vector length {pool.vector_length} != model size "
+                    f"{int(state.size)}"
+                )
+            if pool.closed or not pool.healthy:
+                raise ValueError("pool is closed or unhealthy")
+            self._owns_pool = False
+        self._pool = pool
+        self._pool_active = True
+        self.executor_fallbacks = 0
+
+    @property
+    def pool_active(self) -> bool:
+        """Whether folds are still running on worker processes."""
+        return self._pool_active
+
+    # -- fallback --------------------------------------------------------------
+
+    def _fall_back(self, reason: str, **fields) -> None:
+        """Permanently switch to the inline executor, bit-identically.
+
+        Reconstructs every shard's current partial by replaying the
+        epoch's dispatch log against the input slab (same kernel, same
+        per-shard order), so the in-process path continues from exactly
+        the state the workers held.
+        """
+        if not self._pool_active:
+            return
+        self._pool_active = False
+        self.executor_fallbacks += 1
+        partials = self._pool.replay_partials()
+        for sid, shard in enumerate(self._shards):
+            shard.buffer = partials.get(sid)
+        self._on_event(
+            "executor_fallback",
+            {"reason": reason, "executor": "inline", **fields},
+        )
+        if self._owns_pool:
+            self._pool.close()
+
+    # -- overridden numeric seams ----------------------------------------------
+
+    def _fold_one(self, shard_id, result, update) -> None:
+        if not self._pool_active:
+            return super()._fold_one(shard_id, result, update)
+        if result.delta.dtype != np.float32:
+            self._fall_back(
+                "unsupported_dtype", shard=shard_id, dtype=str(result.delta.dtype)
+            )
+            return super()._fold_one(shard_id, result, update)
+        try:
+            self._pool.fold_scalar(shard_id, result.delta, update.weight)
+        except WorkerPoolError as exc:
+            self._fall_back("pool_error", shard=shard_id, error=str(exc))
+            super()._fold_one(shard_id, result, update)
+
+    def _fold_group(self, shard_id, group) -> None:
+        if not self._pool_active:
+            return super()._fold_group(shard_id, group)
+        deltas = [r.delta for r, _ in group]
+        if any(d.dtype != np.float32 for d in deltas):
+            self._fall_back("unsupported_dtype", shard=shard_id)
+            return super()._fold_group(shard_id, group)
+        try:
+            self._pool.fold_group(
+                shard_id, deltas, [u.weight for _, u in group]
+            )
+        except WorkerPoolError as exc:
+            self._fall_back("pool_error", shard=shard_id, error=str(exc))
+            super()._fold_group(shard_id, group)
+
+    def _merge_shards(self) -> np.ndarray:
+        if not self._pool_active:
+            return super()._merge_shards()
+        try:
+            self._pool.barrier()
+        except WorkerPoolError as exc:
+            self._fall_back(
+                "worker_dead",
+                dead=tuple(self._pool.dead_workers()),
+                error=str(exc),
+            )
+            return super()._merge_shards()
+        # count > 0 is exactly the base class's "buffer is not None":
+        # both flip on the first fold and reset together on step/failover.
+        partials = [
+            self._pool.partial(sid)
+            for sid, shard in enumerate(self._shards)
+            if shard.count > 0
+        ]
+        if not partials:
+            return np.zeros(self.state.size, dtype=np.float64)
+        if len(partials) == 1:
+            return partials[0].copy()
+        return np.add.reduce(partials)
+
+    # -- lifecycle hooks -------------------------------------------------------
+
+    def _server_step(self):
+        info = super()._server_step()
+        if self._pool_active:
+            self._pool.reset_epoch()
+        return info
+
+    def drop_shard(self, shard_id):
+        if self._pool_active:
+            self._pool.discard_shard(shard_id)
+        return super().drop_shard(shard_id)
+
+    def drop_buffer_and_inflight(self):
+        out = super().drop_buffer_and_inflight()
+        if self._pool_active:
+            self._pool.reset_epoch()
+        return out
+
+    def drain(self) -> None:
+        """Barrier on every outstanding worker fold (perf-harness hook)."""
+        if self._pool_active:
+            try:
+                self._pool.barrier()
+            except WorkerPoolError as exc:
+                self._fall_back(
+                    "worker_dead",
+                    dead=tuple(self._pool.dead_workers()),
+                    error=str(exc),
+                )
+
+    def close(self) -> None:
+        """Tear down the owned worker pool (shared pools stay up)."""
+        if self._owns_pool:
+            self._pool.close()
+
+    def __repr__(self) -> str:
+        executor = "process" if self._pool_active else "inline(fallback)"
+        return (
+            f"ProcessShardedFedBuffAggregator(goal={self.goal}, "
+            f"shards={self.num_shards}, routing={self.routing.name}, "
+            f"executor={executor}, version={self.version})"
+        )

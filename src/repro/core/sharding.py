@@ -297,9 +297,7 @@ class ShardedFedBuffAggregator(FedBuffAggregator):
             raise
         shard_id = self._release_slot(result.client_id)
         shard = self._shards[shard_id]
-        if shard.buffer is None:
-            shard.buffer = np.zeros_like(result.delta, dtype=np.float64)
-        shard.buffer += update.weight * result.delta.astype(np.float64)
+        self._fold_one(shard_id, result, update)
         shard.count += 1
         shard.folds_total += 1
         self._entry_shards.append(shard_id)
@@ -354,12 +352,7 @@ class ShardedFedBuffAggregator(FedBuffAggregator):
                 for shard_id in sorted({s for s, _, _ in admitted}):
                     group = [(r, u) for s, r, u in admitted if s == shard_id]
                     t0 = time.perf_counter() if self.clock is not None else 0.0
-                    weights = np.array([u.weight for _, u in group], dtype=np.float64)
-                    deltas = np.stack([r.delta for r, _ in group]).astype(np.float64)
-                    shard = self._shards[shard_id]
-                    if shard.buffer is None:
-                        shard.buffer = np.zeros(deltas.shape[1], dtype=np.float64)
-                    shard.buffer += weights @ deltas
+                    self._fold_group(shard_id, group)
                     if self.clock is not None:
                         self.clock.record_fold(
                             shard_id, time.perf_counter() - t0, n=len(group)
@@ -368,6 +361,34 @@ class ShardedFedBuffAggregator(FedBuffAggregator):
             for i, (_, _, update) in enumerate(admitted):
                 out.append((update, info if i == len(admitted) - 1 else None))
         return out
+
+    # -- fold kernels (the seam the process executor overrides) ----------------
+
+    def _fold_one(self, shard_id: int, result: TrainingResult,
+                  update: ModelUpdate) -> None:
+        """Fold one admitted update into its shard's partial (scalar AXPY).
+
+        ``repro.core.parallel`` overrides this (and :meth:`_fold_group` /
+        :meth:`_merge_shards`) to run the identical float operations on a
+        worker process; everything around the fold — admission, counts,
+        entry bookkeeping — stays on this class so both executors share
+        one accounting path.
+        """
+        shard = self._shards[shard_id]
+        if shard.buffer is None:
+            shard.buffer = np.zeros_like(result.delta, dtype=np.float64)
+        shard.buffer += update.weight * result.delta.astype(np.float64)
+
+    def _fold_group(
+        self, shard_id: int, group: list[tuple[TrainingResult, ModelUpdate]]
+    ) -> None:
+        """Fold one shard's slice of a block chunk as a grouped GEMM."""
+        weights = np.array([u.weight for _, u in group], dtype=np.float64)
+        deltas = np.stack([r.delta for r, _ in group]).astype(np.float64)
+        shard = self._shards[shard_id]
+        if shard.buffer is None:
+            shard.buffer = np.zeros(deltas.shape[1], dtype=np.float64)
+        shard.buffer += weights @ deltas
 
     def _merge_shards(self) -> np.ndarray:
         """Root reduce: fold shard partials in ascending shard order.

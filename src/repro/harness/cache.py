@@ -36,7 +36,10 @@ __all__ = ["CACHE_VERSION", "CACHE_ENV_VAR", "cell_fingerprint", "ResultCache"]
 # alter results — code_digest only tracks the harness package itself.
 # v2: cohort-engine PR reassociated scalar LSTM arithmetic (bias folded
 # into zx, gate-derivative parenthesization), shifting results by ulps.
-CACHE_VERSION = 2
+# v3: fleet-scheduler fixes (re-bookings clamped to the next unfired
+# tick, explicit tick indexing on resume) change which devices wake in
+# `million` runs — previously-leaked devices now return.
+CACHE_VERSION = 3
 CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
 _DEFAULT_ROOT = ".sweep-cache"
 

@@ -41,6 +41,17 @@ share), and the final-model max divergence — bounded by float64-rounding
 reassociation surviving the float32 state cast (the differential suite,
 ``tests/test_sharded_equivalence.py``, pins the tight per-step bound).
 
+Next to that *modeled* critical path, each point also drives the same
+arrival sequence through the **process executor**
+(:class:`repro.core.parallel.ProcessShardedFedBuffAggregator`): shard
+folds on real worker processes over shared-memory slabs, timed as plain
+wall-clock on this machine.  The measured speedup and the modeled−measured
+gap are first-class output columns — the gap is exactly what the model
+abstracts away (dispatch overhead, memory bandwidth, core count; on a
+single-core runner the measured speedup is ~1x and the whole modeled
+speedup shows up as gap).  ``process_identical`` pins the executor's
+bit-identity contract point by point.
+
 The ``million`` experiment measures the *population* axis: the columnar
 struct-of-arrays fleet (:class:`repro.sim.population
 .ColumnarDevicePopulation`) driven by the batched tick loop
@@ -68,6 +79,7 @@ cache + CI-artifact pipeline as every figure.
 
 from __future__ import annotations
 
+import os
 import resource
 import time
 from dataclasses import dataclass
@@ -77,6 +89,7 @@ import numpy as np
 from repro.core.client_trainer import LocalTrainer
 from repro.core.cohort import CohortRequest, CohortTrainer
 from repro.core.fedbuff import FedBuffAggregator
+from repro.core.parallel import ProcessShardedFedBuffAggregator, ShardWorkerPool
 from repro.core.server_opt import FedAdam
 from repro.core.sharding import AggregationPlaneClock, ShardedFedBuffAggregator
 from repro.core.state import GlobalModelState
@@ -557,10 +570,15 @@ class ShardPoint:
     arrivals: int       # updates driven through both planes
     single_s: float     # single-aggregator sequential wall clock (best-of)
     sharded_s: float    # sharded plane critical-path latency (best-of)
-    speedup: float
+    speedup: float      # modeled: single_s / sharded_s
     load_skew: float    # max shard lifetime folds / ideal even share
     max_divergence: float  # |sharded - single| over the final model state
     equivalent: bool    # within SHARD_EQUIV_ATOL, same step structure
+    process_s: float    # process-executor measured wall clock (best-of)
+    measured_speedup: float  # single_s / process_s, on this machine
+    speedup_gap: float  # modeled speedup − measured speedup
+    process_identical: bool  # process state bit-equal to inline sharded state
+    process_fallbacks: int   # executor fallbacks across the repeats (0 = clean)
 
 
 @dataclass(frozen=True)
@@ -572,6 +590,7 @@ class ShardsResult:
     goal: int
     routing: str
     repeats: int
+    cpu_count: int      # cores available to the measured process arm
 
 
 # The sharded merge only reassociates the single plane's float64 folds
@@ -642,6 +661,36 @@ def _drive_sharded(results, vector_length, goal, seed, num_shards, routing):
     return clock.elapsed, agg, clock
 
 
+def _drive_process(results, vector_length, goal, seed, num_shards, routing, pool):
+    """Process-executor drive; returns (measured wall seconds, agg).
+
+    Same timing discipline as :func:`_drive_single` — admission + fold +
+    step per arrival, ``register_download`` excluded — plus one final
+    ``drain()`` barrier so dispatched folds of the trailing incomplete
+    buffer are paid for inside the measurement.  Unlike the modeled arm
+    this is real elapsed time on this machine's cores.
+    """
+    state = GlobalModelState(
+        child_rng(seed, "shards-init").standard_normal(vector_length).astype(np.float32),
+        FedAdam(lr=0.1),
+    )
+    agg = ProcessShardedFedBuffAggregator(
+        state, goal=goal, num_shards=num_shards, routing=routing, pool=pool
+    )
+    elapsed = 0.0
+    for r in results:
+        agg.register_download(r.client_id)
+        arrival = TrainingResult(r.client_id, r.delta, r.num_examples,
+                                 r.train_loss, agg.version)
+        t0 = time.perf_counter()
+        agg.receive_update(arrival)
+        elapsed += time.perf_counter() - t0
+    t0 = time.perf_counter()
+    agg.drain()
+    elapsed += time.perf_counter() - t0
+    return elapsed, agg
+
+
 def shards_speedup(
     shard_counts: tuple[int, ...] = (1, 2, 4, 8),
     populations: tuple[int, ...] = (192, 4096),
@@ -663,6 +712,12 @@ def shards_speedup(
     measured per-fold costs on ``S`` parallel lanes, root merges
     barriering across them.  Divergence compares the final float32 model
     states; step structure (count, versions) must match exactly.
+
+    The process arm re-drives each point on real worker processes
+    (shared across a point's repeats — spawn cost is pool setup, not
+    steady state) and must reproduce the inline sharded plane's final
+    float32 state *bit-for-bit* (``process_identical``); its measured
+    speedup sits next to the modeled one with the gap as its own column.
     """
     points: list[ShardPoint] = []
     for population in populations:
@@ -683,6 +738,35 @@ def shards_speedup(
                     results, vector_length, goal, seed, num_shards, routing
                 )
                 best_sharded = min(best_sharded, sharded_s)
+            best_process = float("inf")
+            process_fallbacks = 0
+            process_identical = True
+            with ShardWorkerPool(
+                num_shards=num_shards,
+                vector_length=vector_length,
+                slots=2 * goal,
+            ) as pool:
+                for _ in range(max(1, repeats)):
+                    shared = pool if pool.healthy and not pool.closed else None
+                    process_s, process_agg = _drive_process(
+                        results, vector_length, goal, seed, num_shards,
+                        routing, shared,
+                    )
+                    best_process = min(best_process, process_s)
+                    process_fallbacks += process_agg.executor_fallbacks
+                    process_identical = process_identical and bool(
+                        np.array_equal(
+                            process_agg.state.current(),
+                            sharded_agg.state.current(),
+                        )
+                        and len(process_agg.step_history)
+                        == len(sharded_agg.step_history)
+                    )
+                    if process_agg.pool_active:
+                        # Leave the shared pool empty for the next repeat
+                        # (frees epoch slots, zeroes the partial slab).
+                        process_agg.drop_buffer_and_inflight()
+                    process_agg.close()
             divergence = float(
                 np.max(np.abs(single_agg.state.current()
                               - sharded_agg.state.current()))
@@ -698,6 +782,14 @@ def shards_speedup(
             )
             loads = sharded_agg.shard_loads()
             ideal = arrivals / num_shards
+            speedup = (
+                best_single / best_sharded
+                if best_sharded > 0 else float("inf")
+            )
+            measured = (
+                best_single / best_process
+                if best_process > 0 else float("inf")
+            )
             points.append(
                 ShardPoint(
                     num_shards=num_shards,
@@ -706,15 +798,17 @@ def shards_speedup(
                     arrivals=arrivals,
                     single_s=best_single,
                     sharded_s=best_sharded,
-                    speedup=(
-                        best_single / best_sharded
-                        if best_sharded > 0 else float("inf")
-                    ),
+                    speedup=speedup,
                     load_skew=max(loads) / ideal,
                     max_divergence=divergence,
                     equivalent=bool(
                         same_steps and divergence <= SHARD_EQUIV_ATOL
                     ),
+                    process_s=best_process,
+                    measured_speedup=measured,
+                    speedup_gap=speedup - measured,
+                    process_identical=process_identical,
+                    process_fallbacks=process_fallbacks,
                 )
             )
     return ShardsResult(
@@ -723,6 +817,7 @@ def shards_speedup(
         goal=goal,
         routing=routing,
         repeats=repeats,
+        cpu_count=len(os.sched_getaffinity(0)),
     )
 
 
@@ -734,10 +829,14 @@ def print_shards(res: ShardsResult) -> None:
             "pop",
             "single (ms)",
             "sharded (ms)",
-            "speedup",
+            "modeled x",
+            "process (ms)",
+            "measured x",
+            "gap",
             "load skew",
             "max |div|",
             "equivalent",
+            "bit-identical",
         ],
         [
             [
@@ -746,16 +845,22 @@ def print_shards(res: ShardsResult) -> None:
                 p.single_s * 1e3,
                 p.sharded_s * 1e3,
                 p.speedup,
+                p.process_s * 1e3,
+                p.measured_speedup,
+                p.speedup_gap,
                 p.load_skew,
                 p.max_divergence,
                 p.equivalent,
+                p.process_identical,
             ]
             for p in res.points
         ],
         title=(
-            f"Sharded aggregation plane — critical path vs single aggregator "
+            f"Sharded aggregation plane — modeled critical path + measured "
+            f"process executor vs single aggregator "
             f"({res.vector_length} params, K={res.goal}, "
-            f"{res.routing} routing, best of {res.repeats})"
+            f"{res.routing} routing, best of {res.repeats}, "
+            f"{res.cpu_count} cores)"
         ),
     )
 
@@ -771,8 +876,8 @@ registry.register(
         print_shards,
         ShardsResult,
         description=(
-            "sharded aggregation plane vs single aggregator: "
-            "critical-path speedup + load skew + equivalence"
+            "sharded aggregation plane vs single aggregator: modeled and "
+            "measured multi-core speedup + load skew + equivalence"
         ),
         default_grid={},
         uses_scale=False,

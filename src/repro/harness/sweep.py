@@ -117,8 +117,11 @@ def build_cells(
     for name in experiments:
         spec = registry.get(name)  # raises KeyError for unknown names up-front
         points = expand_grid(grid if grid is not None else spec.default_grid)
-        # A seed-invariant experiment gets exactly one cell per point.
-        seed_axis = list(seeds) if spec.uses_seed else list(seeds)[:1]
+        # A seed-invariant experiment gets exactly one cell per point,
+        # pinned to the canonical seed 0 the fingerprint uses — labeling
+        # it seeds[0] would let a cell badged "seed=3" serve a payload
+        # recorded (and cached) as seed 0, and vice versa.
+        seed_axis = list(seeds) if spec.uses_seed else [0]
         for params in points:
             for seed in seed_axis:
                 cells.append(
@@ -471,6 +474,13 @@ def aggregate_payloads(payloads: Sequence[Any]) -> Any:
     ``{"kind": "series", mean, std, min, max}``; ragged numeric lists are
     summarized by their length and per-seed mean.  Containers recurse;
     non-numeric leaves keep the first seed's value.
+
+    Seeds may disagree structurally (a conditional metric emitted by
+    only some seeds): a dict key missing from some payloads — or present
+    where the payload isn't a dict at all — counts as a missing value
+    (numeric leaves fold it into ``n_missing``; containers aggregate the
+    seeds that do carry it and annotate ``n_missing``), and keys only
+    later seeds emit still appear, in first-seen order.
     """
     if not payloads:
         return None
@@ -480,7 +490,23 @@ def aggregate_payloads(payloads: Sequence[Any]) -> Any:
         return _scalar_stat(list(payloads))
 
     if isinstance(first, dict):
-        return {k: aggregate_payloads([p[k] for p in payloads]) for k in first}
+        keys = list(first)
+        for p in payloads[1:]:
+            if isinstance(p, dict):
+                keys.extend(k for k in p if k not in keys)
+        out = {}
+        for k in keys:
+            vals = [p.get(k) if isinstance(p, dict) else None for p in payloads]
+            if all(v is None or _is_number(v) for v in vals):
+                out[k] = _scalar_stat(vals)
+                continue
+            present = [v for v in vals if v is not None]
+            agg = aggregate_payloads(present)
+            n_missing = len(vals) - len(present)
+            if n_missing and isinstance(agg, dict):
+                agg = {**agg, "n_missing": n_missing}
+            out[k] = agg
+        return out
 
     if isinstance(first, list):
         numeric = all(

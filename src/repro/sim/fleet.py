@@ -113,6 +113,15 @@ class FleetSimulation:
         self.rng = child_rng(seed, "fleet")
         #: tick index -> device ids waking in that tick
         self._buckets: dict[int, list[int]] = {}
+        #: index of the next tick that has not fired yet.  Re-bookings
+        #: are clamped to it: booking into an already-popped bucket
+        #: would silently lose the device forever (it leaks out of the
+        #: wake calendar), and at 1M devices thousands of backoff wakes
+        #: per day land inside the tick being processed.
+        self._next_tick = 0
+        #: whether a tick event is currently sitting in the queue (a
+        #: re-entrant run() must not start a second tick chain).
+        self._tick_pending = False
         self._checked_out: set[int] = set()
         self._horizon = 0.0
         self.in_flight = 0
@@ -136,6 +145,7 @@ class FleetSimulation:
         if len(ids) == 0:
             return
         ticks = (wakes / self.config.tick_s).astype(np.int64)
+        np.maximum(ticks, self._next_tick, out=ticks)
         order = np.argsort(ticks, kind="stable")
         ticks, ids = ticks[order], ids[order]
         starts = np.flatnonzero(np.r_[True, ticks[1:] != ticks[:-1]])
@@ -146,7 +156,7 @@ class FleetSimulation:
 
     def _bucket_one(self, device_id: int, wake: float) -> None:
         self.population.next_wake_s[device_id] = wake
-        tick = int(wake / self.config.tick_s)
+        tick = max(int(wake / self.config.tick_s), self._next_tick)
         self._buckets.setdefault(tick, []).append(device_id)
 
     # -- event handlers ---------------------------------------------------------
@@ -155,9 +165,21 @@ class FleetSimulation:
         cfg = self.config
         pop = self.population
         now = self.sim.now
-        tick = int(round(now / cfg.tick_s))
-        if now + cfg.tick_s <= self._horizon:
-            self.sim.schedule_at(now + cfg.tick_s, self._on_tick)
+        # Explicit tick indexing: float-derived indices (round(now /
+        # tick_s)) skip buckets when a resumed chain fires off a tick
+        # boundary (banker's rounding maps both 2.5 and 3.5 ticks to an
+        # even index).  _next_tick advances before any arrival is
+        # processed so re-bookings clamp past this (already-popped)
+        # bucket.
+        tick = self._next_tick
+        self._next_tick = tick + 1
+        self._tick_pending = False
+        boundary = (tick + 1) * cfg.tick_s
+        if boundary <= self._horizon:
+            # A chain resumed after an out-of-horizon drain may be
+            # catching up on stale buckets; never schedule in the past.
+            self.sim.schedule_at(max(boundary, now), self._on_tick)
+            self._tick_pending = True
         arrivals = self._buckets.pop(tick, None)
         if arrivals:
             ids = np.asarray(arrivals, dtype=np.int64)
@@ -253,13 +275,17 @@ class FleetSimulation:
 
         Re-entrant: calling again with a later horizon resumes where the
         previous run stopped (pending sessions and wake buckets are
-        preserved).
+        preserved), and the tick chain restarts on the next unfired
+        tick's boundary — never on a fractional-tick timestamp, and
+        never as a second concurrent chain when a previous run (stopped
+        early by ``max_events``) left its tick event queued.
         """
         if horizon_s < self.sim.now:
             raise ValueError("horizon is in the past")
         self._horizon = horizon_s
-        first_tick = int(self.sim.now / self.config.tick_s)
-        self.sim.schedule_at(
-            max(first_tick * self.config.tick_s, self.sim.now), self._on_tick
-        )
+        if not self._tick_pending:
+            boundary = self._next_tick * self.config.tick_s
+            if boundary <= horizon_s:
+                self.sim.schedule_at(max(boundary, self.sim.now), self._on_tick)
+                self._tick_pending = True
         return self.sim.run_until(horizon_s, max_events=max_events)

@@ -61,6 +61,11 @@ class SystemConfig:
     shard partials per server step (see :mod:`repro.system.sharding`).
     The default ``num_shards=1`` never constructs any of it — the
     single-aggregator path is byte-for-byte the pre-sharding code.
+    ``shard_executor`` picks where shard folds run: ``"inline"``
+    (default — on the simulation thread, parallelism modeled by the
+    plane clock) or ``"process"`` (real ``multiprocessing`` shard
+    workers over shared memory, bit-identical results; see
+    :mod:`repro.core.parallel`).
 
     ``drain_threads`` (previously the confusingly named ``n_shards``,
     which predates the PR-4 aggregation-plane shards) is the size of
@@ -94,6 +99,7 @@ class SystemConfig:
     cohort_batch_size: int = 1
     num_shards: int = 1
     shard_routing: str = "hash"
+    shard_executor: str = "inline"
     rebalance_queue_threshold_s: float = 30.0
     plane: str = "auto"
 
@@ -114,6 +120,11 @@ class SystemConfig:
             raise ValueError(
                 f"shard_routing must be one of "
                 f"{', '.join(planes.routing_names())} (got {self.shard_routing!r})"
+            )
+        if self.shard_executor not in ("inline", "process"):
+            raise ValueError(
+                "shard_executor must be 'inline' or 'process' "
+                f"(got {self.shard_executor!r})"
             )
         if self.rebalance_queue_threshold_s <= 0:
             raise ValueError("rebalance_queue_threshold_s must be positive")

@@ -170,6 +170,7 @@ class ShardedPlane:
             on_slot_free=ctx.on_slot_free, cohort=ctx.cohort,
             num_shards=ctx.system.num_shards,
             shard_routing=make_routing(ctx.system.shard_routing),
+            executor=ctx.system.shard_executor,
         )
 
 

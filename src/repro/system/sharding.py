@@ -75,7 +75,12 @@ class ShardedFLTaskRuntime(FLTaskRuntime):
         cohort: CohortDispatcher | None = None,
         num_shards: int = 2,
         shard_routing: str = "hash",
+        executor: str = "inline",
     ):
+        if executor not in ("inline", "process"):
+            raise ValueError(
+                f"executor must be 'inline' or 'process' (got {executor!r})"
+            )
         if config.secure_aggregation:
             raise ValueError(
                 "sharded aggregation does not compose with secure "
@@ -92,8 +97,7 @@ class ShardedFLTaskRuntime(FLTaskRuntime):
         # sharded core below replaces; FedBuffAggregator construction is
         # side-effect-free on adapter.state, so nothing leaks.
         super().__init__(config, adapter, sim, trace, log, on_slot_free, cohort)
-        self.core = ShardedFedBuffAggregator(
-            adapter.state,
+        core_kwargs = dict(
             goal=config.aggregation_goal,
             num_shards=num_shards,
             routing=shard_routing,
@@ -102,6 +106,24 @@ class ShardedFLTaskRuntime(FLTaskRuntime):
             example_weighting=adapter.recommended_example_weighting,
             normalize_by=adapter.recommended_normalization,
         )
+        if executor == "process":
+            # Lazy import: the single-process paths never pay for the
+            # multiprocessing machinery.  Executor events (dead-worker
+            # fallback and friends) land in the structured event log
+            # under the task's name, so a trace reader can see when a
+            # run silently degraded to the inline fold.
+            from repro.core.parallel import ProcessShardedFedBuffAggregator
+
+            def _executor_event(kind: str, fields: dict) -> None:
+                log.emit(sim.now, f"task:{config.name}", kind, **fields)
+
+            self.core = ProcessShardedFedBuffAggregator(
+                adapter.state,
+                on_event=_executor_event,
+                **core_kwargs,
+            )
+        else:
+            self.core = ShardedFedBuffAggregator(adapter.state, **core_kwargs)
         self.shard_nodes: dict[int, AggregatorNode] = {}
 
     # -- placement ------------------------------------------------------------
@@ -233,3 +255,17 @@ class ShardedFLTaskRuntime(FLTaskRuntime):
             "sharded tasks fail over per shard (drop_shards_on), never "
             "as a whole"
         )
+
+    # -- teardown ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, shared memory).
+
+        A no-op for the inline executor; idempotent.  The process pool
+        also has a GC finalizer, so forgetting to call this leaks
+        nothing past interpreter exit — but tests and long-lived drivers
+        should close deterministically.
+        """
+        close = getattr(self.core, "close", None)
+        if close is not None:
+            close()

@@ -69,6 +69,22 @@ class TestValidation:
         assert cfg.num_shards == 1
         assert cfg.plane == "auto"
 
+    def test_executor_value_validated(self):
+        with pytest.raises(SpecError, match=r"plane\.executor"):
+            PlaneSpec(name="sharded", num_shards=2, executor="threads")
+
+    def test_process_executor_requires_sharded_plane(self):
+        with pytest.raises(SpecError, match=r"plane\.executor"):
+            PlaneSpec(name="single", executor="process")
+        with pytest.raises(SpecError, match=r"plane\.executor"):
+            PlaneSpec(name="secure", executor="process")
+
+    def test_system_rejects_shard_executor_with_pointer(self):
+        # Executor choice is plane-owned; the rejection points at the
+        # declarative knob that does own it.
+        with pytest.raises(SpecError, match=r"plane\.executor"):
+            simple_spec(system={"shard_executor": "process"})
+
     def test_secure_plane_rejects_sync_task(self):
         with pytest.raises(SpecError, match=r"tasks\[0\]\.mode"):
             simple_spec(
@@ -143,6 +159,12 @@ class TestDerivedConfigs:
         cfg = spec.system_config()
         assert cfg.num_shards == 4
         assert cfg.shard_routing == "load"
+        assert cfg.shard_executor == "inline"
+
+    def test_process_executor_system_config(self):
+        spec = simple_spec(plane=PlaneSpec(name="sharded", num_shards=4,
+                                           executor="process"))
+        assert spec.system_config().shard_executor == "process"
 
     def test_secure_plane_sets_task_secure_flag(self):
         spec = simple_spec(plane=PlaneSpec(name="secure"))
@@ -183,6 +205,15 @@ class TestOverrides:
             {"plane.name": "sharded", "plane.num_shards": 4}
         )
         assert spec.plane.num_shards == 4
+
+    def test_plane_executor_override(self):
+        spec = simple_spec().with_overrides({
+            "plane.name": "sharded",
+            "plane.num_shards": 2,
+            "plane.executor": "process",
+        })
+        assert spec.plane.executor == "process"
+        assert spec.system_config().shard_executor == "process"
 
     def test_seed_alias(self):
         assert simple_spec().override("seed", 9).execution.seed == 9
@@ -236,6 +267,7 @@ def _scenario_specs():
             name=st.just("sharded"),
             num_shards=st.integers(2, 8),
             shard_routing=st.sampled_from(["hash", "load"]),
+            executor=st.sampled_from(["inline", "process"]),
         ),
         st.builds(PlaneSpec, name=st.just("secure")),
     )
@@ -310,6 +342,16 @@ class TestSerialization:
     def test_from_dict_requires_population(self):
         with pytest.raises(SpecError, match="population"):
             ScenarioSpec.from_dict({"tasks": [{"name": "t"}]})
+
+    def test_executor_default_omitted_from_canonical_json(self):
+        # Pre-existing sweep-cache fingerprints hash the canonical spec
+        # JSON; the new knob must not shift them at its default.
+        spec = simple_spec(plane=PlaneSpec(name="sharded", num_shards=2))
+        assert "executor" not in spec.to_dict()["plane"]
+        process = simple_spec(plane=PlaneSpec(name="sharded", num_shards=2,
+                                              executor="process"))
+        assert process.to_dict()["plane"]["executor"] == "process"
+        assert ScenarioSpec.from_dict(process.to_dict()) == process
 
     def test_from_dict_defaults_optional_sections(self):
         spec = ScenarioSpec.from_dict(

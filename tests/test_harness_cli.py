@@ -194,6 +194,18 @@ class TestCache:
         assert len(build_cells(["fig6"], SMOKE, seeds=[0, 1, 2])) == 1
         assert len(build_cells(["fig9"], SMOKE, seeds=[0, 1, 2])) == 3
 
+    def test_invariant_experiment_cell_pins_seed_zero(self):
+        # The fingerprint of a uses_seed=False experiment pins seed 0;
+        # the constructed cell must agree even when the sweep's seed
+        # list doesn't contain 0 (seeds[:1] used to leak seed 3 in).
+        cells = build_cells(["fig6"], SMOKE, seeds=[3, 4])
+        assert len(cells) == 1
+        assert cells[0].seed == 0
+        assert cells[0].fingerprint == cell_fingerprint("fig6", SMOKE, 0, {})
+        # Seed-using experiments keep the requested seeds verbatim.
+        assert [c.seed for c in build_cells(["fig9"], SMOKE, seeds=[3, 4])] \
+            == [3, 4]
+
     def test_store_load_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path)
         fp = cell_fingerprint("fig6", SMOKE, 0, {})
@@ -242,6 +254,43 @@ class TestAggregation:
         agg = aggregate_payloads([{"t": None}, {"t": 4.0}])
         assert agg["t"]["mean"] == 4.0
         assert agg["t"]["n"] == 1 and agg["t"]["n_missing"] == 1
+
+    def test_missing_key_in_later_seed_counted_as_missing(self):
+        # Structurally heterogeneous payloads (a seed payload without
+        # one of the keys) used to KeyError; a missing key is a missing
+        # value, exactly like an explicit None.
+        agg = aggregate_payloads([{"x": 1.0, "y": 2.0}, {"x": 3.0}])
+        assert agg["x"]["n"] == 2 and agg["x"]["mean"] == 2.0
+        assert agg["y"]["n"] == 1 and agg["y"]["n_missing"] == 1
+        assert agg["y"]["mean"] == 2.0
+
+    def test_key_only_in_later_seed_still_appears(self):
+        agg = aggregate_payloads([{"x": 1.0}, {"x": 2.0, "extra": 5.0}])
+        assert agg["extra"]["n"] == 1 and agg["extra"]["n_missing"] == 1
+        assert agg["extra"]["mean"] == 5.0
+
+    def test_all_seeds_missing_a_key_yields_empty_stat(self):
+        agg = aggregate_payloads([{"x": None}, {"x": None}])
+        assert agg["x"]["n"] == 0 and agg["x"]["n_missing"] == 2
+        assert agg["x"]["mean"] is None
+
+    def test_nested_dict_missing_in_one_seed_reports_n_missing(self):
+        agg = aggregate_payloads([
+            {"sub": {"a": 1.0}},
+            {"sub": {"a": 3.0}},
+            {},
+        ])
+        assert agg["sub"]["a"]["mean"] == 2.0
+        assert agg["sub"]["n_missing"] == 1
+
+    def test_homogeneous_payloads_unchanged_by_heterogeneity_handling(self):
+        payloads = [{"x": 1.0, "sub": {"a": 2.0}}, {"x": 3.0, "sub": {"a": 4.0}}]
+        agg = aggregate_payloads(payloads)
+        assert agg["x"] == {
+            "kind": "scalar", "mean": 2.0, "std": 1.0, "min": 1.0,
+            "max": 3.0, "n": 2, "n_missing": 0,
+        }
+        assert "n_missing" not in agg["sub"]
 
     def test_equal_length_series_elementwise(self):
         agg = aggregate_payloads([{"ys": [1.0, 2.0]}, {"ys": [3.0, 4.0]}])

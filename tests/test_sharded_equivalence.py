@@ -12,10 +12,23 @@ the surviving arrivals.  This is what lets the system layer spread one
 task's aggregation across nodes without changing an experimental number.
 """
 
+import multiprocessing
+import queue as queue_mod
+
 import numpy as np
 import pytest
 
 from repro.core.fedbuff import FedBuffAggregator
+from repro.core.parallel import (
+    ProcessShardedFedBuffAggregator,
+    ShardWorkerPool,
+    WorkerPoolError,
+    _worker_main,
+    fold_kernel_names,
+    get_fold_kernel,
+    numpy_fold_kernel,
+    register_fold_kernel,
+)
 from repro.core.server_opt import FedAdam
 from repro.core.sharding import (
     AggregationPlaneClock,
@@ -30,6 +43,13 @@ from repro.core.types import TrainingResult
 
 ATOL = 1e-8
 P = 48
+
+#: every start method this platform supports out of fork/spawn — the
+#: process-executor contract is start-method-independent, so the
+#: differential tests run under each (CI exercises both on linux).
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in multiprocessing.get_all_start_methods()
+]
 
 
 def fresh_state(seed=0):
@@ -439,8 +459,17 @@ class TestShardsExperimentMicro:
             assert p.arrivals == 24
             assert p.single_s > 0 and p.sharded_s > 0
             assert p.load_skew >= 1.0
+            # Measured process arm rides along at every point: real
+            # worker processes, bit-identical state, clean pool.
+            assert p.process_identical
+            assert p.process_fallbacks == 0
+            assert p.process_s > 0
+            assert p.speedup_gap == pytest.approx(
+                p.speedup - p.measured_speedup
+            )
         assert {p.num_shards for p in res.points} == {1, 2, 4}
         assert {p.population for p in res.points} == {16, 64}
+        assert res.cpu_count >= 1
 
     def test_printer_renders(self, capsys):
         from repro.harness.perf import print_shards, shards_speedup
@@ -452,7 +481,8 @@ class TestShardsExperimentMicro:
         print_shards(res)
         out = capsys.readouterr().out
         assert "Sharded aggregation plane" in out
-        assert "speedup" in out and "load skew" in out
+        assert "modeled x" in out and "measured x" in out
+        assert "gap" in out and "load skew" in out
 
     def test_registered_and_json_round_trips(self):
         from repro.harness import registry
@@ -516,3 +546,453 @@ class TestEndToEndShardedSimulation:
         loads = rt4.core.shard_loads()
         assert sum(loads) == res4.stats().aggregated
         assert sum(1 for load in loads if load > 0) > 1  # really sharded
+
+
+class TestFoldKernelRegistry:
+    def test_numpy_kernel_is_registered(self):
+        assert "numpy" in fold_kernel_names()
+        assert get_fold_kernel("numpy") is numpy_fold_kernel
+
+    def test_unknown_kernel_raises_listing_registered(self):
+        with pytest.raises(ValueError, match="unknown fold kernel.*numpy"):
+            get_fold_kernel("nope")
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        def k(partial, inputs, slots, weights, grouped):  # pragma: no cover
+            pass
+
+        register_fold_kernel("_test_dup", k)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_fold_kernel("_test_dup", k)
+            register_fold_kernel("_test_dup", k, replace=True)
+        finally:
+            from repro.core.parallel import _FOLD_KERNELS
+
+            _FOLD_KERNELS.pop("_test_dup", None)
+
+    def test_numpy_kernel_matches_inline_fold_bitwise(self):
+        """The kernel IS the in-process fold, op for op."""
+        rng = np.random.default_rng(0)
+        inputs = rng.standard_normal((6, P)).astype(np.float32)
+        # Scalar path vs the single core's AXPY.
+        partial = np.zeros(P, dtype=np.float64)
+        numpy_fold_kernel(partial, inputs, (2,), (0.7,), False)
+        assert np.array_equal(partial, 0.7 * inputs[2].astype(np.float64))
+        # Grouped path vs the block path's stacked GEMV.
+        partial = np.zeros(P, dtype=np.float64)
+        slots, weights = (4, 1, 3), (0.2, 1.5, 0.9)
+        numpy_fold_kernel(partial, inputs, slots, weights, True)
+        expect = np.asarray(weights, dtype=np.float64) @ np.stack(
+            [inputs[s] for s in slots]
+        ).astype(np.float64)
+        assert np.array_equal(partial, expect)
+
+
+class TestShardWorkerPool:
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            ShardWorkerPool(num_shards=0, vector_length=P, slots=4)
+        with pytest.raises(ValueError):
+            ShardWorkerPool(num_shards=2, vector_length=0, slots=4)
+        with pytest.raises(ValueError):
+            ShardWorkerPool(num_shards=2, vector_length=P, slots=0)
+        with pytest.raises(ValueError, match="unknown fold kernel"):
+            ShardWorkerPool(
+                num_shards=2, vector_length=P, slots=4, fold_kernel="nope"
+            )
+
+    def test_close_is_idempotent_and_context_manager_closes(self):
+        with ShardWorkerPool(num_shards=1, vector_length=P, slots=2) as pool:
+            assert not pool.closed
+            assert "ok" in repr(pool)
+        assert pool.closed
+        pool.close()  # second close is a no-op
+        assert "closed" in repr(pool)
+
+    def test_worker_main_in_process_folds_and_resets(self):
+        """Drive the worker loop body in-process over real shared memory."""
+        from multiprocessing import shared_memory
+
+        slots, S = 4, 2
+        input_shm = shared_memory.SharedMemory(create=True, size=slots * P * 4)
+        partials_shm = shared_memory.SharedMemory(create=True, size=S * P * 8)
+        try:
+            inputs = np.ndarray((slots, P), dtype=np.float32, buffer=input_shm.buf)
+            partials = np.ndarray((S, P), dtype=np.float64, buffer=partials_shm.buf)
+            partials[:] = 0.0
+            rng = np.random.default_rng(1)
+            inputs[:] = rng.standard_normal((slots, P)).astype(np.float32)
+            tasks, acks = queue_mod.Queue(), queue_mod.Queue()
+            tasks.put(("fold", (0,), (0.5,), False, 10))
+            tasks.put(("fold", (1, 3), (0.2, 0.9), True, 11))
+            tasks.put(("reset", 12))
+            tasks.put(("fold", (2,), (1.0,), False, 13))
+            tasks.put(None)
+            _worker_main(
+                1, input_shm.name, partials_shm.name, S, P, slots,
+                "numpy", None, tasks, acks,
+            )
+            # Re-attach views: _worker_main closed its own handles (and
+            # with them the buffer our old views aliased).
+            inputs = np.ndarray((slots, P), dtype=np.float32, buffer=input_shm.buf)
+            partials = np.ndarray((S, P), dtype=np.float64, buffer=partials_shm.buf)
+            assert [acks.get_nowait() for _ in range(4)] == [
+                (1, 10), (1, 11), (1, 12), (1, 13)
+            ]
+            # Reset wiped the first two folds; only the last survives.
+            assert np.array_equal(partials[1], inputs[2].astype(np.float64))
+            assert np.array_equal(partials[0], np.zeros(P))
+        finally:
+            input_shm.close()
+            input_shm.unlink()
+            partials_shm.close()
+            partials_shm.unlink()
+
+    def test_partials_match_inline_replay(self):
+        """Worker-computed partials == the dispatch log replayed inline."""
+        rng = np.random.default_rng(2)
+        with ShardWorkerPool(num_shards=2, vector_length=P, slots=8) as pool:
+            pool.fold_scalar(0, rng.standard_normal(P).astype(np.float32), 0.3)
+            pool.fold_group(
+                1,
+                [rng.standard_normal(P).astype(np.float32) for _ in range(3)],
+                [0.1, 0.2, 0.7],
+            )
+            pool.fold_scalar(1, rng.standard_normal(P).astype(np.float32), 1.1)
+            pool.barrier()
+            replayed = pool.replay_partials()
+            assert np.array_equal(pool.partial(0), replayed[0])
+            assert np.array_equal(pool.partial(1), replayed[1])
+
+    def test_slot_exhaustion_raises_and_marks_unhealthy(self):
+        rng = np.random.default_rng(3)
+        with ShardWorkerPool(num_shards=1, vector_length=P, slots=2) as pool:
+            delta = rng.standard_normal(P).astype(np.float32)
+            pool.fold_scalar(0, delta, 1.0)
+            pool.fold_scalar(0, delta, 1.0)
+            with pytest.raises(WorkerPoolError, match="slab exhausted"):
+                pool.fold_scalar(0, delta, 1.0)
+            assert not pool.healthy
+
+    def test_reset_epoch_frees_slots_and_zeroes_partials(self):
+        rng = np.random.default_rng(4)
+        with ShardWorkerPool(num_shards=1, vector_length=P, slots=2) as pool:
+            for _ in range(2):
+                pool.fold_scalar(0, rng.standard_normal(P).astype(np.float32), 1.0)
+            pool.reset_epoch()
+            pool.barrier()
+            assert np.array_equal(pool.partial(0), np.zeros(P))
+            # All slots are free again: a fresh epoch fits.
+            for _ in range(2):
+                pool.fold_scalar(0, rng.standard_normal(P).astype(np.float32), 1.0)
+            pool.barrier()
+
+
+class TestProcessExecutorEquivalence:
+    """The tentpole contract: process executor ≡ inline plane, bit for bit."""
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    @pytest.mark.parametrize("num_shards", [1, 3])
+    def test_scalar_path_bit_identical(self, start_method, num_shards):
+        inline = ShardedFedBuffAggregator(
+            fresh_state(), goal=6, num_shards=num_shards
+        )
+        proc = ProcessShardedFedBuffAggregator(
+            fresh_state(), goal=6, num_shards=num_shards,
+            start_method=start_method,
+        )
+        try:
+            outs_inline, outs_proc = drive_both(inline, proc, seed=7)
+            assert proc.pool_active and proc.executor_fallbacks == 0
+            assert np.array_equal(
+                inline.state.current(), proc.state.current()
+            )
+            for (u1, s1), (u2, s2) in zip(outs_inline, outs_proc):
+                assert u1.weight == u2.weight
+                assert (s1 is None) == (s2 is None)
+            assert len(inline.step_history) == len(proc.step_history)
+            for a, b in zip(inline.step_history, proc.step_history):
+                assert a.version == b.version
+                assert a.total_weight == b.total_weight
+            assert inline.shard_loads() == proc.shard_loads()
+        finally:
+            proc.close()
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_block_path_bit_identical(self, start_method):
+        rng = np.random.default_rng(17)
+        results = [make_result(rng, cid) for cid in range(23)]
+        inline = ShardedFedBuffAggregator(fresh_state(), goal=5, num_shards=4)
+        proc = ProcessShardedFedBuffAggregator(
+            fresh_state(), goal=5, num_shards=4, start_method=start_method,
+        )
+        try:
+            for agg in (inline, proc):
+                for r in results:
+                    agg.register_download(r.client_id)
+            inline.receive_update_block(results)
+            proc.receive_update_block(results)
+            assert proc.pool_active and proc.executor_fallbacks == 0
+            assert np.array_equal(
+                inline.state.current(), proc.state.current()
+            )
+            assert inline.shard_loads() == proc.shard_loads()
+        finally:
+            proc.close()
+
+    def test_drop_shard_failover_bit_identical(self):
+        """Mid-buffer shard failover discards the dead lane's worker
+        tasks and still matches the inline plane exactly."""
+        rng = np.random.default_rng(23)
+        inline = ShardedFedBuffAggregator(fresh_state(), goal=6, num_shards=3)
+        proc = ProcessShardedFedBuffAggregator(
+            fresh_state(), goal=6, num_shards=3
+        )
+        try:
+            for cid in range(10):
+                inline.register_download(cid)
+                proc.register_download(cid)
+            for cid in range(4):
+                r = make_result(rng, cid)
+                inline.receive_update(r)
+                proc.receive_update(r)
+            li = inline.drop_shard(1)
+            lp = proc.drop_shard(1)
+            assert li == lp
+            for cid in range(4, 10):
+                if inline.shard_of(cid) is None:
+                    continue
+                r = make_result(rng, cid)
+                inline.receive_update(r)
+                proc.receive_update(r)
+            assert proc.pool_active and proc.executor_fallbacks == 0
+            assert np.array_equal(
+                inline.state.current(), proc.state.current()
+            )
+        finally:
+            proc.close()
+
+    def test_shared_pool_is_validated_and_reusable(self):
+        pool = ShardWorkerPool(num_shards=2, vector_length=P, slots=12)
+        try:
+            with pytest.raises(ValueError, match="shards"):
+                ProcessShardedFedBuffAggregator(
+                    fresh_state(), goal=4, num_shards=3, pool=pool
+                )
+            rng = np.random.default_rng(29)
+            states = []
+            for _ in range(2):  # two drives over one pool: same bits
+                agg = ProcessShardedFedBuffAggregator(
+                    fresh_state(), goal=4, num_shards=2, pool=pool
+                )
+                for cid in range(6):
+                    agg.register_download(cid)
+                local_rng = np.random.default_rng(31)
+                for cid in range(6):
+                    agg.receive_update(make_result(local_rng, cid))
+                agg.drain()
+                states.append(agg.state.current())
+                agg.drop_buffer_and_inflight()
+                agg.close()  # shared pool: stays up
+            assert not pool.closed
+            assert np.array_equal(states[0], states[1])
+        finally:
+            pool.close()
+        with pytest.raises(ValueError, match="closed or unhealthy"):
+            ProcessShardedFedBuffAggregator(
+                fresh_state(), goal=4, num_shards=2, pool=pool
+            )
+
+    def test_mismatched_vector_length_rejected(self):
+        pool = ShardWorkerPool(num_shards=2, vector_length=P + 1, slots=8)
+        try:
+            with pytest.raises(ValueError, match="vector length"):
+                ProcessShardedFedBuffAggregator(
+                    fresh_state(), goal=4, num_shards=2, pool=pool
+                )
+        finally:
+            pool.close()
+
+
+class TestProcessExecutorFallback:
+    """Dead workers and exhausted slabs degrade to inline, bit-identically."""
+
+    @staticmethod
+    def _drive(agg, rng, n=30, goal_registered=True):
+        for cid in range(n):
+            agg.register_download(cid)
+        for cid in range(n):
+            agg.receive_update(make_result(rng, cid))
+
+    def test_dead_worker_falls_back_bit_identically(self):
+        events = []
+        inline = ShardedFedBuffAggregator(fresh_state(), goal=6, num_shards=3)
+        proc = ProcessShardedFedBuffAggregator(
+            fresh_state(), goal=6, num_shards=3,
+            on_event=lambda kind, fields: events.append((kind, fields)),
+        )
+        try:
+            rng = np.random.default_rng(41)
+            for cid in range(12):
+                inline.register_download(cid)
+                proc.register_download(cid)
+            for cid in range(4):
+                r = make_result(rng, cid)
+                inline.receive_update(r)
+                proc.receive_update(r)
+            # Kill one worker mid-epoch; the merge barrier notices and
+            # the plane replays the epoch's dispatch log inline.
+            victim = proc._pool._procs[1]
+            victim.terminate()
+            victim.join(timeout=5.0)
+            for cid in range(4, 12):
+                r = make_result(rng, cid)
+                inline.receive_update(r)
+                proc.receive_update(r)
+            assert not proc.pool_active
+            assert proc.executor_fallbacks == 1
+            kinds = [k for k, _ in events]
+            assert "executor_fallback" in kinds
+            fields = dict(events[kinds.index("executor_fallback")][1])
+            assert fields["reason"] == "worker_dead"
+            assert fields["executor"] == "inline"
+            assert np.array_equal(
+                inline.state.current(), proc.state.current()
+            )
+        finally:
+            proc.close()
+
+    def test_slab_exhaustion_falls_back_bit_identically(self):
+        events = []
+        # 4 slots but goal=6: the slab fills before a merge frees it.
+        pool = ShardWorkerPool(num_shards=2, vector_length=P, slots=4)
+        inline = ShardedFedBuffAggregator(fresh_state(), goal=6, num_shards=2)
+        proc = ProcessShardedFedBuffAggregator(
+            fresh_state(), goal=6, num_shards=2, pool=pool,
+            on_event=lambda kind, fields: events.append((kind, fields)),
+        )
+        try:
+            rng = np.random.default_rng(43)
+            for cid in range(8):
+                inline.register_download(cid)
+                proc.register_download(cid)
+            for cid in range(8):
+                r = make_result(rng, cid)
+                inline.receive_update(r)
+                proc.receive_update(r)
+            assert not proc.pool_active
+            assert proc.executor_fallbacks == 1
+            assert any(
+                k == "executor_fallback" and f["reason"] == "pool_error"
+                for k, f in events
+            )
+            assert np.array_equal(
+                inline.state.current(), proc.state.current()
+            )
+        finally:
+            proc.close()
+            pool.close()
+
+    def test_non_float32_delta_falls_back(self):
+        events = []
+        inline = ShardedFedBuffAggregator(fresh_state(), goal=3, num_shards=2)
+        proc = ProcessShardedFedBuffAggregator(
+            fresh_state(), goal=3, num_shards=2,
+            on_event=lambda kind, fields: events.append((kind, fields)),
+        )
+        try:
+            rng = np.random.default_rng(47)
+            for cid in range(4):
+                inline.register_download(cid)
+                proc.register_download(cid)
+            for cid in range(4):
+                r = make_result(rng, cid)
+                r64 = TrainingResult(
+                    r.client_id, r.delta.astype(np.float64), r.num_examples,
+                    r.train_loss, r.initial_version,
+                )
+                inline.receive_update(r64)
+                proc.receive_update(r64)
+            assert not proc.pool_active
+            assert any(
+                k == "executor_fallback" and f["reason"] == "unsupported_dtype"
+                for k, f in events
+            )
+            assert np.array_equal(
+                inline.state.current(), proc.state.current()
+            )
+        finally:
+            proc.close()
+
+
+class TestEndToEndProcessExecutor:
+    """Full-simulation differential: shard_executor='process' vs 'inline'.
+
+    The executor is a pure data-plane substitution, so the entire event
+    schedule AND every numeric output must be identical — and fallback
+    events, if any, would land in the structured event log.
+    """
+
+    @staticmethod
+    def _run(executor, max_steps=12):
+        from repro.core.types import TaskConfig, TrainingMode
+        from repro.sim.population import DevicePopulation, PopulationConfig
+        from repro.system.adapters import SurrogateAdapter
+        from repro.system.orchestrator import FederatedSimulation, SystemConfig
+
+        pop = DevicePopulation(PopulationConfig(n_devices=300), seed=0)
+        cfg = TaskConfig(
+            name="t", mode=TrainingMode.ASYNC, concurrency=16,
+            aggregation_goal=5, model_size_bytes=200_000,
+        )
+        fs = FederatedSimulation(
+            [(cfg, SurrogateAdapter(seed=0))], pop, seed=0,
+            system=SystemConfig(
+                n_aggregators=1, num_shards=3, shard_executor=executor
+            ),
+        )
+        res = fs.run(t_end=2e5, max_server_steps=max_steps)
+        return res, fs
+
+    def test_traces_identical_to_inline_executor(self):
+        res_i, fs_i = self._run("inline")
+        res_p, fs_p = self._run("process")
+        try:
+            rt = fs_p.task_runtimes["t"]
+            assert isinstance(rt.core, ProcessShardedFedBuffAggregator)
+            assert rt.core.executor_fallbacks == 0
+
+            t_i, l_i = res_i.trace.loss_curve("t")
+            t_p, l_p = res_p.trace.loss_curve("t")
+            np.testing.assert_array_equal(t_i, t_p)
+            np.testing.assert_array_equal(l_i, l_p)  # bit-identical
+
+            parts_i = [(p.device_id, p.start_time, p.end_time, p.outcome)
+                       for p in res_i.trace.participations]
+            parts_p = [(p.device_id, p.start_time, p.end_time, p.outcome)
+                       for p in res_p.trace.participations]
+            assert parts_i == parts_p
+        finally:
+            fs_p.task_runtimes["t"].close()
+            fs_i.task_runtimes["t"].close()
+
+    def test_spec_facade_builds_process_executor(self):
+        from repro.api import (
+            ExecutionSpec,
+            PopulationSpec,
+            ScenarioSpec,
+            TaskSpec,
+        )
+
+        spec = ScenarioSpec(
+            population=PopulationSpec(n_devices=1000, seed=0),
+            tasks=(TaskSpec(name="t", mode="async", concurrency=16,
+                            aggregation_goal=4, model_size_bytes=1_000_000),),
+            execution=ExecutionSpec(seed=0, t_end_s=1800.0),
+        ).with_overrides({
+            "plane.name": "sharded",
+            "plane.num_shards": 2,
+            "plane.executor": "process",
+        })
+        assert spec.system_config().shard_executor == "process"

@@ -212,3 +212,112 @@ class TestTraceWiring:
         assert f.trace.total_participations == f.sessions_completed
         assert f.trace.total_participations > 25
         assert len(f.trace.participations) == 25
+
+
+class TestDeviceConservation:
+    """The device-leak regression suite (ISSUE 7 satellite).
+
+    Every device is always in exactly one place: booked in an unfired
+    wake bucket, or inside an in-flight session.  The old scheduler
+    violated this when ``_backoff`` (or an end-of-session re-book)
+    landed a wake inside the tick currently being processed — the
+    bucket had already been popped, so the device fell out of the wake
+    calendar forever.
+    """
+
+    @staticmethod
+    def booked(f):
+        return sum(len(b) for b in f._buckets.values())
+
+    def test_conservation_at_every_tick_under_backoff_churn(self):
+        # demand=0 turns every eligible arrival away, and a backoff
+        # shorter than one tick books the retry into the *current*
+        # tick — the exact leak scenario.
+        f = fleet(n_devices=300, demand=0, backoff_s=20.0, tick_s=60.0,
+                  mean_sleep_s=300.0)
+        horizon = 0.0
+        for _ in range(40):
+            horizon += f.config.tick_s
+            f.run(horizon)
+            assert self.booked(f) + f.in_flight == 300, (
+                f"device leak at t={horizon}: {self.booked(f)} booked + "
+                f"{f.in_flight} in flight"
+            )
+        assert f.turned_away > 0  # the churn actually happened
+
+    def test_conservation_with_ineligible_backoffs(self):
+        f = fleet(n_devices=250, eligibility_rate=0.1, backoff_s=30.0,
+                  tick_s=60.0, mean_sleep_s=400.0)
+        for horizon in (600.0, 1800.0, 3600.0):
+            f.run(horizon)
+            assert self.booked(f) + f.in_flight == 250
+        assert f.ineligible > 0
+
+    def test_conservation_through_normal_session_churn(self):
+        f = fleet(n_devices=400, mean_sleep_s=300.0)
+        f.run(7200.0)
+        assert self.booked(f) + f.in_flight == 400
+        assert f.sessions_completed > 0
+
+    def test_rebooking_into_current_tick_is_clamped(self):
+        f = fleet(n_devices=10)
+        f._next_tick = 5  # pretend ticks 0..4 already fired
+        f._bucket_one(3, 130.0)  # tick 2 by timestamp — already popped
+        assert 3 in f._buckets[5]
+        ids = np.array([4, 5], dtype=np.int64)
+        f._bucket_bulk(ids, np.array([10.0, 500.0]))
+        assert 4 in f._buckets[5]  # clamped forward
+        assert 5 in f._buckets[8]  # future wake unaffected
+
+
+class TestTickIndexingOnResume:
+    """Explicit tick indexing: resume never skips or re-fires a bucket."""
+
+    def test_split_resume_matches_straight_run(self):
+        # 150 and 210 are off the 60s tick grid: the old float-derived
+        # index (banker's rounding of now/tick_s) skipped bucket 3 when
+        # resuming at t=150.
+        a = fleet(seed=7, mean_sleep_s=300.0)
+        b = fleet(seed=7, mean_sleep_s=300.0)
+        a.run(150.0)
+        a.run(210.0)
+        a.run(3600.0)
+        b.run(3600.0)
+        assert a.sessions_started == b.sessions_started
+        assert a.sessions_completed == b.sessions_completed
+        assert a.turned_away == b.turned_away
+        assert a.ineligible == b.ineligible
+        assert a.trace.to_dict() == b.trace.to_dict()
+
+    def test_many_fractional_resumes_match_straight_run(self):
+        a = fleet(seed=11, mean_sleep_s=200.0, n_devices=150)
+        b = fleet(seed=11, mean_sleep_s=200.0, n_devices=150)
+        t = 0.0
+        while t < 1500.0:
+            t += 95.0  # never a multiple of tick_s=60
+            a.run(min(t, 1500.0))
+        b.run(1500.0)
+        assert a.sessions_started == b.sessions_started
+        assert a.trace.to_dict() == b.trace.to_dict()
+
+    def test_resume_after_idle_drain_catches_up(self):
+        # Horizon far past the last booked wake: the tick chain dies
+        # out (boundary > horizon), then a later run must restart it
+        # at the *next unfired* boundary without scheduling in the past.
+        f = fleet(n_devices=50, mean_sleep_s=100.0)
+        f.run(400.0)
+        f.run(40_000.0)
+        f.run(41_000.0)
+        assert f.sessions_started > 0
+        assert (
+            sum(len(b) for b in f._buckets.values()) + f.in_flight == 50
+        )
+
+    def test_max_events_stop_does_not_double_schedule_ticks(self):
+        f = fleet(seed=2, mean_sleep_s=300.0)
+        f.run(3600.0, max_events=5)  # stops mid-horizon, tick queued
+        f.run(3600.0)  # must not start a second tick chain
+        g = fleet(seed=2, mean_sleep_s=300.0)
+        g.run(3600.0)
+        assert f.sessions_started == g.sessions_started
+        assert f.trace.to_dict() == g.trace.to_dict()
