@@ -1,0 +1,71 @@
+"""Chaos floors: recovery contracts under the canned fault schedules.
+
+The ``chaos`` experiment runs every canned fault schedule against the
+single and sharded planes and measures goodput retention, recovery
+time, and the conservation contracts.  This bench pins the floors the
+fault-injection plane promises — a regression in failover, the upload
+gate, or the retry policies fails CI here rather than drifting a
+dashboard:
+
+* device conservation and update conservation hold in *every* cell
+  (``unaccounted == 0``: no aggregated update lost or double-counted);
+* every non-empty schedule replays bit-identically (same spec + seed +
+  schedule → the same trace);
+* goodput retention stays above a floor — faults cost throughput, they
+  must not collapse it;
+* the first server step after the last fault window closes arrives
+  within a bounded recovery time.
+"""
+
+from repro.harness.report import print_table
+
+GOODPUT_FLOOR = 0.75
+RECOVERY_CEILING_S = 300.0
+
+
+class TestChaosContracts:
+    def test_recovery_floors_hold_across_the_grid(self, cached_run, benchmark):
+        res = cached_run("chaos")
+        assert res.points, "chaos grid produced no cells"
+
+        print_table(
+            ["schedule", "plane", "goodput", "recovery (s)", "lost buf",
+             "replay"],
+            [[p.schedule, p.plane, p.goodput_retention,
+              "n/a" if p.recovery_s is None else p.recovery_s,
+              p.lost_buffered,
+              "n/a" if p.replay_identical is None else p.replay_identical]
+             for p in res.points],
+            title="Chaos floors",
+        )
+
+        for p in res.points:
+            cell = f"{p.schedule}/{p.plane}"
+            assert p.device_conservation_ok, f"{cell}: device conservation violated"
+            assert p.updates_conservation_ok, f"{cell}: update conservation violated"
+            assert p.unaccounted == 0, (
+                f"{cell}: {p.unaccounted} updates unaccounted for"
+            )
+            if p.schedule == "none":
+                assert p.goodput_retention == 1.0
+                continue
+            assert p.replay_identical is True, (
+                f"{cell}: fault schedule did not replay bit-identically"
+            )
+            assert p.goodput_retention >= GOODPUT_FLOOR, (
+                f"{cell}: goodput retention {p.goodput_retention:.3f} "
+                f"below floor {GOODPUT_FLOOR}"
+            )
+            assert p.recovery_s is not None and p.recovery_s <= RECOVERY_CEILING_S, (
+                f"{cell}: recovery took {p.recovery_s} s "
+                f"(ceiling {RECOVERY_CEILING_S} s)"
+            )
+
+        faulted = [p for p in res.points if p.schedule != "none"]
+        benchmark.extra_info["cells"] = len(res.points)
+        benchmark.extra_info["min_goodput_retention"] = min(
+            p.goodput_retention for p in faulted
+        )
+        benchmark.extra_info["max_recovery_s"] = max(
+            p.recovery_s for p in faulted if p.recovery_s is not None
+        )

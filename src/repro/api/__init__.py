@@ -27,6 +27,8 @@ shard routings, and trainer adapters are looked up by name in
 from repro.api.deployment import Deployment, build, build_population, run
 from repro.api.spec import (
     ExecutionSpec,
+    FaultEvent,
+    FaultSpec,
     PlaneSpec,
     PopulationSpec,
     ScenarioSpec,
@@ -44,5 +46,7 @@ __all__ = [
     "TaskSpec",
     "PlaneSpec",
     "ExecutionSpec",
+    "FaultSpec",
+    "FaultEvent",
     "SpecError",
 ]

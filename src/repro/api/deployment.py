@@ -143,6 +143,19 @@ class Deployment:
             seed=spec.execution.seed,
             target_loss=spec.execution.target_loss,
         )
+        if spec.faults.events:
+            # Constructed only when a schedule exists: a FaultSpec with
+            # no events perturbs nothing (byte-identity of the default).
+            from repro.sim.faults import FaultInjector
+
+            fault_seed = (
+                spec.faults.seed
+                if spec.faults.seed is not None
+                else spec.execution.seed
+            )
+            injector = FaultInjector(self._simulation, seed=fault_seed)
+            for event in spec.faults.events:
+                injector.schedule(event.kind, event.at_s, **dict(event.params))
         return self._simulation
 
     @property

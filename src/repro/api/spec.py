@@ -19,10 +19,12 @@ fingerprints possible.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.core.types import TaskConfig, TrainingMode
+from repro.sim.faults import FaultParamError, validate_fault_params
 from repro.sim.population import PopulationConfig
 from repro.system.orchestrator import SystemConfig
 
@@ -32,6 +34,8 @@ __all__ = [
     "TaskSpec",
     "PlaneSpec",
     "ExecutionSpec",
+    "FaultEvent",
+    "FaultSpec",
     "ScenarioSpec",
 ]
 
@@ -397,6 +401,104 @@ class ExecutionSpec:
         return cls(**data)
 
 
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: a kind, a fire time, and its parameters.
+
+    ``kind`` names an entry of :data:`repro.sim.faults.FAULT_KINDS` and
+    ``params`` are that kind's parameters, validated here at definition
+    time (unknown/missing/out-of-range parameters raise field-named
+    :class:`SpecError`\\ s).  Optional parameters left unset stay unset —
+    the injector fills their defaults at schedule time — so the
+    canonical JSON stays minimal.  Serialization is *flat*:
+    ``{"kind": ..., "at_s": ..., <params...>}``, a fault table row.
+    """
+
+    kind: str
+    at_s: float = 0.0
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise SpecError("faults.events[].kind", "must be a non-empty string")
+        try:
+            at_s = float(self.at_s)
+        except (TypeError, ValueError):
+            raise SpecError(
+                "faults.events[].at_s", f"must be a number, got {self.at_s!r}"
+            ) from None
+        if not math.isfinite(at_s) or at_s < 0:
+            raise SpecError("faults.events[].at_s", "must be finite and non-negative")
+        object.__setattr__(self, "at_s", at_s)
+        frozen = _freeze_items(self.params, "faults.events[].params")
+        try:
+            normalized = validate_fault_params(self.kind, dict(frozen))
+        except FaultParamError as exc:
+            raise SpecError(f"faults.events[].{exc.param}", exc.message) from None
+        object.__setattr__(
+            self, "params", _freeze_items(normalized, "faults.events[].params")
+        )
+
+    def to_dict(self) -> dict:
+        doc: dict[str, Any] = {"kind": self.kind, "at_s": self.at_s}
+        doc.update(_thaw_items(self.params))
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FaultEvent":
+        data = _expect_mapping(data, "faults.events[]")
+        if "kind" not in data:
+            raise SpecError("faults.events[].kind", "required key is missing")
+        kind = data.pop("kind")
+        at_s = data.pop("at_s", 0.0)
+        return cls(kind=kind, at_s=at_s, params=data)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The deployment's declarative fault schedule (default: none).
+
+    ``seed=None`` means "use the deployment seed" for the injector's
+    private RNG stream; a fixed ``seed`` pins the fault realization
+    independently of the scenario seed (the same storm kills the same
+    sessions while the workload seed sweeps).  An empty ``events`` tuple
+    constructs no injector at all — the byte-identity contract of the
+    default path.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for i, event in enumerate(self.events):
+            if not isinstance(event, FaultEvent):
+                raise SpecError(f"faults.events[{i}]", "must be a FaultEvent")
+        if self.seed is not None:
+            object.__setattr__(self, "seed", int(self.seed))
+
+    def __bool__(self) -> bool:
+        return bool(self.events) or self.seed is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "events": [e.to_dict() for e in self.events],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "FaultSpec":
+        data = _expect_mapping(data, "faults")
+        _check_keys(data, ("events", "seed"), "faults")
+        events_data = data.get("events") or []
+        if not isinstance(events_data, Sequence) or isinstance(events_data, (str, bytes)):
+            raise SpecError("faults.events", "must be a list of fault-event mappings")
+        return cls(
+            events=tuple(FaultEvent.from_dict(e) for e in events_data),
+            seed=data.get("seed"),
+        )
+
+
 # ---------------------------------------------------------------------------
 # The scenario spec
 # ---------------------------------------------------------------------------
@@ -451,8 +553,21 @@ def _apply_override(doc: dict, path: str, value: Any) -> None:
             raise SpecError(path, "expected system.<field>")
         doc["system"][rest] = value
         return
+    if head == "faults":
+        # Only the injector seed is sweepable; the event schedule is
+        # structured (a list of kind/at_s/params rows), not a scalar a
+        # dotted path can address — build a new FaultSpec instead.
+        if rest != "seed":
+            raise SpecError(
+                path,
+                "only faults.seed is overridable; edit the events list "
+                "via FaultSpec directly",
+            )
+        doc.setdefault("faults", {"events": [], "seed": None})["seed"] = value
+        return
     raise SpecError(
-        path, "unknown section; use population/tasks/plane/system/execution/seed"
+        path,
+        "unknown section; use population/tasks/plane/system/execution/faults/seed",
     )
 
 
@@ -478,6 +593,7 @@ class ScenarioSpec:
     plane: PlaneSpec = field(default_factory=PlaneSpec)
     system: tuple[tuple[str, Any], ...] = ()
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.population, PopulationSpec):
@@ -486,6 +602,8 @@ class ScenarioSpec:
             raise SpecError("plane", "must be a PlaneSpec")
         if not isinstance(self.execution, ExecutionSpec):
             raise SpecError("execution", "must be an ExecutionSpec")
+        if not isinstance(self.faults, FaultSpec):
+            raise SpecError("faults", "must be a FaultSpec")
         object.__setattr__(self, "tasks", tuple(self.tasks))
         for i, task in enumerate(self.tasks):
             if not isinstance(task, TaskSpec):
@@ -548,11 +666,48 @@ class ScenarioSpec:
                     f"{', '.join(n for n in _SYSTEM_FIELDS if n not in _PLANE_OWNED)}",
                 )
         try:
-            self.system_config()
+            system = self.system_config()
         except SpecError:
             raise
         except (ValueError, KeyError) as exc:
             raise SpecError("system", str(exc)) from exc
+        self._validate_faults(system)
+
+    def _validate_faults(self, system: SystemConfig) -> None:
+        """Cross-check fault-event targets against the rest of the spec."""
+        if not self.faults.events:
+            return
+        names = {t.name for t in self.tasks}
+        for event in self.faults.events:
+            params = dict(event.params)
+            node = params.get("node")
+            if node is not None and node >= system.n_aggregators:
+                raise SpecError(
+                    "faults.events[].node",
+                    f"node {node} out of range; "
+                    f"system.n_aggregators={system.n_aggregators}",
+                )
+            task = params.get("task")
+            if task is not None and task not in names:
+                raise SpecError(
+                    "faults.events[].task",
+                    f"no task {task!r}; tasks: {', '.join(sorted(names))}",
+                )
+            if event.kind == "worker_kill":
+                if self.plane.name != "sharded" or self.plane.executor != "process":
+                    raise SpecError(
+                        "faults.events[].kind",
+                        "worker_kill needs plane.name='sharded' with "
+                        "executor='process' — the inline executor has no "
+                        "worker process to terminate",
+                    )
+                shard = params.get("shard")
+                if shard is not None and shard >= self.plane.num_shards:
+                    raise SpecError(
+                        "faults.events[].shard",
+                        f"shard {shard} out of range; "
+                        f"plane.num_shards={self.plane.num_shards}",
+                    )
 
     # -- derived configs ----------------------------------------------------
 
@@ -581,20 +736,27 @@ class ScenarioSpec:
 
     def to_dict(self) -> dict:
         """JSON-able document; ``from_dict`` reconstructs an equal spec."""
-        return {
+        doc = {
             "population": self.population.to_dict(),
             "tasks": [t.to_dict() for t in self.tasks],
             "plane": self.plane.to_dict(),
             "system": _thaw_items(self.system),
             "execution": self.execution.to_dict(),
         }
+        # Omitted when default so canonical JSON — and therefore every
+        # existing sweep-cache fingerprint — is unchanged.
+        if self.faults:
+            doc["faults"] = self.faults.to_dict()
+        return doc
 
     @classmethod
     def from_dict(cls, data: Any) -> "ScenarioSpec":
         """Inverse of :meth:`to_dict` (tolerant of omitted sections)."""
         data = _expect_mapping(data, "scenario")
         _check_keys(
-            data, ("population", "tasks", "plane", "system", "execution"), "scenario"
+            data,
+            ("population", "tasks", "plane", "system", "execution", "faults"),
+            "scenario",
         )
         if "population" not in data:
             raise SpecError("population", "required section is missing")
@@ -607,6 +769,7 @@ class ScenarioSpec:
             plane=PlaneSpec.from_dict(data.get("plane") or {"name": "single"}),
             system=_expect_mapping(data.get("system") or {}, "system"),
             execution=ExecutionSpec.from_dict(data.get("execution") or {}),
+            faults=FaultSpec.from_dict(data.get("faults") or {}),
         )
 
     # -- declarative overrides (what sweeps grid over) ----------------------

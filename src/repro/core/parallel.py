@@ -408,6 +408,23 @@ class ShardWorkerPool:
         """Shard ids whose worker process is no longer alive."""
         return [sid for sid, p in enumerate(self._procs) if not p.is_alive()]
 
+    def kill_worker(self, shard_id: int) -> bool:
+        """Chaos hook: terminate one shard's worker process (SIGTERM).
+
+        The death surfaces at the next ack wait — :meth:`barrier` raises
+        :class:`WorkerPoolError`, which trips the dead-worker fallback:
+        the parent replays this epoch's dispatch log inline,
+        bit-identically.  Returns whether a live worker was killed.
+        """
+        if not (0 <= shard_id < self.num_shards):
+            raise ValueError(f"no such shard {shard_id}")
+        proc = self._procs[shard_id]
+        if not proc.is_alive():
+            return False
+        proc.terminate()
+        proc.join(timeout=5.0)
+        return True
+
     def barrier(self) -> None:
         """Wait until every dispatched task has been acked.
 
@@ -584,6 +601,18 @@ class ProcessShardedFedBuffAggregator(ShardedFedBuffAggregator):
     def pool_active(self) -> bool:
         """Whether folds are still running on worker processes."""
         return self._pool_active
+
+    def kill_worker(self, shard_id: int) -> bool:
+        """Chaos hook (``worker_kill`` fault): terminate one shard worker.
+
+        The fallback does not fire here — it fires at the next barrier or
+        dispatch, replaying the dispatch log inline (bit-identical), which
+        is exactly the mid-epoch recovery path this hook exists to test.
+        Returns False once already fallen back (nothing left to kill).
+        """
+        if not self._pool_active:
+            return False
+        return self._pool.kill_worker(shard_id)
 
     # -- fallback --------------------------------------------------------------
 

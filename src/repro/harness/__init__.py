@@ -88,6 +88,13 @@ from repro.harness.scenario import (
     print_scenario,
     run_scenario,
 )
+from repro.harness.chaos import (
+    SCHEDULES,
+    ChaosPoint,
+    ChaosResult,
+    chaos_experiment,
+    print_chaos,
+)
 
 __all__ = [
     "DEFAULT",
@@ -155,4 +162,9 @@ __all__ = [
     "run_scenario",
     "print_scenario",
     "build_scenario_cells",
+    "SCHEDULES",
+    "ChaosPoint",
+    "ChaosResult",
+    "chaos_experiment",
+    "print_chaos",
 ]

@@ -47,6 +47,7 @@ import time
 import traceback
 
 from repro.harness import configs, registry
+from repro.harness import chaos  # noqa: F401  (registers the chaos experiment)
 from repro.harness import figures  # noqa: F401  (imports register the experiments)
 from repro.harness import perf  # noqa: F401  (registers the cohort experiment)
 from repro.harness import scenario  # noqa: F401  (registers the scenario experiment)

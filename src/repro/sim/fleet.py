@@ -42,6 +42,7 @@ from repro.sim.trace import (
     Outcome,
     ParticipationRecord,
 )
+from repro.utils.backoff import BackoffPolicy
 from repro.utils.rng import child_rng
 
 __all__ = ["FleetConfig", "FleetSimulation"]
@@ -65,6 +66,11 @@ class FleetConfig:
     backoff_s:
         Base retry delay for ineligible or turned-away devices (jittered
         ±50 % to avoid synchronized retry storms).
+    backoff_policy:
+        Backoff shape/jitter as a :class:`~repro.utils.backoff.BackoffPolicy`
+        string, with ``backoff_s`` as its base delay.  The default
+        (``"fixed,jitter=0.5"``) reproduces the historical jittered
+        delays bit-identically.
     epochs:
         Local training epochs per session (scales execution time).
     deep_trace_fraction:
@@ -77,6 +83,7 @@ class FleetConfig:
     demand: int = 128
     mean_sleep_s: float = 4 * 3600.0
     backoff_s: float = 900.0
+    backoff_policy: str = "fixed,jitter=0.5"
     epochs: int = 1
     deep_trace_fraction: float = 0.001
 
@@ -87,6 +94,10 @@ class FleetConfig:
             raise ValueError("demand must be non-negative")
         if self.mean_sleep_s <= 0 or self.backoff_s <= 0:
             raise ValueError("sleep/backoff times must be positive")
+        try:
+            BackoffPolicy.parse(self.backoff_policy, default_base=self.backoff_s)
+        except ValueError as exc:
+            raise ValueError(f"backoff_policy: {exc}") from None
         if self.epochs < 1:
             raise ValueError("epochs must be at least 1")
         if not (0.0 <= self.deep_trace_fraction <= 1.0):
@@ -111,6 +122,9 @@ class FleetSimulation:
         self.trace = trace if trace is not None else BoundedMetricsTrace(seed=seed)
         self.sim = sim or Simulator()
         self.rng = child_rng(seed, "fleet")
+        self._backoff_policy = BackoffPolicy.parse(
+            self.config.backoff_policy, default_base=self.config.backoff_s
+        )
         #: tick index -> device ids waking in that tick
         self._buckets: dict[int, list[int]] = {}
         #: index of the next tick that has not fired yet.  Re-bookings
@@ -195,10 +209,14 @@ class FleetSimulation:
                 self._start_sessions(admitted, now)
 
     def _backoff(self, ids: np.ndarray, now: float) -> None:
-        """Re-book ids after a jittered backoff (vectorized)."""
+        """Re-book ids after a policy-shaped backoff (vectorized).
+
+        The default policy's block draw reproduces the historical
+        ``backoff_s * (0.5 + random(n))`` wakes bit-identically.
+        """
         if len(ids) == 0:
             return
-        wakes = now + self.config.backoff_s * (0.5 + self.rng.random(len(ids)))
+        wakes = now + self._backoff_policy.delay_block(len(ids), self.rng)
         self.population.next_wake_s[ids] = wakes
         self._bucket_bulk(ids, wakes)
 

@@ -42,6 +42,11 @@ class FLTaskRuntime:
     :mod:`repro.system.client_runtime`).
     """
 
+    # Set (per instance) by repro.sim.faults.FaultInjector when a
+    # network_loss fault is scheduled; None means no interception and
+    # zero overhead on the upload path.
+    fault_gate = None
+
     def __init__(
         self,
         config: TaskConfig,
@@ -153,6 +158,10 @@ class FLTaskRuntime:
         self, session: ClientSession, payload: "TrainingResult | PendingTraining"
     ) -> None:
         """An update reached the server; hand it to the hosting node's queue."""
+        if self.fault_gate is not None and self.fault_gate.intercept_upload(
+            self, session
+        ):
+            return  # injected network loss dropped the upload
         if self.node is None or not self.node.alive:
             # Hosting aggregator died while the update was in flight: the
             # update is lost; the client will be re-routed next time (the

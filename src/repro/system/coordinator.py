@@ -31,6 +31,7 @@ import numpy as np
 from repro.sim.engine import Simulator
 from repro.system.aggregator import AggregatorNode, FLTaskRuntime
 from repro.system.sharding import ShardedFLTaskRuntime
+from repro.utils.backoff import RetryPolicy
 from repro.utils.logging import EventLog
 
 __all__ = ["Coordinator"]
@@ -47,6 +48,7 @@ class Coordinator:
         heartbeat_interval_s: float = 10.0,
         heartbeat_miss_limit: int = 3,
         recovery_period_s: float = 30.0,
+        placement_retry: RetryPolicy | None = None,
     ):
         if heartbeat_interval_s <= 0 or heartbeat_miss_limit < 1:
             raise ValueError("invalid heartbeat parameters")
@@ -56,6 +58,10 @@ class Coordinator:
         self.heartbeat_interval_s = heartbeat_interval_s
         self.heartbeat_miss_limit = heartbeat_miss_limit
         self.recovery_period_s = recovery_period_s
+        # How re-placement of unhosted tasks/shards is paced across
+        # failure sweeps.  The default retries forever with no extra
+        # delay — the historical behaviour, sweep-paced.
+        self.placement_retry = placement_retry or RetryPolicy()
 
         self.aggregators: list[AggregatorNode] = []
         self.tasks: dict[str, FLTaskRuntime] = {}
@@ -66,6 +72,11 @@ class Coordinator:
         self._recovering_until = -1.0
         self.assignments_made = 0
         self.assignments_rejected = 0
+        # Re-placement retry bookkeeping, keyed (task, shard|None).
+        self._retry_counts: dict[tuple[str, int | None], int] = {}
+        self._retry_after: dict[tuple[str, int | None], float] = {}
+        self._retry_noted_at: dict[tuple[str, int | None], float] = {}
+        self._abandoned: set[tuple[str, int | None]] = set()
 
     # -- registration / placement ------------------------------------------------
 
@@ -123,24 +134,42 @@ class Coordinator:
             task=name, shards=dict(placement), seq=self.assignment_seq,
         )
 
-    def _replace_dead_shards(self, task_rt: ShardedFLTaskRuntime) -> list[int]:
+    def _replace_dead_shards(
+        self, task_rt: ShardedFLTaskRuntime, reason: str = "node_dead"
+    ) -> list[int]:
         """Re-place shards that lost their host, reviving them empty.
 
-        With no live node the shards stay dead (their slice remains
-        re-routed to the survivors) and a later sweep retries.
+        With no live node (or while the retry policy's backoff holds a
+        shard back) the shards stay dead — their slice remains re-routed
+        to the survivors — and a later sweep retries, until the policy's
+        attempt budget abandons them.
         """
         live = self._live_nodes()
-        if not live:
-            return []
         name = task_rt.config.name
         placement = self.shard_placement.setdefault(name, {})
         revived: list[int] = []
+        now = self.sim.now
         for shard_id in task_rt.unplaced_shards():
+            key = (name, shard_id)
+            if key in self._abandoned:
+                continue
+            if not live:
+                self._note_retry(key, reason="no_live_node")
+                continue
+            if now < self._retry_after.get(key, 0.0):
+                continue  # backoff window still open; a later sweep retries
             node = min(live, key=lambda a: a.estimated_workload())
             task_rt.place_shard(shard_id, node)
             task_rt.core.revive_shard(shard_id)
             placement[shard_id] = node.node_id
             revived.append(shard_id)
+            self.log.emit(
+                now, "coordinator", "shard_replaced",
+                task=name, shard=shard_id, node=node.node_id,
+                reason=reason, retries=self._retry_counts.pop(key, 0),
+            )
+            self._retry_after.pop(key, None)
+            self._retry_noted_at.pop(key, None)
         if revived:
             if 0 in placement:  # the root entry follows shard 0's host
                 self.placement[name] = placement[0]
@@ -150,6 +179,36 @@ class Coordinator:
                 task=name, shards=revived, seq=self.assignment_seq,
             )
         return revived
+
+    def _note_retry(self, key: tuple[str, int | None], reason: str) -> None:
+        """Count one failed re-placement attempt against the retry policy.
+
+        At most one attempt is counted per (key, sweep) — the dead-node
+        pass and the re-placement pass of the same ``sweep_failures``
+        call must not double-bill a shard.
+        """
+        now = self.sim.now
+        if self._retry_noted_at.get(key) == now:
+            return
+        self._retry_noted_at[key] = now
+        attempt = self._retry_counts.get(key, 0) + 1
+        self._retry_counts[key] = attempt
+        task, shard = key
+        if not self.placement_retry.should_retry(attempt):
+            self._abandoned.add(key)
+            self.log.emit(
+                now, "coordinator", "placement_abandoned",
+                task=task, shard=shard, reason=reason, retries=attempt,
+            )
+            return
+        self._retry_after[key] = now + self.placement_retry.retry_delay(
+            attempt, self.rng
+        )
+        self.log.emit(
+            now, "coordinator", "placement_retry",
+            task=task, shard=shard, reason=reason, retry=attempt,
+            next_attempt_s=self._retry_after[key],
+        )
 
     # -- client assignment (Section 6.2) ----------------------------------------
 
@@ -209,6 +268,7 @@ class Coordinator:
             if not node.tasks:
                 continue
             if not node.alive or expired:
+                reason = "heartbeat_expired" if node.alive else "node_dead"
                 node.alive = False
                 for name in list(node.tasks):
                     task_rt = node.drop_task(name)
@@ -220,13 +280,18 @@ class Coordinator:
                         # (A sharded task spans nodes, so dedupe its name.)
                         for shard_id in task_rt.drop_shards_on(node):
                             self.shard_placement.get(name, {}).pop(shard_id, None)
-                        self._replace_dead_shards(task_rt)
+                        self._replace_dead_shards(task_rt, reason=reason)
                         if name not in moved:
                             moved.append(name)
                     else:
                         task_rt.on_reassigned()
                         task_rt.node = None  # unhosted until re-placed below
                         moved.append(name)
+                        self.log.emit(
+                            self.sim.now, "coordinator", "task_failover",
+                            task=name, node=node.node_id, reason=reason,
+                            retries=self._retry_counts.get((name, None), 0),
+                        )
         # Re-place every unhosted whole task (dropped above, or orphaned
         # by an earlier all-nodes-dead sweep) and retry shards that could
         # not be re-placed earlier — a recovered node picks them up.
@@ -235,20 +300,30 @@ class Coordinator:
         # — a deployment-wide outage must not crash the heartbeat loop.
         unplaced: list[str] = []
         for task_rt in self.tasks.values():
+            name = task_rt.config.name
             if isinstance(task_rt, ShardedFLTaskRuntime):
                 if task_rt.unplaced_shards():
-                    if self._replace_dead_shards(task_rt):
-                        if task_rt.config.name not in moved:
-                            moved.append(task_rt.config.name)
+                    if self._replace_dead_shards(task_rt, reason="retry"):
+                        if name not in moved:
+                            moved.append(name)
                     else:
-                        unplaced.append(task_rt.config.name)
+                        unplaced.append(name)
             elif task_rt.node is None:
-                if self._live_nodes():
-                    self._place(task_rt)
-                    if task_rt.config.name not in moved:
-                        moved.append(task_rt.config.name)
+                key = (name, None)
+                if key in self._abandoned:
+                    continue
+                if not self._live_nodes():
+                    self._note_retry(key, reason="no_live_node")
+                    unplaced.append(name)
+                elif self.sim.now < self._retry_after.get(key, 0.0):
+                    unplaced.append(name)  # backoff window still open
                 else:
-                    unplaced.append(task_rt.config.name)
+                    self._place(task_rt)
+                    self._retry_counts.pop(key, None)
+                    self._retry_after.pop(key, None)
+                    self._retry_noted_at.pop(key, None)
+                    if name not in moved:
+                        moved.append(name)
         if unplaced:
             self.log.emit(
                 self.sim.now, "coordinator", "tasks_unplaced", tasks=unplaced,

@@ -30,6 +30,7 @@ from repro.system.aggregator import AggregatorNode, FLTaskRuntime
 from repro.system.client_runtime import ClientSession, CohortDispatcher
 from repro.system.coordinator import Coordinator
 from repro.system.selector import Selector
+from repro.utils.backoff import BackoffPolicy, RetryPolicy
 from repro.utils.logging import EventLog
 from repro.utils.rng import child_rng
 
@@ -83,6 +84,14 @@ class SystemConfig:
     (seconds of backlog on a node's busiest drain thread) above which
     the Coordinator's heartbeat loop moves a task off an overloaded
     node (Section 6.3).
+
+    ``selection_backoff`` / ``checkin_backoff`` / ``placement_retry``
+    are the control plane's retry/backoff policies as compact strings
+    (see :mod:`repro.utils.backoff`): the pump's per-check-in delay
+    (base ``selection_latency_s``), the no-demand/saturated re-pump
+    delay (base ``pump_interval_s``), and the Coordinator's task/shard
+    re-placement policy.  The defaults reproduce the historical
+    hard-coded behaviour bit-identically — same RNG draws, same delays.
     """
 
     n_aggregators: int = 2
@@ -102,6 +111,9 @@ class SystemConfig:
     shard_executor: str = "inline"
     rebalance_queue_threshold_s: float = 30.0
     plane: str = "auto"
+    selection_backoff: str = "fixed,jitter=0.5"
+    checkin_backoff: str = "fixed"
+    placement_retry: str = "always"
 
     def __post_init__(self) -> None:
         if self.n_aggregators < 1 or self.n_selectors < 1:
@@ -133,6 +145,20 @@ class SystemConfig:
                 f"plane must be 'auto' or a registered plane "
                 f"({', '.join(planes.plane_names())}); got {self.plane!r}"
             )
+        # Parse-validate the policy strings now so a bad policy fails at
+        # config construction, not mid-run.
+        for label, text in (
+            ("selection_backoff", self.selection_backoff),
+            ("checkin_backoff", self.checkin_backoff),
+        ):
+            try:
+                BackoffPolicy.parse(text)
+            except ValueError as exc:
+                raise ValueError(f"{label}: {exc}") from None
+        try:
+            RetryPolicy.parse(self.placement_retry)
+        except ValueError as exc:
+            raise ValueError(f"placement_retry: {exc}") from None
 
     @property
     def n_shards(self) -> int:
@@ -238,6 +264,17 @@ class FederatedSimulation:
         self.log = EventLog()
         self._rng_devices = child_rng(seed, "orchestrator-devices")
         self._rng_routing = child_rng(seed, "orchestrator-routing")
+        self._selection_backoff = BackoffPolicy.parse(
+            self.system.selection_backoff,
+            default_base=self.system.selection_latency_s,
+        )
+        self._checkin_backoff = BackoffPolicy.parse(
+            self.system.checkin_backoff, default_base=self.system.pump_interval_s
+        )
+        # Set by a FaultInjector (repro.sim.faults) when a FaultSpec has
+        # events; None on the default path, which therefore never pays
+        # for fault interception.
+        self.fault_injector = None
 
         self.aggregators = [
             AggregatorNode(
@@ -256,6 +293,10 @@ class FederatedSimulation:
             heartbeat_interval_s=self.system.heartbeat_interval_s,
             heartbeat_miss_limit=self.system.heartbeat_miss_limit,
             recovery_period_s=self.system.recovery_period_s,
+            placement_retry=RetryPolicy.parse(
+                self.system.placement_retry,
+                default_base=self.system.heartbeat_interval_s,
+            ),
         )
         for node in self.aggregators:
             self.coordinator.register_aggregator(node)
@@ -314,9 +355,8 @@ class FederatedSimulation:
         needed = self._total_demand() - self._outstanding_checkins
         for _ in range(max(0, needed)):
             self._outstanding_checkins += 1
-            jitter = float(self._rng_routing.uniform(0.5, 1.5))
             self.sim.schedule(
-                self.system.selection_latency_s * jitter, self._checkin
+                self._selection_backoff.delay(self._rng_routing), self._checkin
             )
 
     def _sample_device(self) -> int | None:
@@ -333,7 +373,9 @@ class FederatedSimulation:
         self._outstanding_checkins -= 1
         device_id = self._sample_device()
         if device_id is None:
-            self.sim.schedule(self.system.pump_interval_s, self._pump)
+            self.sim.schedule(
+                self._checkin_backoff.delay(self._rng_routing), self._pump
+            )
             return
         count = self._checkin_count.get(device_id, 0)
         self._checkin_count[device_id] = count + 1
@@ -349,13 +391,22 @@ class FederatedSimulation:
             # again later — meanwhile keep the supply topped up.
             self._pump()
             return
+        if self.fault_injector is not None and not self.fault_injector.allow_checkin(
+            device_id
+        ):
+            # Inside an injected blackout/availability-wave window: the
+            # device never reaches a selector.
+            self._pump()
+            return
         selector = self.selectors[
             int(self._rng_routing.integers(len(self.selectors)))
         ]
         task_rt, extra_latency = selector.route_checkin()
         if task_rt is None:
             # No demand anywhere (or coordinator down): back off.
-            self.sim.schedule(self.system.pump_interval_s, self._pump)
+            self.sim.schedule(
+                self._checkin_backoff.delay(self._rng_routing), self._pump
+            )
             return
 
         # checkout/release scope the profile object to the session: a no-op
@@ -407,15 +458,39 @@ class FederatedSimulation:
 
     # -- failure injection ------------------------------------------------------
 
+    def _ensure_fault_injector(self):
+        """Lazily attach a :class:`~repro.sim.faults.FaultInjector`.
+
+        Imported lazily (faults → orchestrator typing only) and seeded
+        from the deployment seed; an injector without delay/loss/gate
+        events installs no interception, so the ``inject_*`` shims keep
+        their exact historical behaviour.
+        """
+        if self.fault_injector is None:
+            from repro.sim.faults import FaultInjector
+
+            FaultInjector(self, seed=self.seed)
+        return self.fault_injector
+
     def inject_aggregator_failure(self, at_time: float, node_id: int = 0) -> None:
-        """Kill an aggregator at ``at_time`` (detected via heartbeats)."""
-        self.sim.schedule_at(at_time, self.aggregators[node_id].fail)
+        """Deprecated shim: schedule an ``aggregator_crash`` fault event.
+
+        Declare the fault in ``ScenarioSpec.faults`` instead; this method
+        survives for the pre-FaultSpec call sites.
+        """
+        self._ensure_fault_injector().schedule(
+            "aggregator_crash", at_time, node=node_id
+        )
 
     def inject_coordinator_outage(self, at_time: float, duration_s: float) -> None:
-        """Coordinator dies at ``at_time`` and a new leader is elected
-        ``duration_s`` later (then the recovery period applies)."""
-        self.sim.schedule_at(at_time, self.coordinator.fail)
-        self.sim.schedule_at(at_time + duration_s, self.coordinator.recover)
+        """Deprecated shim: schedule a ``coordinator_outage`` fault event.
+
+        Declare the fault in ``ScenarioSpec.faults`` instead; this method
+        survives for the pre-FaultSpec call sites.
+        """
+        self._ensure_fault_injector().schedule(
+            "coordinator_outage", at_time, duration_s=duration_s
+        )
 
     # -- run ------------------------------------------------------------
 

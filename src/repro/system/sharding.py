@@ -205,6 +205,10 @@ class ShardedFLTaskRuntime(FLTaskRuntime):
         self, session: ClientSession, payload: "TrainingResult | PendingTraining"
     ) -> None:
         """Route the upload to the node hosting the client's shard."""
+        if self.fault_gate is not None and self.fault_gate.intercept_upload(
+            self, session
+        ):
+            return  # injected network loss dropped the upload
         shard_id = self.core.shard_of(session.device_id)
         node = self.shard_nodes.get(shard_id) if shard_id is not None else None
         if (

@@ -1,0 +1,236 @@
+"""Unified retry/backoff policies for control-plane timing decisions.
+
+PAPAYA's control plane retries constantly — device check-in pacing,
+selector pump intervals, task/shard re-placement after node death, fleet
+sleep backoff — and before this module each site hard-coded its own
+constants (``uniform(0.5, 1.5)`` jitter in the orchestrator pump, a
+``0.5 + random()`` spread in the fleet scheduler, unconditional
+re-placement in the coordinator).  :class:`BackoffPolicy` and
+:class:`RetryPolicy` factor those decisions into one declarative,
+string-configurable layer threaded through ``SystemConfig`` and
+``FleetConfig``.
+
+Policies are compact strings so they can live in frozen specs (the spec
+layer freezes scalars, not nested objects)::
+
+    "fixed"                               # constant base delay, no jitter
+    "fixed,jitter=0.5"                    # base * uniform(0.5, 1.5)
+    "exponential,base=10,cap=120"         # 10, 20, 40, 80, 120, 120, ...
+    "always" / "never" / "max=5"          # retry policies
+    "max=5,exponential,base=10,jitter=0.1"
+
+**Bit-identity contract.**  The default policies reproduce the legacy
+hard-coded delays *exactly*, drawing the same values from the same RNG
+streams: ``delay`` consumes one ``rng.uniform(1-j, 1+j)`` scalar
+(matching the orchestrator's historical ``uniform(0.5, 1.5)`` call) and
+``delay_block`` consumes one ``rng.random(n)`` block (matching the fleet
+scheduler's ``0.5 + random(n)`` spread).  A jitter of exactly ``0``
+makes **no** RNG call at all, so jitter-free policies leave every
+downstream stream untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BackoffPolicy", "RetryPolicy"]
+
+_BACKOFF_KINDS = ("fixed", "exponential")
+
+
+def _parse_tokens(text: str, context: str) -> tuple[str | None, dict[str, str]]:
+    """Split ``"kind,key=value,..."`` into the kind token and key/value pairs."""
+    kind: str | None = None
+    pairs: dict[str, str] = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "=" in token:
+            key, _, value = token.partition("=")
+            key, value = key.strip(), value.strip()
+            if key in pairs:
+                raise ValueError(f"{context}: duplicate {key!r} in {text!r}")
+            pairs[key] = value
+        else:
+            if kind is not None:
+                raise ValueError(
+                    f"{context}: two kind tokens ({kind!r}, {token!r}) in {text!r}"
+                )
+            kind = token
+    return kind, pairs
+
+
+def _float_field(pairs: dict[str, str], key: str, context: str) -> float | None:
+    if key not in pairs:
+        return None
+    try:
+        return float(pairs.pop(key))
+    except ValueError:
+        raise ValueError(f"{context}: {key} must be a number") from None
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """How long to wait before attempt ``n`` (0-based), with seeded jitter.
+
+    ``fixed`` waits ``base_s`` for every attempt; ``exponential`` waits
+    ``min(base_s * factor**attempt, cap_s)``.  ``jitter=j`` multiplies
+    the delay by ``uniform(1-j, 1+j)`` drawn from the caller's RNG
+    (callers own their streams; the policy is stateless).
+    """
+
+    kind: str = "fixed"
+    base_s: float = 1.0
+    factor: float = 2.0
+    cap_s: float = math.inf
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _BACKOFF_KINDS:
+            raise ValueError(
+                f"backoff kind must be one of {_BACKOFF_KINDS}, got {self.kind!r}"
+            )
+        if not (self.base_s >= 0.0):
+            raise ValueError(f"backoff base must be >= 0, got {self.base_s}")
+        if not (self.factor >= 1.0):
+            raise ValueError(f"backoff factor must be >= 1, got {self.factor}")
+        if not (self.cap_s > 0.0):
+            raise ValueError(f"backoff cap must be > 0, got {self.cap_s}")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError(f"backoff jitter must be in [0, 1), got {self.jitter}")
+
+    @classmethod
+    def parse(cls, text: str, default_base: float = 1.0) -> "BackoffPolicy":
+        """Parse ``"kind,base=...,factor=...,cap=...,jitter=..."``.
+
+        ``default_base`` supplies ``base_s`` when the string omits
+        ``base=`` — this is how ``SystemConfig`` keeps one timing knob
+        (e.g. ``pump_interval_s``) as the base while the policy string
+        only describes shape and jitter.
+        """
+        context = f"backoff policy {text!r}"
+        kind, pairs = _parse_tokens(text, context)
+        base = _float_field(pairs, "base", context)
+        factor = _float_field(pairs, "factor", context)
+        cap = _float_field(pairs, "cap", context)
+        jitter = _float_field(pairs, "jitter", context)
+        if pairs:
+            raise ValueError(
+                f"{context}: unknown key(s) {', '.join(sorted(pairs))}; "
+                "use base/factor/cap/jitter"
+            )
+        try:
+            return cls(
+                kind=kind or "fixed",
+                base_s=float(default_base) if base is None else base,
+                factor=2.0 if factor is None else factor,
+                cap_s=math.inf if cap is None else cap,
+                jitter=0.0 if jitter is None else jitter,
+            )
+        except ValueError as exc:
+            raise ValueError(f"{context}: {exc}") from None
+
+    def to_string(self) -> str:
+        """Canonical round-trippable policy string."""
+        parts = [self.kind, f"base={self.base_s:g}"]
+        if self.kind == "exponential":
+            parts.append(f"factor={self.factor:g}")
+        if math.isfinite(self.cap_s):
+            parts.append(f"cap={self.cap_s:g}")
+        if self.jitter:
+            parts.append(f"jitter={self.jitter:g}")
+        return ",".join(parts)
+
+    def _raw(self, attempt: int) -> float:
+        if self.kind == "fixed":
+            return min(self.base_s, self.cap_s)
+        return min(self.base_s * self.factor**attempt, self.cap_s)
+
+    def delay(self, rng: np.random.Generator, attempt: int = 0) -> float:
+        """One delay sample.  Consumes one ``uniform`` draw iff jittered."""
+        raw = self._raw(attempt)
+        if self.jitter == 0.0:
+            return raw
+        return raw * float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+
+    def delay_block(
+        self, n: int, rng: np.random.Generator, attempt: int = 0
+    ) -> np.ndarray:
+        """``n`` delay samples at once (the fleet scheduler's batched path).
+
+        Consumes one ``rng.random(n)`` block iff jittered, reproducing
+        the legacy ``base * (lo + random(n) * span)`` draws bit-exactly.
+        """
+        raw = self._raw(attempt)
+        if self.jitter == 0.0:
+            return np.full(n, raw)
+        lo = 1.0 - self.jitter
+        span = 2.0 * self.jitter
+        return raw * (lo + rng.random(n) * span)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Whether (and after how long) to retry a failed attempt.
+
+    ``max_attempts=None`` retries forever; ``0`` never retries.
+    ``backoff=None`` retries with zero added delay (the caller's own
+    cadence — e.g. the coordinator's heartbeat sweep — paces attempts).
+    """
+
+    max_attempts: int | None = None
+    backoff: BackoffPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 0:
+            raise ValueError(f"max_attempts must be >= 0, got {self.max_attempts}")
+
+    @classmethod
+    def parse(cls, text: str, default_base: float = 1.0) -> "RetryPolicy":
+        """Parse ``"always"``, ``"never"``, or ``"max=N[,<backoff tokens>]"``."""
+        context = f"retry policy {text!r}"
+        kind, pairs = _parse_tokens(text, context)
+        max_attempts: int | None = None
+        if "max" in pairs:
+            try:
+                max_attempts = int(pairs.pop("max"))
+            except ValueError:
+                raise ValueError(f"{context}: max must be an integer") from None
+        if kind == "always":
+            kind = None
+        elif kind == "never":
+            if max_attempts is not None:
+                raise ValueError(f"{context}: 'never' excludes max=")
+            max_attempts = 0
+            kind = None
+        backoff: BackoffPolicy | None = None
+        if kind is not None or pairs:
+            tokens = ([kind] if kind else []) + [f"{k}={v}" for k, v in pairs.items()]
+            backoff = BackoffPolicy.parse(",".join(tokens), default_base=default_base)
+        try:
+            return cls(max_attempts=max_attempts, backoff=backoff)
+        except ValueError as exc:
+            raise ValueError(f"{context}: {exc}") from None
+
+    def to_string(self) -> str:
+        """Canonical round-trippable policy string."""
+        if self.max_attempts == 0:
+            return "never"
+        head = "always" if self.max_attempts is None else f"max={self.max_attempts}"
+        if self.backoff is None:
+            return head
+        return f"{head},{self.backoff.to_string()}"
+
+    def should_retry(self, attempt: int) -> bool:
+        """True when attempt number ``attempt`` (1-based count of failures) may retry."""
+        return self.max_attempts is None or attempt <= self.max_attempts
+
+    def retry_delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Extra delay before the next attempt (0 without a backoff policy)."""
+        if self.backoff is None:
+            return 0.0
+        return self.backoff.delay(rng, attempt=max(0, attempt - 1))

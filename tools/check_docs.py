@@ -37,7 +37,7 @@ def load_registry(root: pathlib.Path):
     """Import the populated registry from the repo's ``src/`` tree."""
     sys.path.insert(0, str(root / "src"))
     # Importing the runner modules executes their register() calls.
-    from repro.harness import figures, perf, scenario  # noqa: F401
+    from repro.harness import chaos, figures, perf, scenario  # noqa: F401
     from repro.harness import registry
 
     return registry
@@ -104,7 +104,7 @@ def main(root: str | pathlib.Path = ".") -> int:
         "\nRe-sync the catalogue: one ### `name` section per registered"
         " experiment, the registry description verbatim as *italics*, and"
         " a fenced CLI invocation. The registry metadata lives next to"
-        " each register() call in repro/harness/{figures,perf,scenario}.py.",
+        " each register() call in repro/harness/{figures,perf,scenario,chaos}.py.",
         file=sys.stderr,
     )
     return 1
