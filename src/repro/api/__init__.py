@@ -34,6 +34,7 @@ from repro.api.spec import (
     ScenarioSpec,
     SpecError,
     TaskSpec,
+    TelemetrySpec,
 )
 
 __all__ = [
@@ -48,5 +49,6 @@ __all__ = [
     "ExecutionSpec",
     "FaultSpec",
     "FaultEvent",
+    "TelemetrySpec",
     "SpecError",
 ]

@@ -156,6 +156,16 @@ class Deployment:
             injector = FaultInjector(self._simulation, seed=fault_seed)
             for event in spec.faults.events:
                 injector.schedule(event.kind, event.at_s, **dict(event.params))
+        if spec.telemetry:
+            # Attached only when enabled: a default TelemetrySpec builds
+            # no observer and the run stays byte-identical to pre-
+            # telemetry code.
+            from repro.obs.telemetry import RunTelemetry
+
+            RunTelemetry(
+                max_spans=spec.telemetry.max_spans,
+                profiling=spec.telemetry.profiling,
+            ).attach(self._simulation)
         return self._simulation
 
     @property

@@ -36,6 +36,7 @@ __all__ = [
     "ExecutionSpec",
     "FaultEvent",
     "FaultSpec",
+    "TelemetrySpec",
     "ScenarioSpec",
 ]
 
@@ -499,6 +500,55 @@ class FaultSpec:
         )
 
 
+@dataclass(frozen=True)
+class TelemetrySpec:
+    """The run's observability plane (default: off, constructing nothing).
+
+    ``enabled=True`` makes ``Deployment.build`` attach a
+    :class:`~repro.obs.telemetry.RunTelemetry` observer to the built
+    simulation: metrics, round-trip span tracing, and (with
+    ``profiling``) wall-clock phase profiling of the real hot paths.
+    The observer is strictly read-only — a telemetry-on run produces
+    the same traces, losses, and event order as a telemetry-off run —
+    and the default (falsy) spec is omitted from the canonical JSON so
+    existing sweep-cache fingerprints are unchanged.
+
+    ``max_spans`` bounds the tracer's completed-span ring (exact
+    per-name tallies survive eviction).
+    """
+
+    enabled: bool = False
+    max_spans: int = 100_000
+    profiling: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "enabled", bool(self.enabled))
+        object.__setattr__(self, "max_spans", int(self.max_spans))
+        object.__setattr__(self, "profiling", bool(self.profiling))
+        if self.max_spans < 1:
+            raise SpecError("telemetry.max_spans", "must be at least 1")
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "max_spans": self.max_spans,
+            "profiling": self.profiling,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "TelemetrySpec":
+        data = _expect_mapping(data, "telemetry")
+        _check_keys(data, ("enabled", "max_spans", "profiling"), "telemetry")
+        return cls(
+            enabled=data.get("enabled", False),
+            max_spans=data.get("max_spans", 100_000),
+            profiling=data.get("profiling", True),
+        )
+
+
 # ---------------------------------------------------------------------------
 # The scenario spec
 # ---------------------------------------------------------------------------
@@ -565,9 +615,17 @@ def _apply_override(doc: dict, path: str, value: Any) -> None:
             )
         doc.setdefault("faults", {"events": [], "seed": None})["seed"] = value
         return
+    if head == "telemetry":
+        if rest not in {f.name for f in dataclasses.fields(TelemetrySpec)}:
+            raise SpecError(path, f"unknown telemetry field {rest!r}")
+        doc.setdefault(
+            "telemetry", {"enabled": False, "max_spans": 100_000, "profiling": True}
+        )[rest] = value
+        return
     raise SpecError(
         path,
-        "unknown section; use population/tasks/plane/system/execution/faults/seed",
+        "unknown section; use population/tasks/plane/system/execution/"
+        "faults/telemetry/seed",
     )
 
 
@@ -594,6 +652,7 @@ class ScenarioSpec:
     system: tuple[tuple[str, Any], ...] = ()
     execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     faults: FaultSpec = field(default_factory=FaultSpec)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.population, PopulationSpec):
@@ -604,6 +663,8 @@ class ScenarioSpec:
             raise SpecError("execution", "must be an ExecutionSpec")
         if not isinstance(self.faults, FaultSpec):
             raise SpecError("faults", "must be a FaultSpec")
+        if not isinstance(self.telemetry, TelemetrySpec):
+            raise SpecError("telemetry", "must be a TelemetrySpec")
         object.__setattr__(self, "tasks", tuple(self.tasks))
         for i, task in enumerate(self.tasks):
             if not isinstance(task, TaskSpec):
@@ -747,6 +808,8 @@ class ScenarioSpec:
         # existing sweep-cache fingerprint — is unchanged.
         if self.faults:
             doc["faults"] = self.faults.to_dict()
+        if self.telemetry:
+            doc["telemetry"] = self.telemetry.to_dict()
         return doc
 
     @classmethod
@@ -755,7 +818,8 @@ class ScenarioSpec:
         data = _expect_mapping(data, "scenario")
         _check_keys(
             data,
-            ("population", "tasks", "plane", "system", "execution", "faults"),
+            ("population", "tasks", "plane", "system", "execution", "faults",
+             "telemetry"),
             "scenario",
         )
         if "population" not in data:
@@ -770,6 +834,7 @@ class ScenarioSpec:
             system=_expect_mapping(data.get("system") or {}, "system"),
             execution=ExecutionSpec.from_dict(data.get("execution") or {}),
             faults=FaultSpec.from_dict(data.get("faults") or {}),
+            telemetry=TelemetrySpec.from_dict(data.get("telemetry") or {}),
         )
 
     # -- declarative overrides (what sweeps grid over) ----------------------

@@ -272,6 +272,12 @@ class ShardWorkerPool:
         Barrier patience before the pool is declared wedged.
     """
 
+    # Set by repro.obs.telemetry.RunTelemetry.attach when wall-clock
+    # profiling is on: slab writes + dispatch ("pool_dispatch") and the
+    # merge-barrier ack wait ("pool_barrier") feed a PhaseProfiler.
+    # None (the default) keeps the dispatch path timing-free.
+    profiler = None
+
     def __init__(
         self,
         num_shards: int,
@@ -389,18 +395,24 @@ class ShardWorkerPool:
 
     def fold_scalar(self, shard_id: int, delta: np.ndarray, weight: float) -> None:
         """Asynchronously fold one arrival into ``shard_id``'s partial."""
+        t0 = time.perf_counter() if self.profiler is not None else 0.0
         slot = self._take_slot()
         self.inputs[slot, :] = delta
         self._dispatch(shard_id, (slot,), (float(weight),), False)
+        if self.profiler is not None:
+            self.profiler.record("pool_dispatch", time.perf_counter() - t0)
 
     def fold_group(self, shard_id: int, deltas, weights) -> None:
         """Asynchronously fold a grouped block into ``shard_id``'s partial."""
+        t0 = time.perf_counter() if self.profiler is not None else 0.0
         task_slots = tuple(self._take_slot() for _ in deltas)
         for slot, delta in zip(task_slots, deltas):
             self.inputs[slot, :] = delta
         self._dispatch(
             shard_id, task_slots, tuple(float(w) for w in weights), True
         )
+        if self.profiler is not None:
+            self.profiler.record("pool_dispatch", time.perf_counter() - t0)
 
     # -- synchronization -------------------------------------------------------
 
@@ -431,6 +443,7 @@ class ShardWorkerPool:
         Raises :class:`WorkerPoolError` (and marks the pool unhealthy)
         if a worker dies or the acks stall past ``ack_timeout_s``.
         """
+        t0 = time.perf_counter() if self.profiler is not None else 0.0
         deadline = time.monotonic() + self.ack_timeout_s
         while self._outstanding:
             try:
@@ -451,6 +464,8 @@ class ShardWorkerPool:
                     ) from None
             else:
                 self._outstanding.pop(token, None)
+        if self.profiler is not None:
+            self.profiler.record("pool_barrier", time.perf_counter() - t0)
 
     def partial(self, shard_id: int) -> np.ndarray:
         """Read-only view of one shard's float64 partial row.

@@ -200,6 +200,12 @@ class ShardedFedBuffAggregator(FedBuffAggregator):
         harness only; ``None`` skips all timing).
     """
 
+    # Set by repro.obs.telemetry.RunTelemetry.attach when the spec
+    # enables wall-clock profiling: shard folds and root merges feed a
+    # PhaseProfiler through the same perf_counter seam the plane clock
+    # uses.  None (the default) keeps fold paths timing-free.
+    profiler = None
+
     def __init__(
         self,
         state,
@@ -286,7 +292,8 @@ class ShardedFedBuffAggregator(FedBuffAggregator):
     ) -> tuple[ModelUpdate, ServerStepInfo | None]:
         """Fold one update into its shard; maybe trigger the root merge."""
         self._require_routed(result.client_id)
-        t0 = time.perf_counter() if self.clock is not None else 0.0
+        timed = self.clock is not None or self.profiler is not None
+        t0 = time.perf_counter() if timed else 0.0
         try:
             result, update = self._admit(result)
         except ValueError:
@@ -302,9 +309,13 @@ class ShardedFedBuffAggregator(FedBuffAggregator):
         shard.folds_total += 1
         self._entry_shards.append(shard_id)
         self._entry_weights.append(update.weight)
-        if self.clock is not None:
+        if timed:
             # Admission + fold both run on the shard's thread.
-            self.clock.record_fold(shard_id, time.perf_counter() - t0)
+            dt = time.perf_counter() - t0
+            if self.clock is not None:
+                self.clock.record_fold(shard_id, dt)
+            if self.profiler is not None:
+                self.profiler.record("shard_fold", dt)
 
         info = None
         if self._count >= self.goal:
@@ -351,12 +362,15 @@ class ShardedFedBuffAggregator(FedBuffAggregator):
                 # mid-chunk rejection is still folded.
                 for shard_id in sorted({s for s, _, _ in admitted}):
                     group = [(r, u) for s, r, u in admitted if s == shard_id]
-                    t0 = time.perf_counter() if self.clock is not None else 0.0
+                    timed = self.clock is not None or self.profiler is not None
+                    t0 = time.perf_counter() if timed else 0.0
                     self._fold_group(shard_id, group)
-                    if self.clock is not None:
-                        self.clock.record_fold(
-                            shard_id, time.perf_counter() - t0, n=len(group)
-                        )
+                    if timed:
+                        dt = time.perf_counter() - t0
+                        if self.clock is not None:
+                            self.clock.record_fold(shard_id, dt, n=len(group))
+                        if self.profiler is not None:
+                            self.profiler.record("shard_fold", dt)
             info = self._server_step() if self._count >= self.goal else None
             for i, (_, _, update) in enumerate(admitted):
                 out.append((update, info if i == len(admitted) - 1 else None))
@@ -407,11 +421,16 @@ class ShardedFedBuffAggregator(FedBuffAggregator):
         return np.add.reduce(partials)
 
     def _server_step(self) -> ServerStepInfo:
-        t0 = time.perf_counter() if self.clock is not None else 0.0
+        timed = self.clock is not None or self.profiler is not None
+        t0 = time.perf_counter() if timed else 0.0
         self._buffer = self._merge_shards()
         info = super()._server_step()
-        if self.clock is not None:
-            self.clock.record_merge(time.perf_counter() - t0)
+        if timed:
+            dt = time.perf_counter() - t0
+            if self.clock is not None:
+                self.clock.record_merge(dt)
+            if self.profiler is not None:
+                self.profiler.record("root_merge", dt)
         for shard in self._shards:
             shard.buffer = None
             shard.count = 0

@@ -95,6 +95,13 @@ from repro.harness.chaos import (
     chaos_experiment,
     print_chaos,
 )
+from repro.harness.obs import (
+    ObsPoint,
+    ObsResult,
+    obs_experiment,
+    print_obs,
+    trace_scenario,
+)
 
 __all__ = [
     "DEFAULT",
@@ -167,4 +174,9 @@ __all__ = [
     "ChaosResult",
     "chaos_experiment",
     "print_chaos",
+    "ObsPoint",
+    "ObsResult",
+    "obs_experiment",
+    "print_obs",
+    "trace_scenario",
 ]

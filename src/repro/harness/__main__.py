@@ -25,6 +25,16 @@ Declarative scenario runs/sweeps (any ``repro.api.ScenarioSpec``)::
     python -m repro.harness sweep scenario --spec my_scenario.json \
         --seeds 0..4 --grid plane.num_shards=1,2,4
 
+Telemetry trace export (telemetry forced on for one scenario)::
+
+    python -m repro.harness trace my_scenario.json > trace.jsonl
+    python -m repro.harness trace my_scenario.json --out trace.jsonl \
+        --prom metrics.prom
+
+which writes the merged span+event JSONL trace (stdout or ``--out``)
+and, with ``--prom``, the Prometheus text exposition of the run's
+metrics; the span/event summary goes to stderr.
+
 where ``--grid`` keys are dotted spec-override paths
 (``tasks.0.concurrency``, ``system.cohort_batch_size``, ...).  The
 ``scenario`` experiment is excluded from ``all`` (it has no default
@@ -49,6 +59,7 @@ import traceback
 from repro.harness import configs, registry
 from repro.harness import chaos  # noqa: F401  (registers the chaos experiment)
 from repro.harness import figures  # noqa: F401  (imports register the experiments)
+from repro.harness import obs  # noqa: F401  (registers the obs experiment)
 from repro.harness import perf  # noqa: F401  (registers the cohort experiment)
 from repro.harness import scenario  # noqa: F401  (registers the scenario experiment)
 from repro.harness.cache import ResultCache
@@ -277,6 +288,40 @@ def _sweep_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_main(args: argparse.Namespace) -> int:
+    """``python -m repro.harness trace <spec>``: export one run's telemetry."""
+    doc = _load_spec_doc(args.spec)
+    try:
+        result, report = obs.trace_scenario(
+            doc, t_end=args.t_end, max_spans=args.max_spans
+        )
+    except Exception:
+        print(f"ERROR: trace run failed:\n{traceback.format_exc()}", file=sys.stderr)
+        return 1
+    summary = report.summary()
+    spans = summary["spans"]
+    print(
+        f"[trace: {sum(spans['totals'].values())} spans completed "
+        f"({spans['open']} open, {spans['evicted']} evicted), "
+        f"{sum(summary['events'].values())} events, "
+        f"{sum(len(f['series']) for f in summary['metrics'].values())} "
+        f"metric series]",
+        file=sys.stderr,
+    )
+    jsonl = report.to_jsonl()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(jsonl + "\n")
+        print(f"[wrote trace to {args.out}]", file=sys.stderr)
+    else:
+        print(jsonl)
+    if args.prom:
+        with open(args.prom, "w", encoding="utf-8") as fh:
+            fh.write(report.prometheus())
+        print(f"[wrote metrics exposition to {args.prom}]", file=sys.stderr)
+    return 0
+
+
 def _build_parsers() -> tuple[argparse.ArgumentParser, argparse.ArgumentParser]:
     run_parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -358,6 +403,34 @@ def _build_parsers() -> tuple[argparse.ArgumentParser, argparse.ArgumentParser]:
     return run_parser, sweep_parser
 
 
+def _build_trace_parser() -> argparse.ArgumentParser:
+    trace_parser = argparse.ArgumentParser(
+        prog="python -m repro.harness trace",
+        description="Run one scenario with telemetry forced on and export "
+        "the merged span+event JSONL trace.",
+    )
+    trace_parser.add_argument(
+        "spec", metavar="SPEC", help="ScenarioSpec JSON document to run"
+    )
+    trace_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSONL trace here (default: stdout)",
+    )
+    trace_parser.add_argument(
+        "--prom", default=None, metavar="PATH",
+        help="also write the Prometheus metrics exposition here",
+    )
+    trace_parser.add_argument(
+        "--t-end", type=float, default=None, metavar="SECONDS",
+        help="override the spec's execution.t_end_s horizon",
+    )
+    trace_parser.add_argument(
+        "--max-spans", type=int, default=None, metavar="N",
+        help="override the tracer's retained-span bound",
+    )
+    return trace_parser
+
+
 def _list_main() -> int:
     """``python -m repro.harness list``: one metadata line per experiment.
 
@@ -389,6 +462,8 @@ def main(argv: list[str] | None = None) -> int:
     run_parser, sweep_parser = _build_parsers()
     if argv[:1] == ["sweep"]:
         return _sweep_main(sweep_parser.parse_args(argv[1:]))
+    if argv[:1] == ["trace"]:
+        return _trace_main(_build_trace_parser().parse_args(argv[1:]))
     if argv == ["list"]:
         return _list_main()
     args = run_parser.parse_args(argv)

@@ -1,0 +1,52 @@
+"""Unified observability plane: metrics, tracing, profiling, export.
+
+Everything here is an *observer* of the simulation — deterministic where
+it reads simulated time (metrics, spans), explicitly wall-clock where it
+profiles real hot paths — and strictly read-only: attaching telemetry
+never perturbs a run's RNG draws, event order, traces, or losses.
+"""
+
+from repro.obs.export import (
+    events_to_jsonl,
+    merged_jsonl,
+    spans_to_jsonl,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.profiling import PhaseProfiler
+from repro.obs.telemetry import (
+    METRIC_CATALOG,
+    PHASE_CATALOG,
+    SPAN_CATALOG,
+    RunTelemetry,
+    TelemetryReport,
+)
+from repro.obs.tracing import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Span",
+    "SpanTracer",
+    "PhaseProfiler",
+    "RunTelemetry",
+    "TelemetryReport",
+    "METRIC_CATALOG",
+    "SPAN_CATALOG",
+    "PHASE_CATALOG",
+    "events_to_jsonl",
+    "spans_to_jsonl",
+    "merged_jsonl",
+    "to_prometheus",
+]

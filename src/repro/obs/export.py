@@ -1,0 +1,124 @@
+"""Export formats: JSONL event/span streams and Prometheus text exposition.
+
+Two consumers, two formats:
+
+* **JSONL** — one JSON object per line, each tagged with a ``record``
+  discriminator (``"event"`` for :class:`~repro.utils.logging.EventRecord`
+  rows, ``"span"`` for :class:`~repro.obs.tracing.Span` rows), so one
+  file carries the full causal trace of a run and stream processors can
+  filter by tag.  Events and spans both carry simulated timestamps, so
+  sorting the merged stream by time reconstructs the run.
+
+* **Prometheus text exposition** (version 0.0.4) — the
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot rendered the way
+  a scrape endpoint would serve it: ``# HELP`` / ``# TYPE`` headers,
+  labeled samples, histogram ``_bucket``/``_sum``/``_count`` triplets.
+  Deterministic: families and label sets are emitted sorted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import SpanTracer
+    from repro.utils.logging import EventLog
+
+__all__ = ["spans_to_jsonl", "events_to_jsonl", "merged_jsonl", "to_prometheus"]
+
+
+def spans_to_jsonl(tracer: "SpanTracer") -> str:
+    """Every retained span (completed, then still-open) as JSON lines."""
+    return "\n".join(
+        json.dumps({"record": "span", **doc}, sort_keys=True)
+        for doc in tracer.to_dicts()
+    )
+
+
+def events_to_jsonl(log: "EventLog") -> str:
+    """Every retained structured event as JSON lines."""
+    lines = []
+    for record in log:
+        doc = record.to_dict()
+        lines.append(
+            json.dumps(
+                {"record": "event", **doc},
+                sort_keys=True,
+                default=_event_default,
+            )
+        )
+    return "\n".join(lines)
+
+
+def _event_default(value):
+    from repro.utils.logging import _json_default
+
+    return _json_default(value)
+
+
+def merged_jsonl(tracer: "SpanTracer", log: "EventLog") -> str:
+    """Spans and events merged into one stream, sorted by simulated time.
+
+    Spans sort on their start time; ties break events-first (an event at
+    ``t`` observes state the span starting at ``t`` is about to create).
+    """
+    rows: list[tuple[float, int, str]] = []
+    for line in events_to_jsonl(log).splitlines():
+        rows.append((json.loads(line)["time"], 0, line))
+    for line in spans_to_jsonl(tracer).splitlines():
+        rows.append((json.loads(line)["start_s"], 1, line))
+    rows.sort(key=lambda r: (r[0], r[1]))
+    return "\n".join(line for _, _, line in rows)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(names, values) -> str:
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{n}="{v}"' for n, v in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def to_prometheus(registry: "MetricsRegistry") -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    >>> from repro.obs.metrics import MetricsRegistry
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("uploads_total", "updates received", ("task",))
+    >>> reg.inc("uploads_total", labels=("train",))
+    >>> print(to_prometheus(reg))
+    # HELP uploads_total updates received
+    # TYPE uploads_total counter
+    uploads_total{task="train"} 1
+    """
+    snap = registry.snapshot()
+    lines: list[str] = []
+    for name in sorted(snap):
+        family = snap[name]
+        if family["help"]:
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {family['kind']}")
+        label_names = family["labels"]
+        for values in sorted(family["series"]):
+            sample = family["series"][values]
+            labels = _label_str(label_names, values)
+            if family["kind"] == "histogram":
+                for bound, cum in sample["buckets"].items():
+                    le = _label_str(label_names + ("le",), values + (bound,))
+                    lines.append(f"{name}_bucket{le} {cum}")
+                inf = _label_str(label_names + ("le",), values + ("+Inf",))
+                lines.append(f"{name}_bucket{inf} {sample['count']}")
+                lines.append(f"{name}_sum{labels} {_format_value(sample['sum'])}")
+                lines.append(f"{name}_count{labels} {sample['count']}")
+            else:
+                lines.append(f"{name}{labels} {_format_value(sample)}")
+    return "\n".join(lines)

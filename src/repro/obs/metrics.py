@@ -1,0 +1,368 @@
+"""Deterministic in-process metrics: labeled counters, gauges, histograms.
+
+The registry is the observability plane's numeric surface.  Three design
+constraints shape it:
+
+* **determinism** — instruments never draw randomness and never read the
+  wall clock; a snapshot of the same simulated run is identical across
+  processes and platforms (wall-clock *profiling* lives separately in
+  :mod:`repro.obs.profiling`, outside every determinism contract);
+* **bounded memory at fleet scale** — a family caps its label-set
+  cardinality (``max_series``); observations past the cap fold into one
+  overflow series with an exact count, mirroring the retained-vs-exact
+  split of :class:`repro.sim.trace.BoundedMetricsTrace`, so a
+  million-client run cannot grow an unbounded label space;
+* **zero cost when off** — :class:`NullRegistry` implements the same
+  surface as no-ops handing out shared singleton instruments, so
+  telemetry-off call sites pay one attribute load and nothing else.
+
+Histograms are fixed-bucket (upper bounds chosen at declaration time):
+cumulative bucket counts plus exact sum/count, the Prometheus histogram
+shape, exported by :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+]
+
+#: label values folded into when a family exceeds ``max_series``
+OVERFLOW_LABEL = "_overflow"
+
+#: default histogram bucket bounds (seconds-flavoured, log-spaced)
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0, 1800.0
+)
+
+
+class Counter:
+    """A monotonically non-decreasing count (one labeled series)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can go up and down (one labeled series)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket distribution: bucket counts + exact sum and count."""
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("bucket bounds must be non-empty, sorted, unique")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +inf tail bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Cumulative counts per bound (Prometheus ``le`` semantics),
+        ending with the +inf bucket (== ``count``)."""
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation; +inf tail reports the last bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        for i, c in enumerate(self.bucket_counts):
+            running += c
+            if running >= rank:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+
+class _Family:
+    """One named metric family: kind, help text, labeled series."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "max_series",
+                 "series", "overflowed", "_buckets")
+
+    def __init__(self, name, kind, help_text, label_names, max_series, buckets):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self.max_series = max_series
+        self._buckets = buckets
+        self.series: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+        self.overflowed = 0
+
+    def _make(self):
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self._buckets)
+
+    def labels(self, values: tuple[str, ...]):
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {values!r}"
+            )
+        series = self.series.get(values)
+        if series is None:
+            if len(self.series) >= self.max_series:
+                # Cardinality cap: fold into the overflow series so the
+                # family's totals stay exact while memory stays bounded.
+                self.overflowed += 1
+                values = (OVERFLOW_LABEL,) * len(self.label_names)
+                series = self.series.get(values)
+                if series is None:
+                    series = self.series[values] = self._make()
+                return series
+            series = self.series[values] = self._make()
+        return series
+
+
+class MetricsRegistry:
+    """A deterministic registry of labeled metric families.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("uploads_total", "updates received", ("task",))
+    >>> reg.inc("uploads_total", labels=("train",))
+    >>> reg.inc("uploads_total", labels=("train",), amount=2)
+    >>> reg.snapshot()["uploads_total"]["series"]
+    {('train',): 3.0}
+    """
+
+    def __init__(self, max_series: int = 1024) -> None:
+        if max_series < 1:
+            raise ValueError("max_series must be at least 1")
+        self.max_series = max_series
+        self._families: dict[str, _Family] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Telemetry is live (the :class:`NullRegistry` reports False)."""
+        return True
+
+    # -- declaration --------------------------------------------------------
+
+    def _declare(self, name, kind, help_text, label_names, buckets=None):
+        if not name or not name.replace("_", "").isalnum():
+            raise ValueError(f"bad metric name {name!r}")
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != kind or existing.label_names != tuple(label_names):
+                raise ValueError(f"metric {name!r} re-declared incompatibly")
+            return
+        self._families[name] = _Family(
+            name, kind, help_text, label_names, self.max_series, buckets
+        )
+
+    def counter(self, name: str, help_text: str = "", labels: Iterable[str] = ()):
+        """Declare a counter family (idempotent)."""
+        self._declare(name, "counter", help_text, tuple(labels))
+
+    def gauge(self, name: str, help_text: str = "", labels: Iterable[str] = ()):
+        """Declare a gauge family (idempotent)."""
+        self._declare(name, "gauge", help_text, tuple(labels))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        """Declare a fixed-bucket histogram family (idempotent)."""
+        self._declare(name, "histogram", help_text, tuple(labels), tuple(buckets))
+
+    # -- observation --------------------------------------------------------
+
+    def _series(self, name: str, labels: tuple[str, ...]):
+        family = self._families.get(name)
+        if family is None:
+            raise KeyError(f"metric {name!r} was never declared")
+        # Hot path: callers passing str labels (every emission site in
+        # repro) hit the live series dict directly; the normalizing
+        # str() pass only runs on a miss (first touch, or non-str
+        # label values — which then insert their normalized key).
+        series = family.series.get(labels)
+        if series is not None:
+            return series
+        return family.labels(tuple(str(v) for v in labels))
+
+    def inc(self, name: str, labels: tuple[str, ...] = (), amount: float = 1.0):
+        """Increment a counter (or adjust a gauge) series."""
+        self._series(name, labels).inc(amount)
+
+    def set(self, name: str, value: float, labels: tuple[str, ...] = ()):
+        """Set a gauge series."""
+        self._series(name, labels).set(value)
+
+    def observe(self, name: str, value: float, labels: tuple[str, ...] = ()):
+        """Record one histogram observation."""
+        self._series(name, labels).observe(value)
+
+    # -- reading ------------------------------------------------------------
+
+    def families(self) -> list[str]:
+        """Declared family names, sorted."""
+        return sorted(self._families)
+
+    def get(self, name: str, labels: tuple[str, ...] = ()):
+        """The live instrument of one series (KeyError when absent)."""
+        family = self._families[name]
+        return family.series[tuple(str(v) for v in labels)]
+
+    def value(self, name: str, labels: tuple[str, ...] = ()) -> float:
+        """Scalar value of a counter/gauge series (0.0 when never touched)."""
+        family = self._families[name]
+        series = family.series.get(tuple(str(v) for v in labels))
+        return 0.0 if series is None else series.value
+
+    def snapshot(self) -> dict:
+        """Deterministic nested-dict view of every family and series."""
+        out: dict = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            series: dict = {}
+            for key in sorted(family.series):
+                inst = family.series[key]
+                if isinstance(inst, Histogram):
+                    series[key] = {
+                        "count": inst.count,
+                        "sum": inst.sum,
+                        "buckets": dict(zip(inst.bounds, inst.cumulative())),
+                    }
+                else:
+                    series[key] = inst.value
+            out[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labels": family.label_names,
+                "series": series,
+                "overflowed": family.overflowed,
+            }
+        return out
+
+    def approx_bytes(self) -> int:
+        """Rough in-memory footprint (for the bounded-memory contract)."""
+        total = 0
+        for family in self._families.values():
+            for inst in family.series.values():
+                total += 64
+                if isinstance(inst, Histogram):
+                    total += 8 * (len(inst.bounds) + 1)
+        return total
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The zero-cost registry used when telemetry is off.
+
+    Implements the full :class:`MetricsRegistry` surface as no-ops, so
+    call sites never branch on "is telemetry on" beyond the single
+    ``observer is None`` check the system layer already performs.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def counter(self, name, help_text="", labels=()):
+        """No-op."""
+
+    def gauge(self, name, help_text="", labels=()):
+        """No-op."""
+
+    def histogram(self, name, help_text="", labels=(), buckets=DEFAULT_BUCKETS):
+        """No-op."""
+
+    def inc(self, name, labels=(), amount=1.0):
+        """No-op."""
+
+    def set(self, name, value, labels=()):
+        """No-op."""
+
+    def observe(self, name, value, labels=()):
+        """No-op."""
+
+    def families(self):
+        """Always empty."""
+        return []
+
+    def value(self, name, labels=()):
+        """Always 0.0."""
+        return 0.0
+
+    def snapshot(self):
+        """Always empty."""
+        return {}
+
+    def approx_bytes(self):
+        """Always 0."""
+        return 0
+
+
+#: process-wide shared instance (stateless, so sharing is safe)
+NULL_REGISTRY = NullRegistry()

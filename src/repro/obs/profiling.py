@@ -1,0 +1,109 @@
+"""Wall-clock phase profiling of the real hot paths.
+
+Unlike everything else in the observability plane, this module measures
+*wall* time (``time.perf_counter``), not simulated time: it answers
+"where do the host's cycles actually go" — shard fold kernels, the
+:class:`~repro.core.parallel.ShardWorkerPool` dispatch/merge barriers,
+secure-aggregation block ops.  Wall-clock numbers are therefore outside
+every determinism contract (two runs of the same spec report different
+microseconds); only their *existence* and phase names are pinned.
+
+The profiler keeps per-phase exact count/total plus a ring of the most
+recent ``max_samples`` durations for percentile estimates — a ring, not
+a reservoir, because sampling must not draw randomness (the profiler is
+attached to cores that sit inside deterministic simulations).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = ["PhaseProfiler"]
+
+
+class _PhaseStats:
+    __slots__ = ("count", "total_s", "max_s", "samples")
+
+    def __init__(self, max_samples: int) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+        self.samples: deque[float] = deque(maxlen=max_samples)
+
+
+class PhaseProfiler:
+    """Aggregates wall-clock durations per named phase into percentiles.
+
+    >>> prof = PhaseProfiler()
+    >>> for ms in (1, 2, 3, 4, 5):
+    ...     prof.record("fold", ms / 1000.0)
+    >>> prof.summary()["fold"]["count"]
+    5
+    """
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be at least 1")
+        self.max_samples = max_samples
+        self._phases: dict[str, _PhaseStats] = {}
+
+    def record(self, phase: str, seconds: float) -> None:
+        """Add one measured duration to ``phase``."""
+        stats = self._phases.get(phase)
+        if stats is None:
+            stats = self._phases[phase] = _PhaseStats(self.max_samples)
+        stats.count += 1
+        stats.total_s += seconds
+        if seconds > stats.max_s:
+            stats.max_s = seconds
+        stats.samples.append(seconds)
+
+    @contextmanager
+    def measure(self, phase: str):
+        """Context manager timing its body into ``phase``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(phase, time.perf_counter() - t0)
+
+    # -- reading ------------------------------------------------------------
+
+    def phases(self) -> list[str]:
+        """Observed phase names, sorted."""
+        return sorted(self._phases)
+
+    def count(self, phase: str) -> int:
+        """Exact observation count of one phase (0 when never observed)."""
+        stats = self._phases.get(phase)
+        return 0 if stats is None else stats.count
+
+    def percentile(self, phase: str, q: float) -> float:
+        """q-th percentile (0..100) over the retained sample ring."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        stats = self._phases.get(phase)
+        if stats is None or not stats.samples:
+            return 0.0
+        ordered = sorted(stats.samples)
+        rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-phase aggregate: exact count/total/mean/max + ring percentiles."""
+        out: dict[str, dict[str, float]] = {}
+        for phase in sorted(self._phases):
+            stats = self._phases[phase]
+            out[phase] = {
+                "count": stats.count,
+                "total_s": stats.total_s,
+                "mean_s": stats.total_s / stats.count if stats.count else 0.0,
+                "max_s": stats.max_s,
+                "p50_s": self.percentile(phase, 50.0),
+                "p90_s": self.percentile(phase, 90.0),
+                "p99_s": self.percentile(phase, 99.0),
+                "sampled": len(stats.samples),
+            }
+        return out

@@ -116,9 +116,13 @@ class FleetSimulation:
         trace: MetricsTrace | None = None,
         seed: int = 0,
         sim: Simulator | None = None,
+        observer=None,
     ) -> None:
         self.population = population
         self.config = config or FleetConfig()
+        #: optional repro.obs.telemetry.RunTelemetry; None (the default)
+        #: keeps the hot loops free of any observation cost.
+        self.observer = observer
         self.trace = trace if trace is not None else BoundedMetricsTrace(seed=seed)
         self.sim = sim or Simulator()
         self.rng = child_rng(seed, "fleet")
@@ -204,6 +208,10 @@ class FleetSimulation:
             capacity = max(cfg.demand - self.in_flight, 0)
             admitted, rejected = eligible[:capacity], eligible[capacity:]
             self.turned_away += len(rejected)
+            if self.observer is not None:
+                self.observer.on_fleet_tick(
+                    len(admitted), len(rejected), len(ineligible)
+                )
             self._backoff(np.concatenate([ineligible, rejected]), now)
             if len(admitted):
                 self._start_sessions(admitted, now)
@@ -279,7 +287,10 @@ class FleetSimulation:
             )
         )
         self.trace.record_active_delta(now, -1)
-        if device_id in self._checked_out:
+        deep = device_id in self._checked_out
+        if self.observer is not None:
+            self.observer.on_fleet_session_end(device_id, start, now, failed, deep)
+        if deep:
             self._checked_out.discard(device_id)
             pop.release(device_id)
         self._bucket_one(

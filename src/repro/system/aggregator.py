@@ -47,6 +47,11 @@ class FLTaskRuntime:
     # zero overhead on the upload path.
     fault_gate = None
 
+    # Set (per instance) by repro.obs.telemetry.RunTelemetry.attach when
+    # the spec enables telemetry; None means no observation and zero
+    # overhead beyond the attribute load.
+    observer = None
+
     def __init__(
         self,
         config: TaskConfig,
@@ -193,6 +198,8 @@ class FLTaskRuntime:
             session.abort(Outcome.ABORTED)
             return
         outcome = Outcome.AGGREGATED if update.weight > 0 else Outcome.DISCARDED
+        if self.observer is not None:
+            self.observer.on_update_admitted(session, outcome, update.staleness)
         # complete() fires on_end -> session_ended, which frees the slot.
         session.complete(outcome, staleness=update.staleness)
         if step is not None:
@@ -215,6 +222,8 @@ class FLTaskRuntime:
             self.sim.now, f"task:{self.config.name}", "server_step",
             version=step.version, loss=loss,
         )
+        if self.observer is not None:
+            self.observer.on_server_step(self.config.name, step, loss, self.sim.now)
         # SyncFL: everyone still training when the round closed is
         # discarded (over-selection waste).
         for device_id in step.discarded:
@@ -320,6 +329,8 @@ class AggregatorNode:
         done = start + self.update_process_time_s
         self._thread_free_at[thread] = done
         self.updates_processed += 1
+        if task_rt.observer is not None:
+            task_rt.observer.on_enqueue(task_rt.config.name, start - now)
         self.sim.schedule(done - now, lambda: task_rt.process_update(session, payload))
 
     def queue_depth_seconds(self) -> float:

@@ -190,6 +190,8 @@ class ClientSession:
         model_bytes = self.task_rt.config.model_size_bytes
         delay = self.network.download_time(self.profile, model_bytes)
         self.trace.record_download(model_bytes)
+        if self.task_rt.observer is not None:
+            self.task_rt.observer.on_session_begin(self)
         self._schedule(delay, self._downloaded)
 
     # -- stage 2: local training ----------------------------------------------------
@@ -203,6 +205,8 @@ class ClientSession:
             self.population.config.overhead_s, epochs=cfg.local_epochs
         )
         drop_frac = self.population.dropout_point(self.device_id, self.participation)
+        if self.task_rt.observer is not None:
+            self.task_rt.observer.on_session_downloaded(self)
 
         if drop_frac is not None and drop_frac * self.execution_time < min(
             self.execution_time, cfg.client_timeout_s
@@ -237,6 +241,8 @@ class ClientSession:
             self.profile, upload_bytes
         )
         self.trace.record_upload(upload_bytes)
+        if self.task_rt.observer is not None:
+            self.task_rt.observer.on_session_upload(self)
         self._schedule(delay, lambda: self.task_rt.upload_arrived(self, payload))
 
     # -- terminal transitions ------------------------------------------------------
@@ -301,6 +307,8 @@ class ClientSession:
                 staleness=staleness,
             )
         )
+        if self.task_rt.observer is not None:
+            self.task_rt.observer.on_session_end(self, outcome, exec_time)
         self.on_end(self)
 
     # -- plumbing ------------------------------------------------------------

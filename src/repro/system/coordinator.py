@@ -40,6 +40,10 @@ __all__ = ["Coordinator"]
 class Coordinator:
     """Singleton control plane of the simulated deployment."""
 
+    # Set by repro.obs.telemetry.RunTelemetry.attach when the spec
+    # enables telemetry; None means zero overhead on failover paths.
+    observer = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -168,6 +172,8 @@ class Coordinator:
                 task=name, shard=shard_id, node=node.node_id,
                 reason=reason, retries=self._retry_counts.pop(key, 0),
             )
+            if self.observer is not None:
+                self.observer.on_failover(reason)
             self._retry_after.pop(key, None)
             self._retry_noted_at.pop(key, None)
         if revived:
@@ -292,6 +298,8 @@ class Coordinator:
                             task=name, node=node.node_id, reason=reason,
                             retries=self._retry_counts.get((name, None), 0),
                         )
+                        if self.observer is not None:
+                            self.observer.on_failover(reason)
         # Re-place every unhosted whole task (dropped above, or orphaned
         # by an earlier all-nodes-dead sweep) and retry shards that could
         # not be re-placed earlier — a recovered node picks them up.

@@ -225,6 +225,8 @@ class RunResult:
     trace: MetricsTrace
     log: EventLog
     task_stats: dict[str, TaskStats] = field(default_factory=dict)
+    #: TelemetryReport when the run had telemetry attached, else None
+    telemetry: object | None = None
 
     def stats(self, task: str | None = None) -> TaskStats:
         """Stats for a task (or the only task when unambiguous)."""
@@ -275,6 +277,11 @@ class FederatedSimulation:
         # events; None on the default path, which therefore never pays
         # for fault interception.
         self.fault_injector = None
+        # Set by repro.obs.telemetry.RunTelemetry.attach when the spec
+        # enables telemetry; None on the default path, so telemetry-off
+        # runs pay one attribute load per emission point and nothing
+        # else.
+        self.telemetry = None
 
         self.aggregators = [
             AggregatorNode(
@@ -371,8 +378,11 @@ class FederatedSimulation:
     def _checkin(self) -> None:
         """One device checks in with a Selector (Section 6.1 selection)."""
         self._outstanding_checkins -= 1
+        tel = self.telemetry
         device_id = self._sample_device()
         if device_id is None:
+            if tel is not None:
+                tel.on_checkin("saturated")
             self.sim.schedule(
                 self._checkin_backoff.delay(self._rng_routing), self._pump
             )
@@ -384,11 +394,15 @@ class FederatedSimulation:
             last_end = self._last_participation_end.get(device_id)
             if last_end is not None and self.sim.now - last_end < cooldown:
                 # Participation history says: too soon for this device.
+                if tel is not None:
+                    tel.on_checkin("cooldown")
                 self._pump()
                 return
         if not self.population.is_eligible(device_id, count, time_s=self.sim.now):
             # Device not idle/charging/unmetered right now; it will try
             # again later — meanwhile keep the supply topped up.
+            if tel is not None:
+                tel.on_checkin("ineligible")
             self._pump()
             return
         if self.fault_injector is not None and not self.fault_injector.allow_checkin(
@@ -396,6 +410,8 @@ class FederatedSimulation:
         ):
             # Inside an injected blackout/availability-wave window: the
             # device never reaches a selector.
+            if tel is not None:
+                tel.on_checkin("fault_blocked")
             self._pump()
             return
         selector = self.selectors[
@@ -404,10 +420,14 @@ class FederatedSimulation:
         task_rt, extra_latency = selector.route_checkin()
         if task_rt is None:
             # No demand anywhere (or coordinator down): back off.
+            if tel is not None:
+                tel.on_checkin("no_demand")
             self.sim.schedule(
                 self._checkin_backoff.delay(self._rng_routing), self._pump
             )
             return
+        if tel is not None:
+            tel.on_checkin("assigned")
 
         # checkout/release scope the profile object to the session: a no-op
         # for the cached object population, the lazy-materialization path
@@ -450,6 +470,8 @@ class FederatedSimulation:
         self.coordinator.rebalance_overloaded(
             queue_threshold_s=self.system.rebalance_queue_threshold_s
         )
+        if self.telemetry is not None:
+            self.telemetry.on_heartbeat(self)
         self.sim.schedule(self.system.heartbeat_interval_s, self._heartbeat_loop)
 
     def _pump_loop(self) -> None:
@@ -563,4 +585,6 @@ class FederatedSimulation:
                 aborted=outcomes[Outcome.ABORTED],
                 mean_staleness=float(np.mean(stales)) if stales else 0.0,
             )
+        if self.telemetry is not None:
+            result.telemetry = self.telemetry.finalize(result)
         return result

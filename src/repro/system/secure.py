@@ -32,6 +32,8 @@ version bookkeeping, and abort semantics exactly.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.fedbuff import ServerStepInfo
@@ -84,6 +86,12 @@ class SecureBufferedAggregator:
         so the weighted release is one fused reduction (see
         :class:`repro.secagg.tsa.TrustedSecureAggregator`).
     """
+
+    # Set by repro.obs.telemetry.RunTelemetry.attach when wall-clock
+    # profiling is on: the client-side secure participation
+    # ("secagg_submit") and the epoch unmask + step ("secagg_finalize")
+    # feed a PhaseProfiler.  None (the default) adds no timing.
+    profiler = None
 
     def __init__(
         self,
@@ -295,10 +303,13 @@ class SecureBufferedAggregator:
         "wire" is a method call; the privacy boundary is preserved — the
         epoch server only receives the masked vector and the sealed seed.
         """
+        t0 = time.perf_counter() if self.profiler is not None else 0.0
         submission, weight, w_int, staleness = self._prepare_submission(result)
         if not self._epoch_server.submit(submission):
             raise RuntimeError("secure submission rejected by honest TSA")
         self._record_contribution(result, submission.leg_index, w_int, staleness)
+        if self.profiler is not None:
+            self.profiler.record("secagg_submit", time.perf_counter() - t0)
 
         update = ModelUpdate(result=result, arrival_version=self.version, weight=weight)
         info = None
@@ -388,6 +399,7 @@ class SecureBufferedAggregator:
 
     def _finalize_epoch(self) -> ServerStepInfo:
         """Unmask the weighted aggregate, step the model, roll the epoch."""
+        t0 = time.perf_counter() if self.profiler is not None else 0.0
         server, tsa = self._epoch_server, self._epoch_tsa
         weighted_sum = server.finalize(
             weights=self._epoch_weights, max_abs=self.clip_value
@@ -411,6 +423,8 @@ class SecureBufferedAggregator:
         )
         self.step_history.append(info)
         self._begin_epoch()
+        if self.profiler is not None:
+            self.profiler.record("secagg_finalize", time.perf_counter() - t0)
         return info
 
     def __repr__(self) -> str:

@@ -5,7 +5,9 @@ Two mechanisms, both also run by the CI docs job:
 * ``tools/check_docs.py`` — ``docs/EXPERIMENTS.md`` is in lockstep with
   the experiment registry (every registered experiment has a section
   with the registry description verbatim and a CLI invocation, and no
-  section documents an unregistered experiment);
+  section documents an unregistered experiment), and
+  ``docs/OBSERVABILITY.md``'s catalog tables list exactly the
+  metrics/spans/phases the observability plane emits;
 * doctests — every ``pycon`` block in the README and ``docs/*.md`` is
   an executable example, run here so the prose can't rot.
 """
@@ -85,6 +87,58 @@ class TestRegistrySync:
             "docs/EXPERIMENTS.md is missing"
         ]
         assert check_docs.main(tmp_path) == 1
+
+
+def drifted_obs_copy(tmp_path, mutate):
+    """A tmp repo root whose OBSERVABILITY.md is ``mutate``-d."""
+    text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src").mkdir()
+    (tmp_path / "docs" / "OBSERVABILITY.md").write_text(
+        mutate(text), encoding="utf-8"
+    )
+    return tmp_path
+
+
+class TestCatalogSync:
+    def test_repo_catalogs_are_in_sync(self, check_docs):
+        problems = check_docs.find_catalog_drift(REPO_ROOT)
+        assert problems == [], "\n".join(problems)
+
+    def test_undocumented_metric_detected(self, check_docs, tmp_path):
+        root = drifted_obs_copy(
+            tmp_path,
+            lambda t: "\n".join(
+                row for row in t.splitlines()
+                if not row.startswith("| `checkins_total`")
+            ),
+        )
+        problems = check_docs.find_catalog_drift(root)
+        assert any("missing `checkins_total`" in p for p in problems)
+
+    def test_phantom_span_detected(self, check_docs, tmp_path):
+        root = drifted_obs_copy(
+            tmp_path,
+            lambda t: t.replace(
+                "| `round_trip` |", "| `ghost_span` | x |\n| `round_trip` |"
+            ),
+        )
+        problems = check_docs.find_catalog_drift(root)
+        assert any("`ghost_span`" in p and "not emit" in p for p in problems)
+
+    def test_missing_catalog_section_detected(self, check_docs, tmp_path):
+        root = drifted_obs_copy(
+            tmp_path,
+            lambda t: t.replace("## Profiling phase catalog", "## Renamed"),
+        )
+        problems = check_docs.find_catalog_drift(root)
+        assert any("no ## Profiling phase catalog" in p for p in problems)
+
+    def test_missing_obs_doc_detected(self, check_docs, tmp_path):
+        (tmp_path / "src").mkdir()
+        assert check_docs.find_catalog_drift(tmp_path) == [
+            "docs/OBSERVABILITY.md is missing"
+        ]
 
 
 class TestDoctests:

@@ -1,0 +1,393 @@
+"""Unit tests for the observability plane (:mod:`repro.obs`).
+
+Covers the metrics registry (labeled families, overflow folding, the
+raw-tuple fast path, the null registry), the span tracer (ring-bounded
+retention, orphan detection, idempotent close), the wall-clock phase
+profiler, both export formats, and the ``telemetry`` spec section.
+"""
+
+import json
+
+import pytest
+
+from repro.api import ScenarioSpec, SpecError, TelemetrySpec
+from repro.obs import (
+    METRIC_CATALOG,
+    NULL_REGISTRY,
+    PHASE_CATALOG,
+    SPAN_CATALOG,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    PhaseProfiler,
+    RunTelemetry,
+    SpanTracer,
+    events_to_jsonl,
+    merged_jsonl,
+    spans_to_jsonl,
+    to_prometheus,
+)
+from repro.obs.metrics import OVERFLOW_LABEL
+from repro.utils.logging import EventLog
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_and_rejects_negative(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "ops", ("kind",))
+        reg.inc("ops_total", ("read",))
+        reg.inc("ops_total", ("read",), amount=2)
+        assert reg.value("ops_total", ("read",)) == 3.0
+        assert reg.value("ops_total", ("write",)) == 0.0  # never touched
+        with pytest.raises(ValueError):
+            reg.inc("ops_total", ("read",), amount=-1)
+
+    def test_gauge_sets_and_adjusts(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", "queue depth")
+        reg.set("depth", 7.5)
+        assert reg.value("depth") == 7.5
+        reg.inc("depth", amount=-2.5)
+        assert reg.value("depth") == 5.0
+
+    def test_histogram_buckets_sum_count(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", "latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            reg.observe("lat", v)
+        hist = reg.get("lat")
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(55.55)
+        assert hist.cumulative() == [1, 2, 3, 4]
+        assert hist.quantile(0.5) == 1.0
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_boundary_observation_lands_in_le_bucket(self):
+        hist = Histogram((1.0, 2.0))
+        hist.observe(1.0)  # Prometheus le semantics: 1.0 <= 1.0
+        assert hist.bucket_counts[0] == 1
+
+    def test_undeclared_metric_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(KeyError):
+            reg.inc("nope_total")
+
+    def test_redeclaration_idempotent_but_incompatible_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "a", ("x",))
+        reg.counter("a_total", "a", ("x",))  # same shape: fine
+        with pytest.raises(ValueError):
+            reg.gauge("a_total")  # kind changed
+        with pytest.raises(ValueError):
+            reg.counter("a_total", "a", ("y",))  # labels changed
+        with pytest.raises(ValueError):
+            reg.counter("bad name!")
+
+    def test_wrong_label_arity_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "a", ("x", "y"))
+        with pytest.raises(ValueError):
+            reg.inc("a_total", ("only-one",))
+
+    def test_cardinality_cap_folds_into_overflow_series(self):
+        reg = MetricsRegistry(max_series=2)
+        reg.counter("c_total", "c", ("k",))
+        for k in ("a", "b", "c", "d", "c"):
+            reg.inc("c_total", (k,))
+        fam = reg.snapshot()["c_total"]
+        # Two live series plus the overflow fold; exact totals survive.
+        assert fam["series"][("a",)] == 1.0
+        assert fam["series"][("b",)] == 1.0
+        assert fam["series"][(OVERFLOW_LABEL,)] == 3.0
+        assert fam["overflowed"] == 3
+        assert sum(fam["series"].values()) == 5.0
+
+    def test_non_str_labels_normalize_to_the_same_series(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total", "n", ("node",))
+        reg.inc("n_total", (7,))      # miss path: normalized to ("7",)
+        reg.inc("n_total", ("7",))    # fast path: hits the same series
+        assert reg.value("n_total", ("7",)) == 2.0
+        assert list(reg.snapshot()["n_total"]["series"]) == [("7",)]
+
+    def test_snapshot_is_deterministic_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total")
+        reg.counter("a_total")
+        reg.inc("z_total")
+        assert list(reg.snapshot()) == ["a_total", "z_total"]
+        assert reg.families() == ["a_total", "z_total"]
+
+    def test_approx_bytes_grows_with_series(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "c", ("k",))
+        before = reg.approx_bytes()
+        reg.inc("c_total", ("a",))
+        assert reg.approx_bytes() > before
+
+    def test_bad_max_series_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_series=0)
+
+
+class TestNullRegistry:
+    def test_null_registry_is_inert(self):
+        reg = NullRegistry()
+        assert reg.enabled is False
+        assert MetricsRegistry().enabled is True
+        reg.counter("c_total")
+        reg.inc("c_total")
+        reg.set("g", 1.0)
+        reg.observe("h", 1.0)
+        assert reg.families() == []
+        assert reg.snapshot() == {}
+        assert reg.value("c_total") == 0.0
+        assert reg.approx_bytes() == 0
+
+    def test_shared_singleton(self):
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+
+
+# ---------------------------------------------------------------------------
+# Span tracer
+# ---------------------------------------------------------------------------
+
+class TestSpanTracer:
+    def test_parented_spans_build_a_tree(self):
+        tracer = SpanTracer()
+        root = tracer.start("round_trip", 0.0, task="train")
+        child = tracer.start("download", 0.0, parent=root)
+        tracer.end(child, 3.0)
+        tracer.end(root, 9.0, status="aggregated")
+        tree = tracer.tree()
+        assert [s.name for s in tree[None]] == ["round_trip"]
+        assert [s.name for s in tree[root]] == ["download"]
+        assert tree[root][0].duration_s == 3.0
+        assert tree[None][0].status == "aggregated"
+        assert tracer.orphans() == []
+
+    def test_end_is_idempotent(self):
+        tracer = SpanTracer()
+        sid = tracer.start("s", 0.0)
+        tracer.end(sid, 1.0, status="ok")
+        tracer.end(sid, 99.0, status="late")  # ignored
+        (span,) = tracer.completed_of("s")
+        assert span.end_s == 1.0 and span.status == "ok"
+        assert tracer.count("s") == 1
+
+    def test_ring_eviction_keeps_exact_tallies(self):
+        tracer = SpanTracer(max_spans=3)
+        for i in range(10):
+            tracer.record("s", float(i), float(i) + 0.5)
+        assert tracer.evicted == 7
+        assert len(list(tracer.completed())) == 3
+        assert tracer.count("s") == 10  # exact despite eviction
+        assert tracer.orphans() == []  # undecidable once evicting
+
+    def test_orphan_detection(self):
+        tracer = SpanTracer()
+        tracer.record("child", 0.0, 1.0, parent=999)  # parent never existed
+        (orphan,) = tracer.orphans()
+        assert orphan.parent_id == 999
+
+    def test_open_parent_is_not_an_orphan(self):
+        tracer = SpanTracer()
+        root = tracer.start("root", 0.0)
+        tracer.record("child", 0.0, 1.0, parent=root)
+        assert tracer.orphans() == []
+        assert tracer.open_count == 1
+        assert [s.name for s in tracer.open_spans()] == ["root"]
+
+    def test_annotate_only_open_spans(self):
+        tracer = SpanTracer()
+        sid = tracer.start("s", 0.0)
+        assert tracer.annotate(sid, fault="outage") is True
+        tracer.end(sid, 1.0)
+        assert tracer.annotate(sid, fault="late") is False
+        (span,) = tracer.completed_of("s")
+        assert span.annotations == [{"fault": "outage"}]
+
+    def test_to_dicts_covers_completed_then_open(self):
+        tracer = SpanTracer()
+        tracer.record("done", 0.0, 1.0)
+        tracer.start("open", 2.0)
+        docs = tracer.to_dicts()
+        assert [d["name"] for d in docs] == ["done", "open"]
+        assert docs[1]["end_s"] is None and docs[1]["status"] == "in_flight"
+        json.dumps(docs)  # JSON-able
+
+    def test_name_totals_and_bounds(self):
+        tracer = SpanTracer()
+        tracer.record("b", 0.0, 1.0)
+        tracer.record("a", 0.0, 1.0)
+        assert tracer.name_totals() == {"a": 1, "b": 1}
+        assert tracer.approx_bytes() > 0
+        with pytest.raises(ValueError):
+            SpanTracer(max_spans=0)
+
+
+# ---------------------------------------------------------------------------
+# Phase profiler
+# ---------------------------------------------------------------------------
+
+class TestPhaseProfiler:
+    def test_record_and_summary(self):
+        prof = PhaseProfiler()
+        for ms in (1, 2, 3, 4, 5):
+            prof.record("fold", ms / 1000.0)
+        summary = prof.summary()["fold"]
+        assert summary["count"] == 5
+        assert summary["total_s"] == pytest.approx(0.015)
+        assert summary["mean_s"] == pytest.approx(0.003)
+        assert summary["max_s"] == pytest.approx(0.005)
+        assert summary["p50_s"] == pytest.approx(0.003)
+        assert prof.phases() == ["fold"]
+        assert prof.count("never") == 0
+
+    def test_sample_ring_bounds_percentiles_not_totals(self):
+        prof = PhaseProfiler(max_samples=4)
+        for i in range(100):
+            prof.record("p", float(i))
+        summary = prof.summary()["p"]
+        assert summary["count"] == 100  # exact
+        assert summary["sampled"] == 4  # ring
+        assert prof.percentile("p", 0.0) == 96.0  # ring holds the newest
+
+    def test_measure_context_manager(self):
+        prof = PhaseProfiler()
+        with prof.measure("body"):
+            pass
+        assert prof.count("body") == 1
+        assert prof.summary()["body"]["total_s"] >= 0.0
+
+    def test_validation(self):
+        prof = PhaseProfiler()
+        with pytest.raises(ValueError):
+            prof.percentile("p", 101.0)
+        with pytest.raises(ValueError):
+            PhaseProfiler(max_samples=0)
+        assert prof.percentile("never", 50.0) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Export formats
+# ---------------------------------------------------------------------------
+
+class TestExport:
+    def test_prometheus_exposition_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations", ("kind",))
+        reg.inc("ops_total", ("read",), 3)
+        reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        reg.observe("lat_seconds", 0.05)
+        reg.observe("lat_seconds", 5.0)
+        text = to_prometheus(reg)
+        assert "# HELP ops_total operations" in text
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{kind="read"} 3' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_sum 5.05" in text
+        assert "lat_seconds_count 2" in text
+        # Deterministic: same registry renders the same text.
+        assert text == to_prometheus(reg)
+
+    def test_spans_and_events_jsonl_tagged(self):
+        tracer = SpanTracer()
+        tracer.record("round", 10.0, 20.0, task="train")
+        log = EventLog()
+        log.emit(5.0, "coordinator", "task_placed", node=0)
+        span_docs = [json.loads(s) for s in spans_to_jsonl(tracer).splitlines()]
+        event_docs = [json.loads(s) for s in events_to_jsonl(log).splitlines()]
+        assert span_docs[0]["record"] == "span"
+        assert event_docs[0]["record"] == "event"
+
+    def test_merged_jsonl_sorts_by_time_events_first(self):
+        tracer = SpanTracer()
+        tracer.record("span_at_5", 5.0, 6.0)
+        log = EventLog()
+        log.emit(5.0, "c", "event_at_5")
+        log.emit(1.0, "c", "event_at_1")
+        docs = [json.loads(s) for s in merged_jsonl(tracer, log).splitlines()]
+        kinds = [(d["record"], d.get("kind") or d.get("name")) for d in docs]
+        assert kinds == [
+            ("event", "event_at_1"),
+            ("event", "event_at_5"),  # tie at t=5: the event sorts first
+            ("span", "span_at_5"),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Catalogs and the RunTelemetry registry wiring
+# ---------------------------------------------------------------------------
+
+class TestCatalogs:
+    def test_run_telemetry_declares_the_whole_catalog(self):
+        telemetry = RunTelemetry()
+        assert telemetry.metrics.families() == sorted(METRIC_CATALOG)
+
+    def test_catalogs_are_non_empty_and_described(self):
+        for catalog in (SPAN_CATALOG, PHASE_CATALOG):
+            assert catalog
+            for name, help_text in catalog.items():
+                assert name and help_text
+
+    def test_profiling_opt_out(self):
+        assert RunTelemetry(profiling=False).profiler is None
+        assert RunTelemetry().profiler is not None
+
+
+# ---------------------------------------------------------------------------
+# The telemetry spec section
+# ---------------------------------------------------------------------------
+
+class TestTelemetrySpec:
+    def test_default_is_falsy_and_omitted_from_canonical_doc(self):
+        spec = TelemetrySpec()
+        assert not spec
+        doc = ScenarioSpec.from_dict(
+            {"population": {"n_devices": 10},
+             "tasks": [{"name": "train"}]}
+        ).to_dict()
+        # Default telemetry stays out of the canonical JSON so existing
+        # sweep-cache fingerprints are unchanged.
+        assert "telemetry" not in doc
+
+    def test_enabled_round_trips_through_the_doc(self):
+        doc = {
+            "population": {"n_devices": 10},
+            "tasks": [{"name": "train"}],
+            "telemetry": {"enabled": True, "max_spans": 64, "profiling": False},
+        }
+        spec = ScenarioSpec.from_dict(doc)
+        assert spec.telemetry.enabled
+        assert spec.telemetry.max_spans == 64
+        assert not spec.telemetry.profiling
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt.telemetry == spec.telemetry
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            TelemetrySpec(max_spans=0)
+        with pytest.raises(SpecError):
+            TelemetrySpec.from_dict({"enabled": True, "bogus": 1})
+
+    def test_dotted_override_reaches_the_telemetry_section(self):
+        base = ScenarioSpec.from_dict(
+            {"population": {"n_devices": 10}, "tasks": [{"name": "train"}]}
+        )
+        spec = base.with_overrides({"telemetry.enabled": True})
+        assert spec.telemetry.enabled
+        with pytest.raises(SpecError):
+            base.with_overrides({"telemetry.bogus": 1})

@@ -13,6 +13,7 @@ SUBPACKAGES = [
     "repro.system",
     "repro.client",
     "repro.harness",
+    "repro.obs",
     "repro.utils",
 ]
 

@@ -14,6 +14,12 @@ check makes each of those a CI failure:
 * each section contains a fenced code block with the experiment's CLI
   invocation (``python -m repro.harness <name>``).
 
+``docs/OBSERVABILITY.md`` is held to the same standard against the
+observability catalogs (``repro.obs.telemetry``): each catalog table —
+metrics, spans, profiling phases — must list exactly the names the
+plane emits (``METRIC_CATALOG`` / ``SPAN_CATALOG`` / ``PHASE_CATALOG``),
+both directions.
+
 Run from the repository root (CI does, in the docs job)::
 
     python tools/check_docs.py
@@ -28,16 +34,20 @@ import re
 import sys
 
 DOC_FILE = "docs/EXPERIMENTS.md"
+OBS_DOC_FILE = "docs/OBSERVABILITY.md"
 
 #: a catalogue section heading: ### `name`
 HEADING = re.compile(r"^### `([a-z0-9_]+)`\s*$", re.MULTILINE)
+
+#: a catalog table row: | `name` | ...
+TABLE_ROW = re.compile(r"^\| `([a-z0-9_]+)` \|", re.MULTILINE)
 
 
 def load_registry(root: pathlib.Path):
     """Import the populated registry from the repo's ``src/`` tree."""
     sys.path.insert(0, str(root / "src"))
     # Importing the runner modules executes their register() calls.
-    from repro.harness import chaos, figures, perf, scenario  # noqa: F401
+    from repro.harness import chaos, figures, obs, perf, scenario  # noqa: F401
     from repro.harness import registry
 
     return registry
@@ -92,19 +102,65 @@ def find_drift(root: pathlib.Path) -> list[str]:
     return problems
 
 
+def _doc_table_names(text: str, heading: str) -> set[str] | None:
+    """Backticked first-column entries of the table under ``## heading``."""
+    match = re.search(rf"^## {re.escape(heading)}\s*$", text, re.MULTILINE)
+    if match is None:
+        return None
+    end = re.search(r"^## ", text[match.end():], re.MULTILINE)
+    section = text[match.end():match.end() + end.start() if end else len(text)]
+    return set(TABLE_ROW.findall(section))
+
+
+def find_catalog_drift(root: pathlib.Path) -> list[str]:
+    """Every way OBSERVABILITY.md disagrees with the emitted catalogs."""
+    sys.path.insert(0, str(root / "src"))
+    from repro.obs.telemetry import METRIC_CATALOG, PHASE_CATALOG, SPAN_CATALOG
+
+    doc_path = root / OBS_DOC_FILE
+    if not doc_path.is_file():
+        return [f"{OBS_DOC_FILE} is missing"]
+    text = doc_path.read_text(encoding="utf-8")
+
+    problems = []
+    for heading, catalog in (
+        ("Metric catalog", METRIC_CATALOG),
+        ("Span catalog", SPAN_CATALOG),
+        ("Profiling phase catalog", PHASE_CATALOG),
+    ):
+        documented = _doc_table_names(text, heading)
+        if documented is None:
+            problems.append(f"{OBS_DOC_FILE}: no ## {heading} section")
+            continue
+        for name in sorted(set(catalog) - documented):
+            problems.append(
+                f"{OBS_DOC_FILE}: {heading} table is missing `{name}` "
+                f"(emitted by repro.obs.telemetry)"
+            )
+        for name in sorted(documented - set(catalog)):
+            problems.append(
+                f"{OBS_DOC_FILE}: {heading} table documents `{name}`, "
+                f"which the plane does not emit"
+            )
+    return problems
+
+
 def main(root: str | pathlib.Path = ".") -> int:
-    problems = find_drift(pathlib.Path(root))
+    problems = find_drift(pathlib.Path(root)) + find_catalog_drift(
+        pathlib.Path(root)
+    )
     if not problems:
         return 0
-    print(f"{DOC_FILE} is out of sync with the experiment registry:\n",
-          file=sys.stderr)
+    print("docs are out of sync with the code:\n", file=sys.stderr)
     for problem in problems:
         print(f"  {problem}", file=sys.stderr)
     print(
-        "\nRe-sync the catalogue: one ### `name` section per registered"
-        " experiment, the registry description verbatim as *italics*, and"
-        " a fenced CLI invocation. The registry metadata lives next to"
-        " each register() call in repro/harness/{figures,perf,scenario,chaos}.py.",
+        "\nRe-sync the catalogues: one ### `name` section per registered"
+        " experiment in EXPERIMENTS.md (registry description verbatim as"
+        " *italics*, a fenced CLI invocation; metadata lives next to each"
+        " register() call in repro/harness/{figures,perf,scenario,chaos,obs}.py)"
+        " and one table row per emitted metric/span/phase in"
+        " OBSERVABILITY.md (catalogs in repro/obs/telemetry.py).",
         file=sys.stderr,
     )
     return 1
