@@ -9,7 +9,7 @@ unit the sweep executor grids over (``tasks.0.concurrency=8,16,32``).
 
 Every spec validates itself at construction: invalid combinations raise
 :class:`SpecError` naming the offending field (``plane.num_shards:
-the 'secure' plane cannot be sharded ...``), so a mis-assembled scenario
+the 'single' plane cannot be sharded ...``), so a mis-assembled scenario
 fails at definition time with an actionable message, not deep inside the
 orchestrator.  ``from_dict(spec.to_dict())`` reconstructs an *equal*
 spec, which is what makes scenario files, sweep grids, and cache
@@ -42,7 +42,15 @@ __all__ = [
 
 #: plane names with dedicated ScenarioSpec semantics (anything else is
 #: treated as a custom registered plane and pinned via SystemConfig.plane)
-BUILTIN_PLANES = ("single", "sharded", "secure")
+BUILTIN_PLANES = ("single", "sharded", "secure", "secure_sharded")
+
+#: planes that fold across ``num_shards`` shard cores (and therefore
+#: accept ``num_shards > 1``, a ``shard_routing`` policy, and the
+#: ``process`` executor)
+SHARDED_PLANES = ("sharded", "secure_sharded")
+
+#: planes that run every task through Asynchronous SecAgg
+SECURE_PLANES = ("secure", "secure_sharded")
 
 
 class SpecError(ValueError):
@@ -306,15 +314,20 @@ class PlaneSpec:
     single-core point — bit-identical to ``"single"`` — so one sweep
     grid axis can span ``plane.num_shards=1,2,4``.
     ``"secure"`` — FedBuff through Asynchronous SecAgg (all tasks).
+    ``"secure_sharded"`` — hierarchical secure aggregation:
+    ``num_shards`` shard TSA+server pairs whose masked group sums merge
+    under one trusted root reducer, bit-identical to ``"secure"`` for
+    any shard count and routing (async tasks only, like both parents;
+    its ``num_shards=1`` point is the degenerate single-TSA plane).
     Any other name must be a custom plane registered in
     :mod:`repro.system.planes`; it is pinned for every task.
 
-    ``executor`` picks where the sharded plane's fold work runs:
+    ``executor`` picks where a sharded plane's fold work runs:
     ``"inline"`` (default — folds on the simulation thread, speedup
     modeled by the plane clock) or ``"process"`` (folds on real
     ``multiprocessing`` shard workers over shared memory, bit-identical
-    to inline; see :mod:`repro.core.parallel`).  Only the sharded plane
-    takes a non-default executor.
+    to inline; see :mod:`repro.core.parallel`).  Only the two sharded
+    planes take a non-default executor.
     """
 
     name: str = "single"
@@ -328,25 +341,34 @@ class PlaneSpec:
         object.__setattr__(self, "num_shards", int(self.num_shards))
         if self.num_shards < 1:
             raise SpecError("plane.num_shards", "must be at least 1")
-        if self.name != "sharded" and self.num_shards != 1:
+        if self.name not in SHARDED_PLANES and self.num_shards != 1:
+            hint = (
+                "plane.name='secure_sharded' shards secure aggregation "
+                "(shard TSAs merge masked group sums under a trusted root)"
+                if self.name == "secure"
+                else "plane.name='sharded' shards the float fold"
+            )
             raise SpecError(
                 "plane.num_shards",
-                f"the {self.name!r} plane cannot be sharded — only "
-                "plane.name='sharded' takes num_shards > 1 (its "
-                "num_shards=1 point is the degenerate single-core plane, "
-                "so a shard-count sweep axis can span 1,2,4), and secure + "
-                "sharded does not compose: the TSA releases one unmask "
-                "vector per buffer",
+                f"the {self.name!r} plane cannot be sharded — "
+                f"{hint}; a sharded plane's num_shards=1 point is the "
+                "degenerate single-core plane, so a shard-count sweep "
+                "axis can span 1,2,4",
+            )
+        if not self.shard_routing or not isinstance(self.shard_routing, str):
+            raise SpecError(
+                "plane.shard_routing", "must be a non-empty string"
             )
         if self.executor not in ("inline", "process"):
             raise SpecError(
                 "plane.executor", "must be 'inline' or 'process'"
             )
-        if self.executor != "inline" and self.name != "sharded":
+        if self.executor != "inline" and self.name not in SHARDED_PLANES:
             raise SpecError(
                 "plane.executor",
                 f"the {self.name!r} plane has no worker backend — only "
-                "plane.name='sharded' takes executor='process'",
+                f"{' or '.join(f'plane.name={p!r}' for p in SHARDED_PLANES)} "
+                "takes executor='process'",
             )
 
     def to_dict(self) -> dict:
@@ -682,14 +704,15 @@ class ScenarioSpec:
             dupes = sorted({n for n in names if names.count(n) > 1})
             raise SpecError("tasks", f"duplicate task names: {', '.join(dupes)}")
 
-        secure = self.plane.name == "secure"
+        secure = self.plane.name in SECURE_PLANES
         for i, task in enumerate(self.tasks):
             if secure and task.mode != "async":
                 raise SpecError(
                     f"tasks[{i}].mode",
-                    f"task {task.name!r} is sync but plane.name='secure' "
-                    "requires async tasks (Asynchronous SecAgg has no "
-                    "synchronous round protocol)",
+                    f"task {task.name!r} is sync but plane.name="
+                    f"{self.plane.name!r} requires async tasks "
+                    "(Asynchronous SecAgg has no synchronous round "
+                    "protocol)",
                 )
             task.task_config(secure=secure)  # raises SpecError on bad combos
 
@@ -755,10 +778,14 @@ class ScenarioSpec:
                     f"no task {task!r}; tasks: {', '.join(sorted(names))}",
                 )
             if event.kind == "worker_kill":
-                if self.plane.name != "sharded" or self.plane.executor != "process":
+                if (
+                    self.plane.name not in SHARDED_PLANES
+                    or self.plane.executor != "process"
+                ):
                     raise SpecError(
                         "faults.events[].kind",
-                        "worker_kill needs plane.name='sharded' with "
+                        "worker_kill needs a sharded plane "
+                        "(plane.name='sharded' or 'secure_sharded') with "
                         "executor='process' — the inline executor has no "
                         "worker process to terminate",
                     )
@@ -775,7 +802,7 @@ class ScenarioSpec:
     def system_config(self) -> SystemConfig:
         """The :class:`SystemConfig` the deployment is built with."""
         kwargs = _thaw_items(self.system)
-        if self.plane.name == "sharded":
+        if self.plane.name in SHARDED_PLANES:
             kwargs["num_shards"] = self.plane.num_shards
             kwargs["shard_routing"] = self.plane.shard_routing
             kwargs["shard_executor"] = self.plane.executor
@@ -785,7 +812,7 @@ class ScenarioSpec:
 
     def task_configs(self) -> list[TaskConfig]:
         """Validated :class:`TaskConfig` objects, in task order."""
-        secure = self.plane.name == "secure"
+        secure = self.plane.name in SECURE_PLANES
         return [t.task_config(secure=secure) for t in self.tasks]
 
     def population_seed(self) -> int:

@@ -70,6 +70,7 @@ from repro.core.sharding import ShardedFedBuffAggregator
 __all__ = [
     "WorkerPoolError",
     "ShardWorkerPool",
+    "SecureShardWorkerPool",
     "ProcessShardedFedBuffAggregator",
     "register_fold_kernel",
     "get_fold_kernel",
@@ -537,6 +538,439 @@ class ShardWorkerPool:
             f"ShardWorkerPool(shards={self.num_shards}, "
             f"vector_length={self.vector_length}, slots={self.slots}, "
             f"kernel={self.fold_kernel!r}, {state})"
+        )
+
+
+# -- secure shard workers ------------------------------------------------------
+
+
+def _secure_worker_main(
+    shard_id: int,
+    num_shards: int,
+    seed: int,
+    goal: int,
+    vector_length: int,
+    group_bits: int,
+    fp_scale: float,
+    clip_value: float,
+    cache_masks: bool,
+    input_name: str,
+    group_name: str,
+    slots: int,
+    task_queue,
+    ack_queue,
+) -> None:
+    """One secure shard lane: the worker OWNS its shard's TSA + server.
+
+    Unlike the float lanes (which only fold), a secure lane runs the
+    whole per-arrival pipeline — deterministic client participation
+    (the client's randomness is keyed by global counters the parent
+    ships with each task), demand leg minting, attestation verification,
+    and the TSA admit — because the 2048-bit modexps are what dominate
+    secure aggregation's critical path; shipping only the fold would
+    leave them serialized on the parent.  Everything is reconstructed
+    from the deployment seed with the exact ``child_rng`` derivations
+    the inline plane uses, so the shard state is bit-identical to an
+    inline shard fed the same arrivals.
+
+    Ops: ``participate`` (async, acked ``"ok"``/``"rejected"``),
+    ``finalize_partial`` (writes the masked weighted sum and the partial
+    unmask into this shard's two group-slab rows), ``begin_round``
+    (epoch re-key), ``meters`` (cumulative boundary bytes, read-only).
+    """
+    from repro.secagg.attestation import SigningAuthority
+    from repro.secagg.client import LogBundle, SecAggClient
+    from repro.secagg.fixedpoint import FixedPointCodec
+    from repro.secagg.groups import PowerOfTwoGroup
+    from repro.secagg.merkle import VerifiableLog
+    from repro.secagg.server import LegPool, SecAggServer
+    from repro.secagg.tsa import TrustedSecureAggregator
+    from repro.utils.rng import child_rng
+
+    group = PowerOfTwoGroup(group_bits)
+    codec = FixedPointCodec(group, scale=fp_scale, clip_value=clip_value)
+    authority = SigningAuthority()
+    tsa = TrustedSecureAggregator(
+        group,
+        vector_length,
+        threshold=goal,
+        authority=authority,
+        rng=child_rng(seed, "tsa-epoch", 0, shard_id),
+        cache_masks=cache_masks,
+    )
+    pool = LegPool(tsa, block_size=1, prefill=0)
+    server = SecAggServer(tsa, codec, leg_pool=pool)
+    log = VerifiableLog()
+    entry = b"manifest|" + tsa.binary_hash
+    index = log.append(entry)
+    bundle = LogBundle(
+        entry=entry,
+        index=index,
+        size=log.size,
+        root=log.root(),
+        proof=log.inclusion_proof(index),
+    )
+    weights: dict[int, int] = {}
+    input_shm = _attach_untracked(input_name)
+    group_shm = _attach_untracked(group_name)
+    inputs = np.ndarray(
+        (slots, vector_length), dtype=np.float32, buffer=input_shm.buf
+    )
+    rows = np.ndarray(
+        (2 * num_shards, vector_length), dtype=np.uint64, buffer=group_shm.buf
+    )
+    try:
+        while True:
+            msg = task_queue.get()
+            if msg is None:
+                break
+            op = msg[0]
+            if op == "participate":
+                _, slot, cid, version, updates_received, w_int, n_ex, token = msg
+                client = SecAggClient(
+                    client_id=cid,
+                    codec=codec,
+                    authority=authority,
+                    expected_binary_hash=tsa.binary_hash,
+                    expected_params_hash=tsa.params_hash,
+                    rng=child_rng(
+                        seed, "secagg-client", cid, version, updates_received
+                    ),
+                )
+                leg = server.assign_leg()
+                submission = client.participate(
+                    inputs[slot].copy(), leg, log_bundle=bundle,
+                    num_examples=n_ex,
+                )
+                if server.submit(submission):
+                    weights[submission.leg_index] = w_int
+                    ack_queue.put((shard_id, token, "ok"))
+                else:
+                    ack_queue.put((shard_id, token, "rejected"))
+            elif op == "finalize_partial":
+                token = msg[1]
+                live = {k: v for k, v in weights.items() if v}
+                masked, total_w = server.masked_weighted_sum(live)
+                unmask = tsa.release_unmask_partial(live)
+                rows[2 * shard_id][:] = masked
+                rows[2 * shard_id + 1][:] = unmask
+                ack_queue.put(
+                    (
+                        shard_id,
+                        token,
+                        (
+                            "partial",
+                            tsa.processed_count,
+                            total_w,
+                            tsa.boundary_bytes_in,
+                            tsa.boundary_bytes_out,
+                        ),
+                    )
+                )
+            elif op == "begin_round":
+                token = msg[1]
+                tsa.begin_round()
+                server.begin_round()
+                weights = {}
+                ack_queue.put((shard_id, token, "round"))
+            else:  # "meters"
+                token = msg[1]
+                ack_queue.put(
+                    (
+                        shard_id,
+                        token,
+                        (
+                            "meters",
+                            tsa.boundary_bytes_in,
+                            tsa.boundary_bytes_out,
+                        ),
+                    )
+                )
+    finally:
+        del inputs, rows
+        input_shm.close()
+        group_shm.close()
+
+
+class SecureShardWorkerPool:
+    """One worker process per *secure* shard; each owns a TSA + server pair.
+
+    The parent writes each arrival's float32 delta into the input slab
+    and dispatches a ``participate`` task carrying the client identity
+    and the global RNG counters; the worker runs the full secure
+    pipeline on it.  At finalize, each participating shard writes its
+    masked weighted group sum and its partial unmask into the uint64
+    group slab (two rows per shard, single-writer) for the parent's root
+    merge.
+
+    The per-epoch dispatch log records every ``participate``'s
+    arguments, and ``ops_total`` counts lifetime dispatches per shard —
+    together they are the inline-replay script: the parent can rebuild a
+    shard's exact state by burning ``ops_total - epoch_ops`` legs off a
+    virgin TSA (catching up its deterministic mint RNG) and replaying
+    the epoch's participations with the same ``child_rng`` derivations.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        vector_length: int,
+        slots: int,
+        *,
+        seed: int,
+        goal: int,
+        group_bits: int = 64,
+        fp_scale: float = 2**16,
+        clip_value: float = 4.0,
+        cache_masks: bool = True,
+        start_method: str | None = None,
+        on_event=None,
+        ack_timeout_s: float = 60.0,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if vector_length < 1:
+            raise ValueError("vector_length must be at least 1")
+        if slots < 1:
+            raise ValueError("slots must be at least 1")
+        if group_bits > 64:
+            raise ValueError("secure worker slabs support group_bits <= 64")
+        self.num_shards = num_shards
+        self.vector_length = vector_length
+        self.slots = slots
+        self.on_event = on_event or _default_on_event
+        self.ack_timeout_s = ack_timeout_s
+        self.healthy = True
+
+        ctx = multiprocessing.get_context(start_method)
+        self._input_shm = shared_memory.SharedMemory(
+            create=True, size=slots * vector_length * 4
+        )
+        self._group_shm = shared_memory.SharedMemory(
+            create=True, size=2 * num_shards * vector_length * 8
+        )
+        self.inputs = np.ndarray(
+            (slots, vector_length), dtype=np.float32, buffer=self._input_shm.buf
+        )
+        self._rows = np.ndarray(
+            (2 * num_shards, vector_length),
+            dtype=np.uint64,
+            buffer=self._group_shm.buf,
+        )
+        self._rows[:] = 0
+        self._task_queues = [ctx.Queue() for _ in range(num_shards)]
+        self._ack_queue = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_secure_worker_main,
+                args=(
+                    sid,
+                    num_shards,
+                    seed,
+                    goal,
+                    vector_length,
+                    group_bits,
+                    fp_scale,
+                    clip_value,
+                    cache_masks,
+                    self._input_shm.name,
+                    self._group_shm.name,
+                    slots,
+                    self._task_queues[sid],
+                    self._ack_queue,
+                ),
+                daemon=True,
+                name=f"secure-shard-worker-{sid}",
+            )
+            for sid in range(num_shards)
+        ]
+        for p in self._procs:
+            p.start()
+
+        self._free_slots = list(range(slots - 1, -1, -1))
+        self._epoch_slots: list[int] = []
+        self._outstanding: dict[int, int] = {}  # token -> shard id
+        self._results: dict[int, object] = {}   # token -> ack payload
+        self._next_token = 0
+        self.ops_total = [0] * num_shards
+        # Per-epoch dispatch log, in dispatch (= arrival) order:
+        # (shard, slot, client_id, version, updates_received, w_int,
+        #  num_examples) — the inline-replay script for fallback.
+        self._log: list[tuple[int, int, int, int, int, int, int]] = []
+        self._finalizer = weakref.finalize(
+            self,
+            _cleanup,
+            self._procs,
+            self._task_queues,
+            self._ack_queue,
+            [self._input_shm, self._group_shm],
+        )
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _take_slot(self) -> int:
+        if not self._free_slots:
+            self.healthy = False
+            raise WorkerPoolError(
+                f"input slab exhausted ({self.slots} slots in flight; "
+                "shard failover churned more arrivals than one epoch holds)"
+            )
+        slot = self._free_slots.pop()
+        self._epoch_slots.append(slot)
+        return slot
+
+    def _send(self, shard_id: int, msg_head: tuple) -> int:
+        token = self._next_token
+        self._next_token += 1
+        self._outstanding[token] = shard_id
+        self._task_queues[shard_id].put((*msg_head, token))
+        return token
+
+    def participate(
+        self,
+        shard_id: int,
+        delta: np.ndarray,
+        client_id: int,
+        version: int,
+        updates_received: int,
+        w_int: int,
+        num_examples: int,
+    ) -> None:
+        """Asynchronously run one arrival's secure pipeline on its shard."""
+        slot = self._take_slot()
+        self.inputs[slot, :] = delta
+        self._log.append(
+            (shard_id, slot, client_id, version, updates_received, w_int,
+             num_examples)
+        )
+        self.ops_total[shard_id] += 1
+        self._send(
+            shard_id,
+            ("participate", slot, client_id, version, updates_received,
+             w_int, num_examples),
+        )
+
+    # -- synchronization -------------------------------------------------------
+
+    def dead_workers(self) -> list[int]:
+        """Shard ids whose worker process is no longer alive."""
+        return [sid for sid, p in enumerate(self._procs) if not p.is_alive()]
+
+    def kill_worker(self, shard_id: int) -> bool:
+        """Chaos hook: terminate one shard's worker process (SIGTERM)."""
+        if not (0 <= shard_id < self.num_shards):
+            raise ValueError(f"no such shard {shard_id}")
+        proc = self._procs[shard_id]
+        if not proc.is_alive():
+            return False
+        proc.terminate()
+        proc.join(timeout=5.0)
+        return True
+
+    def _drain_until(self, token: int | None) -> None:
+        """Collect acks until ``token`` arrives (or all, when ``None``)."""
+        deadline = time.monotonic() + self.ack_timeout_s
+        while self._outstanding if token is None else token in self._outstanding:
+            try:
+                sid, got, payload = self._ack_queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                dead = self.dead_workers()
+                if dead:
+                    self.healthy = False
+                    raise WorkerPoolError(
+                        f"secure shard worker(s) {dead} died with "
+                        f"{len(self._outstanding)} task(s) outstanding"
+                    ) from None
+                if time.monotonic() > deadline:
+                    self.healthy = False
+                    raise WorkerPoolError(
+                        f"timed out after {self.ack_timeout_s}s waiting for "
+                        f"{len(self._outstanding)} worker ack(s)"
+                    ) from None
+            else:
+                self._outstanding.pop(got, None)
+                self._results[got] = payload
+                if payload == "rejected":
+                    self.healthy = False
+                    raise WorkerPoolError(
+                        f"shard {sid} worker rejected a secure submission"
+                    )
+
+    def barrier(self) -> None:
+        """Wait until every dispatched task has been acked.
+
+        Raises :class:`WorkerPoolError` (and marks the pool unhealthy)
+        if a worker dies, an ack stalls past ``ack_timeout_s``, or a
+        worker reports a rejected submission — all of which the caller
+        handles by replaying the dispatch log inline.
+        """
+        self._drain_until(None)
+        self._results.clear()
+
+    def call(self, shard_id: int, op: str):
+        """Synchronous worker op (``finalize_partial``/``begin_round``/
+        ``meters``); returns the ack payload."""
+        token = self._send(shard_id, (op,))
+        self._drain_until(token)
+        return self._results.pop(token)
+
+    def masked_row(self, shard_id: int) -> np.ndarray:
+        """This shard's masked weighted group sum (after finalize_partial)."""
+        return self._rows[2 * shard_id]
+
+    def unmask_row(self, shard_id: int) -> np.ndarray:
+        """This shard's partial unmask vector (after finalize_partial)."""
+        return self._rows[2 * shard_id + 1]
+
+    # -- epoch lifecycle -------------------------------------------------------
+
+    def reset_epoch(self) -> None:
+        """After a merged server step: free all slots, clear the log."""
+        self._free_slots.extend(self._epoch_slots)
+        self._epoch_slots.clear()
+        self._log.clear()
+
+    def discard_shard(self, shard_id: int) -> None:
+        """Shard failover: excise its slice from the replay log.
+
+        Lifetime ``ops_total`` is deliberately *not* decremented — the
+        worker really minted those legs, so the catch-up count a replay
+        burns off a virgin TSA must include them.
+        """
+        self._log = [t for t in self._log if t[0] != shard_id]
+
+    def epoch_ops(self) -> list[tuple[int, int, int, int, int, int, int]]:
+        """The current epoch's dispatch log (replay script), in order."""
+        return list(self._log)
+
+    def minted_before_epoch(self, shard_id: int) -> int:
+        """Legs the shard's worker minted before the open epoch's ops."""
+        return self.ops_total[shard_id] - sum(
+            1 for t in self._log if t[0] == shard_id
+        )
+
+    # -- teardown --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and release both slabs (idempotent)."""
+        if self._finalizer.alive:
+            self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "SecureShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else ("ok" if self.healthy else "unhealthy")
+        return (
+            f"SecureShardWorkerPool(shards={self.num_shards}, "
+            f"vector_length={self.vector_length}, slots={self.slots}, {state})"
         )
 
 

@@ -57,6 +57,7 @@ __all__ = [
     "AggregationPlaneClock",
     "ShardedFedBuffAggregator",
     "make_routing",
+    "merge_group_partials",
 ]
 
 _MASK64 = (1 << 64) - 1
@@ -142,6 +143,33 @@ def make_routing(policy: str):
     if policy == "load":
         return LoadAwareShardRouting()
     raise ValueError(f"unknown shard routing policy {policy!r}")
+
+
+def merge_group_partials(group, partials, vector_length: int) -> np.ndarray:
+    """Root-reduce per-shard *group* partials in ascending-shard order.
+
+    The exact-arithmetic sibling of
+    :meth:`ShardedFedBuffAggregator._merge_shards`: ``partials`` is a
+    sequence of ``(shard_id, vector)`` pairs of the group's dtype, and
+    the merge folds them with wraparound group addition in strictly
+    ascending ``shard_id`` order.  Group math mod 2^bits is exact, so —
+    unlike the float plane's ulp-tolerance contract — any reassociation
+    of the shard folds is *bit-identical* to the single aggregator's
+    sum; the ascending order is still pinned so the merge is one
+    deterministic convention, not S! equivalent ones.
+
+    Raises ``ValueError`` when shard ids are not strictly ascending; an
+    empty sequence merges to the group identity (all zeros).
+    """
+    ids = [sid for sid, _ in partials]
+    if any(b <= a for a, b in zip(ids, ids[1:])):
+        raise ValueError(
+            f"shard partials must merge in ascending shard order, got {ids}"
+        )
+    merged = group.zeros(vector_length)
+    for _, vec in partials:
+        group.add_into(merged, vec)
+    return merged
 
 
 class AggregationPlaneClock:

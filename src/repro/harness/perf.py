@@ -52,6 +52,22 @@ single-core runner the measured speedup is ~1x and the whole modeled
 speedup shows up as gap).  ``process_identical`` pins the executor's
 bit-identity contract point by point.
 
+The ``secure_shards`` experiment composes the two scale axes the paper
+runs together: buffered asynchronous **secure** aggregation sharded
+across ``S`` shard TSAs under one trusted root reducer
+(:class:`repro.system.secure_sharding.SecureShardedAggregator`).  For
+each (shard count × aggregation goal × vector length) point it drives
+identical arrival sequences through the single secure plane, the inline
+sharded plane (whose :class:`~repro.core.sharding.AggregationPlaneClock`
+yields the modeled lane critical path), and the process executor
+(:class:`repro.system.secure_sharding.ProcessSecureShardedAggregator` —
+each shard's full secure pipeline, modexps included, on its own worker),
+reporting the modeled and the **measured** wall-clock speedups over the
+single plane, per-shard load skew, and two exactness columns the secure
+contract pins with ``==`` rather than a tolerance: final states and step
+structure bit-identical, boundary-byte meters equal across all three
+arms.
+
 The ``million`` experiment measures the *population* axis: the columnar
 struct-of-arrays fleet (:class:`repro.sim.population
 .ColumnarDevicePopulation`) driven by the batched tick loop
@@ -68,9 +84,11 @@ Run / sweep them through the PR-1 harness layer::
     python -m repro.harness cohort
     python -m repro.harness secagg
     python -m repro.harness shards
+    python -m repro.harness secure_shards
     python -m repro.harness million
     python -m repro.harness sweep secagg --seeds 0..2 --json secagg.json
     python -m repro.harness sweep shards --seeds 0..2 --json shards.json
+    python -m repro.harness sweep secure_shards --json secure-shards.json
     python -m repro.harness sweep million --json million.json
 
 so before/after JSON reports of future engine changes land in the same
@@ -110,6 +128,11 @@ from repro.secagg.groups import PowerOfTwoGroup
 from repro.secagg.prng import expand_mask
 from repro.secagg.server import SecAggServer
 from repro.secagg.tsa import TrustedSecureAggregator
+from repro.system.secure import SecureBufferedAggregator
+from repro.system.secure_sharding import (
+    ProcessSecureShardedAggregator,
+    SecureShardedAggregator,
+)
 from repro.utils.rng import child_rng
 
 __all__ = [
@@ -125,6 +148,10 @@ __all__ = [
     "ShardsResult",
     "shards_speedup",
     "print_shards",
+    "SecureShardPoint",
+    "SecureShardsResult",
+    "secure_shards_speedup",
+    "print_secure_shards",
 ]
 
 
@@ -878,6 +905,288 @@ registry.register(
         description=(
             "sharded aggregation plane vs single aggregator: modeled and "
             "measured multi-core speedup + load skew + equivalence"
+        ),
+        default_grid={},
+        uses_scale=False,
+    ),
+    replace=True,
+)
+
+
+# ---------------------------------------------------------------------------
+# Secure sharded plane: hierarchical secure aggregation vs the single plane
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SecureShardPoint:
+    """One (shard count, goal, vector length) secure operating point."""
+
+    num_shards: int
+    routing: str
+    goal: int
+    vector_length: int
+    arrivals: int       # updates driven through all arms
+    single_s: float     # single secure plane full-drive wall clock (best-of)
+    serial_path_s: float  # S=1 clocked run: serial fold + merge path
+    sharded_path_s: float  # inline S-lane critical path (best-of)
+    speedup: float      # modeled: serial_path_s / sharded_path_s
+    process_s: float    # process-executor full-drive wall clock (best-of)
+    measured_speedup: float  # single_s / process_s, on this machine
+    load_skew: float    # max shard lifetime folds / ideal even share
+    bit_identical: bool  # states + step structure exactly equal, all arms
+    boundary_match: bool  # boundary-byte meters equal across all arms
+    process_fallbacks: int  # executor fallbacks across the repeats (0 = clean)
+
+
+@dataclass(frozen=True)
+class SecureShardsResult:
+    """Single-vs-hierarchical secure aggregation across S × K × ℓ."""
+
+    points: list[SecureShardPoint]
+    routing: str
+    repeats: int
+    cpu_count: int      # cores available to the measured process arm
+
+
+def _secure_state(vector_length: int, seed: int):
+    return GlobalModelState(
+        child_rng(seed, "secure-shards-init")
+        .standard_normal(vector_length)
+        .astype(np.float32),
+        FedAdam(lr=0.1),
+    )
+
+
+def _drive_secure(agg, results, *, drain: bool = False) -> float:
+    """Drive one secure arm; returns the full data-plane wall clock.
+
+    Times each ``receive_update`` — client participation, admission,
+    fold, and any epoch finalize — excluding the selection-time
+    ``register_download`` model copy, identically in every arm.  With
+    ``drain`` a final worker barrier is paid for inside the measurement
+    (process arm only).
+    """
+    elapsed = 0.0
+    for r in results:
+        agg.register_download(r.client_id)
+        arrival = TrainingResult(r.client_id, r.delta, r.num_examples,
+                                 r.train_loss, agg.version)
+        t0 = time.perf_counter()
+        agg.receive_update(arrival)
+        elapsed += time.perf_counter() - t0
+    if drain:
+        t0 = time.perf_counter()
+        agg.drain()
+        elapsed += time.perf_counter() - t0
+    return elapsed
+
+
+def _secure_fingerprint(agg):
+    """Everything the exactness contract compares between arms."""
+    return (
+        agg.state.current().copy(),
+        [(i.version, i.num_updates, i.total_weight, i.contributors)
+         for i in agg.step_history],
+        agg.boundary_bytes_in_total,
+        agg.boundary_bytes_out_total,
+    )
+
+
+def secure_shards_speedup(
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    goals: tuple[int, ...] = (8, 24),
+    vector_lengths: tuple[int, ...] = (4096, 16384),
+    epochs: int = 3,
+    population_factor: int = 4,
+    routing: str = "hash",
+    repeats: int = 2,
+    seed: int = 0,
+) -> SecureShardsResult:
+    """Measure hierarchical secure aggregation against the single plane.
+
+    All arms consume *identical* arrival sequences (same deltas,
+    example counts, order; each client registers immediately before its
+    upload, so versions, staleness, and the clients' global-counter-keyed
+    randomness match).  Two speedups come out:
+
+    * **modeled** — the :class:`~repro.core.sharding.AggregationPlaneClock`
+      critical path of the inline ``S``-shard plane (measured per-shard
+      fold costs on ``S`` lanes, the root merge barriering across them)
+      against the *same clocked quantity at S=1*, the serial fold lane.
+      The clock charges server-side work only, so this isolates what
+      hierarchy buys the aggregation plane itself, independent of
+      client-side modexp cost.
+    * **measured** — the process executor's full-drive wall clock (each
+      shard's whole secure pipeline — client participation, leg mint,
+      admit — on its own worker process) against the single plane's full
+      sequential drive, on this machine's real cores.
+
+    Exactness is checked with ``==``: final model states, step
+    structure, and boundary-byte meters must agree across all arms at
+    every point — the group-sum merge reassociates exact uint64 math,
+    so there is no tolerance to hide behind.
+    """
+    points: list[SecureShardPoint] = []
+    for length in vector_lengths:
+        for goal in goals:
+            arrivals = epochs * goal
+            stream_rng = child_rng(seed, "secure-shards-stream", length, goal)
+            results = _arrival_stream(
+                population_factor * goal, arrivals, length, stream_rng
+            )
+            best_single = float("inf")
+            single_fp = None
+            for _ in range(max(1, repeats)):
+                single = SecureBufferedAggregator(
+                    _secure_state(length, seed), goal, length, seed=seed
+                )
+                best_single = min(
+                    best_single, _drive_secure(single, results)
+                )
+                single_fp = _secure_fingerprint(single)
+            # Serial modeled baseline: the same plane clocked at S=1, so
+            # the modeled speedup divides like for like (fold + merge
+            # path, no client-side crypto in either side of the ratio).
+            best_serial = float("inf")
+            for _ in range(max(1, repeats)):
+                serial_clock = AggregationPlaneClock(1)
+                serial = SecureShardedAggregator(
+                    _secure_state(length, seed), goal, length,
+                    num_shards=1, routing=routing,
+                    clock=serial_clock, seed=seed,
+                )
+                _drive_secure(serial, results)
+                best_serial = min(best_serial, serial_clock.elapsed)
+            for num_shards in shard_counts:
+                best_path = float("inf")
+                sharded_fp = None
+                loads = None
+                for _ in range(max(1, repeats)):
+                    clock = AggregationPlaneClock(num_shards)
+                    sharded = SecureShardedAggregator(
+                        _secure_state(length, seed), goal, length,
+                        num_shards=num_shards, routing=routing,
+                        clock=clock, seed=seed,
+                    )
+                    _drive_secure(sharded, results)
+                    best_path = min(best_path, clock.elapsed)
+                    sharded_fp = _secure_fingerprint(sharded)
+                    loads = sharded.shard_loads()
+                best_process = float("inf")
+                process_fallbacks = 0
+                process_fp = None
+                for _ in range(max(1, repeats)):
+                    process = ProcessSecureShardedAggregator(
+                        _secure_state(length, seed), goal, length,
+                        num_shards=num_shards, routing=routing, seed=seed,
+                    )
+                    try:
+                        best_process = min(
+                            best_process,
+                            _drive_secure(process, results, drain=True),
+                        )
+                        process_fallbacks += process.executor_fallbacks
+                        process_fp = _secure_fingerprint(process)
+                    finally:
+                        process.close()
+                identical = bool(
+                    np.array_equal(single_fp[0], sharded_fp[0])
+                    and np.array_equal(single_fp[0], process_fp[0])
+                    and single_fp[1] == sharded_fp[1] == process_fp[1]
+                )
+                boundary = (
+                    single_fp[2:] == sharded_fp[2:] == process_fp[2:]
+                )
+                points.append(
+                    SecureShardPoint(
+                        num_shards=num_shards,
+                        routing=routing,
+                        goal=goal,
+                        vector_length=length,
+                        arrivals=arrivals,
+                        single_s=best_single,
+                        serial_path_s=best_serial,
+                        sharded_path_s=best_path,
+                        speedup=(
+                            best_serial / best_path
+                            if best_path > 0 else float("inf")
+                        ),
+                        process_s=best_process,
+                        measured_speedup=(
+                            best_single / best_process
+                            if best_process > 0 else float("inf")
+                        ),
+                        load_skew=max(loads) / (arrivals / num_shards),
+                        bit_identical=identical,
+                        boundary_match=bool(boundary),
+                        process_fallbacks=process_fallbacks,
+                    )
+                )
+    return SecureShardsResult(
+        points=points,
+        routing=routing,
+        repeats=repeats,
+        cpu_count=len(os.sched_getaffinity(0)),
+    )
+
+
+def print_secure_shards(res: SecureShardsResult) -> None:
+    """Render the secure sharded-plane comparison as text."""
+    print_table(
+        [
+            "S",
+            "K",
+            "len",
+            "single (ms)",
+            "serial path (ms)",
+            "path (ms)",
+            "modeled x",
+            "process (ms)",
+            "measured x",
+            "load skew",
+            "bit-identical",
+            "boundary ok",
+            "fallbacks",
+        ],
+        [
+            [
+                p.num_shards,
+                p.goal,
+                p.vector_length,
+                p.single_s * 1e3,
+                p.serial_path_s * 1e3,
+                p.sharded_path_s * 1e3,
+                p.speedup,
+                p.process_s * 1e3,
+                p.measured_speedup,
+                p.load_skew,
+                p.bit_identical,
+                p.boundary_match,
+                p.process_fallbacks,
+            ]
+            for p in res.points
+        ],
+        title=(
+            f"Secure sharded plane — hierarchical secure aggregation vs the "
+            f"single secure plane ({res.routing} routing, best of "
+            f"{res.repeats}, {res.cpu_count} cores)"
+        ),
+    )
+
+
+def _run_secure_shards(scale: Scale, seed: int, **params) -> SecureShardsResult:
+    return secure_shards_speedup(seed=seed, **params)
+
+
+registry.register(
+    registry.ExperimentSpec(
+        "secure_shards",
+        _run_secure_shards,
+        print_secure_shards,
+        SecureShardsResult,
+        description=(
+            "hierarchical secure aggregation vs the single secure plane: "
+            "modeled and measured speedup + exact equivalence"
         ),
         default_grid={},
         uses_scale=False,

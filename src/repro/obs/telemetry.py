@@ -63,6 +63,9 @@ METRIC_CATALOG: dict[str, tuple[str, str, tuple[str, ...]]] = {
     "secagg_boundary_bytes_total": (
         "counter", "bytes crossing the secure-aggregation trust boundary",
         ("direction",)),
+    "secagg_shard_folds_total": (
+        "counter", "masked updates folded per secure-sharded shard TSA",
+        ("task", "shard")),
     "fleet_arrivals_total": (
         "counter", "fleet tick arrivals by admission status", ("status",)),
     "fleet_sessions_total": (
@@ -94,6 +97,7 @@ SPAN_CATALOG: dict[str, str] = {
     "upload": "report + upload stage of a round-trip",
     "admit": "server-side aggregation of one dequeued upload",
     "round": "one task round: the window between consecutive server steps",
+    "secagg_epoch": "one secure-sharded buffer epoch, closed at its unmask release",
     "fleet_session": "deep-traced session of the columnar fleet driver",
 }
 
@@ -170,6 +174,7 @@ class RunTelemetry:
         self._sessions: dict[int, _SessionSpans] = {}
         self._last_step: dict[str, float] = {}
         self._sim: "FederatedSimulation | None" = None
+        self._secure_cores: dict[str, Any] = {}
         self._swept: dict[tuple[str, tuple[str, ...]], float] = {}
         self._faults_annotated = 0
         for name, (kind, help_text, labels) in METRIC_CATALOG.items():
@@ -298,6 +303,37 @@ class RunTelemetry:
             loss=loss,
         )
         self.metrics.inc("server_steps_total", (task,))
+        core = self._secure_sharded_core(task)
+        if core is not None:
+            self.tracer.record(
+                "secagg_epoch", start, now,
+                task=task, version=step.version,
+                num_updates=step.num_updates,
+                live_shards=len(core.live_shards()),
+                shard_folds=core.shard_loads(),
+            )
+
+    def _secure_sharded_core(self, task: str):
+        """The task's core when it is a secure *sharded* one, else None.
+
+        Duck-typed on the conjunction of per-shard load telemetry and
+        boundary meters — the float sharded core has the former, the
+        single secure core the latter, only ``secure_sharded`` has both.
+        Resolved once per task and cached (read-only lookup)."""
+        if task in self._secure_cores:
+            return self._secure_cores[task]
+        core = None
+        if self._sim is not None:
+            rt = self._sim.task_runtimes.get(task)
+            candidate = getattr(rt, "core", None)
+            if (
+                candidate is not None
+                and hasattr(candidate, "shard_loads")
+                and hasattr(candidate, "boundary_bytes_in_total")
+            ):
+                core = candidate
+        self._secure_cores[task] = core
+        return core
 
     # -- coordinator hooks ----------------------------------------------------
 
@@ -355,7 +391,7 @@ class RunTelemetry:
                 "stale_map_retries_total", (),
                 sum(s.stale_map_retries for s in sim.selectors),
             )
-            for rt in sim.task_runtimes.values():
+            for name, rt in sim.task_runtimes.items():
                 core = rt.core
                 bin_ = getattr(core, "boundary_bytes_in_total", None)
                 if bin_ is not None:
@@ -364,6 +400,13 @@ class RunTelemetry:
                         "secagg_boundary_bytes_total", ("out",),
                         core.boundary_bytes_out_total,
                     )
+                    shard_loads = getattr(core, "shard_loads", None)
+                    if shard_loads is not None:
+                        for sid, folds in enumerate(shard_loads()):
+                            self._sweep(
+                                "secagg_shard_folds_total",
+                                (name, str(sid)), folds,
+                            )
         for kind, total in result.log.kind_totals().items():
             if kind.startswith("fault_") or kind == "upload_lost":
                 self._sweep("fault_events_total", (kind,), total)

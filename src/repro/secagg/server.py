@@ -241,6 +241,35 @@ class SecAggServer:
         """The accepted submissions (masked — safe for the server to hold)."""
         return tuple(self._accepted)
 
+    def masked_weighted_sum(
+        self, weights: dict[int, int]
+    ) -> tuple[np.ndarray, int]:
+        """``Σ w_i·(masked update)_i`` over the accepted submissions.
+
+        The shard-server half of hierarchical secure aggregation: a shard
+        computes its weighted *masked* partial for the root merge without
+        requesting any unmask and without burning the finalize latch —
+        the root performs the single unmask + decode after merging the
+        shard partials in ascending-shard order.  The fold is the exact
+        multiply-accumulate sequence of :meth:`finalize`'s weighted
+        branch (acceptance order, zero weights contribute the identity),
+        so merging shard partials reassociates — never changes — the
+        single server's group sum.
+
+        Returns ``(masked partial, total |w|)``; pure read, callable at
+        most once per epoch's finalize path but safe to recompute.
+        """
+        group = self.codec.group
+        masked = group.zeros(self.tsa.vector_length)
+        tmp = np.empty(self.tsa.vector_length, dtype=group.dtype)
+        total_w = 0
+        for sub in self._accepted:
+            w = weights.get(sub.leg_index, 0)
+            if w:
+                group.mac_into(masked, sub.masked_update, w, tmp)
+                total_w += abs(w)
+        return masked, total_w
+
     # -- steps 7–8: unmask and decode ----------------------------------------
 
     def finalize(

@@ -48,7 +48,12 @@ from repro.secagg.groups import PowerOfTwoGroup
 from repro.secagg.prng import SEED_BYTES, expand_mask, expand_mask_block
 from repro.secagg.sealed import SealedBox, SealError, open_sealed
 
-__all__ = ["KeyExchangeLeg", "ProtocolError", "TrustedSecureAggregator"]
+__all__ = [
+    "KeyExchangeLeg",
+    "ProtocolError",
+    "TrustedSecureAggregator",
+    "TrustedShardReducer",
+]
 
 
 class ProtocolError(RuntimeError):
@@ -432,6 +437,33 @@ class TrustedSecureAggregator:
             )
         return out
 
+    def release_unmask_partial(self, weights: dict[int, int]) -> np.ndarray:
+        """Release ``Σ w_i·m_i`` to a :class:`TrustedShardReducer`.
+
+        The hierarchical variant of :meth:`release_unmask`: a shard-local
+        TSA hands its weighted mask sum to the *root reducer* of the same
+        trust domain, which merges the shard partials and performs the
+        single release that actually crosses the boundary.  Consequently
+        this path
+
+        * skips the local threshold check — no shard sees ``t`` clients
+          on its own; the reducer enforces the *global* threshold over
+          the summed processed counts before any partial is computed;
+        * meters nothing — the partial never leaves the trust domain
+          (the reducer meters the one merged vector that does);
+        * still burns the one-shot release latch: after contributing a
+          partial this TSA ignores all further messages until
+          :meth:`begin_round`, exactly as after a direct release.
+        """
+        if self._released:
+            raise ProtocolError("unmask already released; TSA ignores further requests")
+        unknown = set(weights) - set(self._seeds)
+        if unknown:
+            raise ProtocolError(f"weights reference unprocessed legs {sorted(unknown)}")
+        out = self._weighted_mask_sum(weights)
+        self._released = True
+        return out
+
     # -- round management ------------------------------------------------------
 
     def begin_round(self) -> None:
@@ -452,5 +484,139 @@ class TrustedSecureAggregator:
         self._row_legs = []
         self._pending_fold = []
         self._processed = 0
+        self._released = False
+        self.round_index += 1
+
+
+class TrustedShardReducer:
+    """Root of the hierarchical trust domain (Section 6.3 × Figure 16).
+
+    When secure aggregation is sharded, each shard runs its own
+    :class:`TrustedSecureAggregator` over its arrival slice, and this
+    reducer — conceptually the root enclave of the same trust domain —
+    combines the shard-local weighted mask sums into the *one* unmask
+    vector that crosses the boundary per buffer epoch:
+
+    * it enforces the **global** threshold: the summed processed counts
+      of the participating shards must reach ``t`` before any partial is
+      released (no shard-local count can, or needs to, reach ``t``);
+    * it pulls each shard's partial via
+      :meth:`TrustedSecureAggregator.release_unmask_partial` and merges
+      them in **deterministic ascending-shard order** — group math mod
+      2^bits is exact under wraparound, so the merged vector is
+      bit-identical to the single TSA's weighted release for the same
+      clients and weights, for any shard count and any routing;
+    * it meters exactly one boundary crossing (``merged.nbytes`` out),
+      matching the single plane's release traffic byte for byte, and is
+      one-shot per round like the TSAs it fronts.
+    """
+
+    def __init__(self, group: PowerOfTwoGroup, vector_length: int, threshold: int):
+        if vector_length < 1:
+            raise ValueError("vector_length must be at least 1")
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.group = group
+        self.vector_length = vector_length
+        self.threshold = threshold
+        self._released = False
+        self.round_index = 0
+        self.boundary_bytes_out = 0
+
+    @property
+    def released(self) -> bool:
+        """Whether this round's merged unmask has already been released."""
+        return self._released
+
+    def release_merged_unmask(
+        self,
+        shards: list[tuple[int, TrustedSecureAggregator, dict[int, int]]],
+    ) -> np.ndarray:
+        """Merge shard partial unmasks and release the result exactly once.
+
+        Parameters
+        ----------
+        shards:
+            ``(shard_id, tsa, weights)`` triples in strictly ascending
+            ``shard_id`` order — the deterministic merge order is part of
+            the equivalence contract, so a caller handing shards out of
+            order is a protocol violation, not something to silently fix.
+
+        Raises
+        ------
+        ProtocolError
+            If already released this round, if the shard ids are not
+            strictly ascending, or if the participating shards' summed
+            processed counts fall short of the global threshold.
+        """
+        if self._released:
+            raise ProtocolError(
+                "merged unmask already released; reducer ignores further requests"
+            )
+        ids = [sid for sid, _, _ in shards]
+        if any(b <= a for a, b in zip(ids, ids[1:])):
+            raise ProtocolError(
+                f"shard partials must arrive in ascending shard order, got {ids}"
+            )
+        processed = sum(tsa.processed_count for _, tsa, _ in shards)
+        if processed < self.threshold:
+            raise ProtocolError(
+                f"only {processed} clients aggregated across shards; "
+                f"threshold is {self.threshold}"
+            )
+        merged = self.group.zeros(self.vector_length)
+        for _, tsa, weights in shards:
+            self.group.add_into(merged, tsa.release_unmask_partial(weights))
+        self._released = True
+        self.boundary_bytes_out += merged.nbytes
+        return merged
+
+    def merge_released_partials(
+        self, partials: list[tuple[int, np.ndarray]], processed: int
+    ) -> np.ndarray:
+        """Merge *already-released* shard partials (process-executor path).
+
+        When each shard's TSA lives on its own worker process, the
+        partial unmask vectors arrive as raw group rows (written to a
+        shared slab inside the trust domain) rather than as live
+        :class:`TrustedSecureAggregator` objects.  The contract is
+        otherwise :meth:`release_merged_unmask`'s: strictly ascending
+        shard ids, the **global** threshold enforced over the summed
+        processed counts the workers attest, deterministic ascending
+        merge order, one-shot latch, and exactly one metered boundary
+        crossing for the merged vector.
+
+        Parameters
+        ----------
+        partials:
+            ``(shard_id, partial_unmask)`` pairs in strictly ascending
+            ``shard_id`` order.
+        processed:
+            Total clients processed across the participating shards this
+            round.
+        """
+        if self._released:
+            raise ProtocolError(
+                "merged unmask already released; reducer ignores further requests"
+            )
+        ids = [sid for sid, _ in partials]
+        if any(b <= a for a, b in zip(ids, ids[1:])):
+            raise ProtocolError(
+                f"shard partials must arrive in ascending shard order, got {ids}"
+            )
+        if processed < self.threshold:
+            raise ProtocolError(
+                f"only {processed} clients aggregated across shards; "
+                f"threshold is {self.threshold}"
+            )
+        merged = self.group.zeros(self.vector_length)
+        for _, partial in partials:
+            self.group.add_into(merged, partial)
+        self._released = True
+        self.boundary_bytes_out += merged.nbytes
+        return merged
+
+    def begin_round(self) -> None:
+        """Re-arm the one-shot release for the next buffer epoch."""
         self._released = False
         self.round_index += 1

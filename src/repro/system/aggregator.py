@@ -76,8 +76,23 @@ class FLTaskRuntime:
                 "SecAgg protocol; set mode=ASYNC (the paper's SMPC-based "
                 "synchronous SecAgg is out of scope, Section 5)"
             )
+        self.core = self._build_core(config, adapter)
+
+        self.sessions: dict[int, ClientSession] = {}
+        self.pending_assignments = 0
+        self.node: "AggregatorNode | None" = None  # set on placement
+
+    def _build_core(self, config: TaskConfig, adapter: TrainerAdapter):
+        """Construct the task's aggregation core (the mode/privacy switch).
+
+        Seam for the sharded runtimes: they override this to stand up a
+        sharded core instead, so the base constructor never builds (and
+        throws away) a single-core aggregator — for secure tasks that
+        construction mints a pool of DH legs, which is far too expensive
+        to waste.
+        """
         if config.secure_aggregation:
-            self.core = SecureBufferedAggregator(
+            return SecureBufferedAggregator(
                 adapter.state,
                 goal=config.aggregation_goal,
                 vector_length=adapter.state.size,
@@ -85,8 +100,8 @@ class FLTaskRuntime:
                 max_staleness=config.max_staleness,
                 example_weighting=adapter.recommended_example_weighting,
             )
-        elif config.mode is TrainingMode.ASYNC:
-            self.core = FedBuffAggregator(
+        if config.mode is TrainingMode.ASYNC:
+            return FedBuffAggregator(
                 adapter.state,
                 goal=config.aggregation_goal,
                 staleness_policy=PolynomialStaleness(0.5),
@@ -94,17 +109,12 @@ class FLTaskRuntime:
                 example_weighting=adapter.recommended_example_weighting,
                 normalize_by=adapter.recommended_normalization,
             )
-        else:
-            self.core = SyncRoundAggregator(
-                adapter.state,
-                goal=config.aggregation_goal,
-                over_selection=config.over_selection,
-                example_weighting=adapter.recommended_example_weighting,
-            )
-
-        self.sessions: dict[int, ClientSession] = {}
-        self.pending_assignments = 0
-        self.node: "AggregatorNode | None" = None  # set on placement
+        return SyncRoundAggregator(
+            adapter.state,
+            goal=config.aggregation_goal,
+            over_selection=config.over_selection,
+            example_weighting=adapter.recommended_example_weighting,
+        )
 
     # -- demand (Section 6.2 / Appendix E.3) -----------------------------------
 

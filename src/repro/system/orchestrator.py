@@ -54,12 +54,14 @@ class SystemConfig:
     (bit-equivalent results, identical event order and timings — only the
     simulator's wall-clock drops).
 
-    ``num_shards`` / ``shard_routing`` switch every (async, non-secure)
-    task onto the sharded hierarchical aggregation plane: ``num_shards``
-    shard cores spread across the aggregator pool, clients routed to
-    shards by a routing policy registered in :mod:`repro.system.planes`
-    (``"hash"`` and ``"load"`` built in), one root reducer merging
-    shard partials per server step (see :mod:`repro.system.sharding`).
+    ``num_shards`` / ``shard_routing`` switch every async task onto a
+    sharded hierarchical aggregation plane: ``num_shards`` shard cores
+    spread across the aggregator pool, clients routed to shards by a
+    routing policy registered in :mod:`repro.system.planes` (``"hash"``
+    and ``"load"`` built in), one root reducer merging shard partials
+    per server step (see :mod:`repro.system.sharding`; secure tasks
+    shard too — their root merges *masked group sums*, see
+    :mod:`repro.system.secure_sharding`).
     The default ``num_shards=1`` never constructs any of it — the
     single-aggregator path is byte-for-byte the pre-sharding code.
     ``shard_executor`` picks where shard folds run: ``"inline"``
@@ -75,8 +77,9 @@ class SystemConfig:
 
     ``plane`` selects the aggregation-plane factory from
     :mod:`repro.system.planes`: ``"auto"`` (default) derives it per task
-    — secure tasks → ``"secure"``, ``num_shards > 1`` → ``"sharded"``
-    for async non-secure tasks, else ``"single"`` — while an explicit
+    — secure tasks → ``"secure"`` (``"secure_sharded"`` when
+    ``num_shards > 1``), ``num_shards > 1`` → ``"sharded"`` for async
+    non-secure tasks, else ``"single"`` — while an explicit
     registered name pins every task to that plane (the extension point
     for custom planes).
 

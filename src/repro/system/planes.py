@@ -10,8 +10,9 @@ here, keyed by name, so a new plane/routing/trainer plugs in with one
   laid out over aggregator nodes.  A :class:`PlaneFactory` builds the
   task runtime; ``"single"`` (one :class:`~repro.system.aggregator.
   FLTaskRuntime` on one node), ``"sharded"`` (S shard cores + root
-  reducer spread over the pool) and ``"secure"`` (FedBuff through
-  Asynchronous SecAgg) are built in.
+  reducer spread over the pool), ``"secure"`` (FedBuff through
+  Asynchronous SecAgg) and ``"secure_sharded"`` (S shard TSA+server
+  pairs under one trusted root reducer) are built in.
 * **Shard routings** — client→shard policies for the sharded plane
   (``"hash"``, ``"load"``; see :mod:`repro.core.sharding`).
 * **Trainer adapters** — named factories building
@@ -20,10 +21,12 @@ here, keyed by name, so a new plane/routing/trainer plugs in with one
   can name its trainer (``"surrogate"``, ``"real_lstm"``, or
   ``"external"`` for adapters injected at deployment time).
 
-Plane *selection* (:func:`resolve_plane`) reproduces the orchestrator's
-historical derivation byte-for-byte: secure tasks get the secure plane,
-``num_shards > 1`` shards every async non-secure task, everything else
-runs single.  When a task cannot run on the requested plane the
+Plane *selection* (:func:`resolve_plane`) extends the orchestrator's
+historical derivation: secure tasks get the secure plane — hierarchical
+(``"secure_sharded"``) when ``num_shards > 1``, since masked group sums
+merge exactly across shards — ``num_shards > 1`` shards every async
+non-secure task, everything else runs single.  When a task cannot run
+on the requested plane the
 selection reports a structured fallback (task, requested plane, reason)
 that the orchestrator emits as a ``plane_fallback`` event — the
 misconfiguration is visible in the log instead of silently absorbed.
@@ -39,6 +42,7 @@ from repro.core.surrogate import SurrogateParams
 from repro.core.types import TaskConfig, TrainingMode
 from repro.system.adapters import SurrogateAdapter, TrainerAdapter
 from repro.system.aggregator import FLTaskRuntime
+from repro.system.secure_sharding import SecureShardedFLTaskRuntime
 from repro.system.sharding import ShardedFLTaskRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -174,6 +178,33 @@ class ShardedPlane:
         )
 
 
+class SecureShardedPlane:
+    """Hierarchical secure aggregation: shard TSAs under one trusted root.
+
+    Each shard runs its own long-lived TSA + server pair over its
+    arrival slice; a root reducer merges the *masked* group sums in
+    deterministic ascending-shard order before the epoch's single
+    unmask + decode — bit-identical to the single secure plane for any
+    shard count and routing (see :mod:`repro.system.secure_sharding`).
+    """
+
+    name = "secure_sharded"
+
+    def build(self, ctx: PlaneContext) -> FLTaskRuntime:
+        if not ctx.config.secure_aggregation:
+            raise ValueError(
+                f"task {ctx.config.name!r} is on the secure_sharded plane "
+                "but its TaskConfig has secure_aggregation=False"
+            )
+        return SecureShardedFLTaskRuntime(
+            ctx.config, ctx.adapter, ctx.sim, ctx.trace, ctx.log,
+            on_slot_free=ctx.on_slot_free, cohort=ctx.cohort,
+            num_shards=ctx.system.num_shards,
+            shard_routing=make_routing(ctx.system.shard_routing),
+            executor=ctx.system.shard_executor,
+        )
+
+
 _PLANES = Registry("aggregation plane")
 
 
@@ -195,6 +226,7 @@ def plane_names() -> list[str]:
 register_plane(SinglePlane())
 register_plane(ShardedPlane())
 register_plane(SecurePlane())
+register_plane(SecureShardedPlane())
 
 
 def resolve_plane(
@@ -202,10 +234,12 @@ def resolve_plane(
 ) -> tuple[str, dict[str, str] | None]:
     """Which plane hosts this task, and whether that is a fallback.
 
-    With ``system.plane == "auto"`` (the default) this is exactly the
+    With ``system.plane == "auto"`` (the default) this extends the
     derivation the orchestrator hard-coded before the registry existed:
 
-    * ``secure_aggregation`` tasks → ``"secure"``;
+    * ``secure_aggregation`` tasks → ``"secure"``, or
+      ``"secure_sharded"`` when ``num_shards > 1`` (group sums merge
+      exactly across shards, so sharding composes with SecAgg);
     * ``num_shards > 1`` → ``"sharded"`` for async non-secure tasks;
     * everything else → ``"single"``.
 
@@ -222,11 +256,7 @@ def resolve_plane(
         return system.plane, None
     if config.secure_aggregation:
         if system.num_shards > 1:
-            return "secure", {
-                "requested": "sharded",
-                "reason": "secure aggregation does not compose with the "
-                          "sharded plane (one unmask release per buffer)",
-            }
+            return "secure_sharded", None
         return "secure", None
     if system.num_shards > 1:
         if config.mode is TrainingMode.ASYNC:

@@ -216,6 +216,16 @@ class SecureBufferedAggregator:
         """Clients currently training against this task."""
         return len(self._in_flight)
 
+    @property
+    def _count(self) -> int:
+        """Buffered contributions in the open epoch.
+
+        Named after the float cores' buffer counter so the recovery
+        audit (:func:`repro.sim.faults.recovery_report`) reads the
+        secure planes' buffered-now figure through the same attribute.
+        """
+        return len(self._epoch_contributors)
+
     def stale_clients(self) -> list[int]:
         """In-flight clients beyond the staleness bound (to abort)."""
         return [
@@ -277,12 +287,29 @@ class SecureBufferedAggregator:
             rng=child_rng(self.seed, "secagg-client", result.client_id, self.version,
                           self.updates_received),
         )
-        leg = self._epoch_server.assign_leg()
+        leg = self._assign_leg(result.client_id)
         submission = client.participate(
             result.delta, leg, log_bundle=self._log_bundle,
             num_examples=result.num_examples,
         )
         return submission, weight, w_int, staleness
+
+    def _assign_leg(self, client_id: int):
+        """Hand out the DH leg for one participating client.
+
+        Seam for the sharded subclass: there the leg must come from the
+        client's *routed shard's* TSA — the client-side protocol is
+        otherwise identical (its randomness never depends on the leg).
+        """
+        return self._epoch_server.assign_leg()
+
+    def _submit_one(self, client_id: int, submission) -> bool:
+        """Forward one scalar-path submission to its epoch server.
+
+        Seam for the sharded subclass, which submits to the client's
+        shard-local server and keeps per-shard fold accounting.
+        """
+        return self._epoch_server.submit(submission)
 
     def _record_contribution(
         self, result: TrainingResult, leg_index: int, w_int: int, staleness: int
@@ -305,7 +332,7 @@ class SecureBufferedAggregator:
         """
         t0 = time.perf_counter() if self.profiler is not None else 0.0
         submission, weight, w_int, staleness = self._prepare_submission(result)
-        if not self._epoch_server.submit(submission):
+        if not self._submit_one(result.client_id, submission):
             raise RuntimeError("secure submission rejected by honest TSA")
         self._record_contribution(result, submission.leg_index, w_int, staleness)
         if self.profiler is not None:

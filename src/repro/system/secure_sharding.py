@@ -1,0 +1,992 @@
+"""Hierarchical secure aggregation — sharded TSAs under one trusted root.
+
+PAPAYA runs its two scale axes *together*: buffered asynchronous secure
+aggregation (Section 5) sharded across many aggregators (Section 6.3).
+This module composes the repro's two existing planes the same way
+instead of adding a third beside them:
+
+* each of ``S`` shards runs its own long-lived TSA + server pair
+  (:class:`~repro.secagg.tsa.TrustedSecureAggregator` /
+  :class:`~repro.secagg.server.SecAggServer`) over its arrival slice,
+  with a per-shard :class:`~repro.secagg.server.LegPool` minting DH legs
+  on demand;
+* the untrusted root merges the shards' *masked* weighted group sums in
+  deterministic ascending-shard order
+  (:func:`repro.core.sharding.merge_group_partials`), and the trusted
+  root (:class:`~repro.secagg.tsa.TrustedShardReducer`) merges the
+  matching partial unmasks, enforces the **global** threshold, and
+  releases one unmask vector per buffer epoch;
+* a single decode then yields the weighted aggregate — the server still
+  never observes an individual update in the clear.
+
+Equivalence contract
+--------------------
+Stronger than the float plane's: group math mod 2^bits is exact under
+machine wraparound, so for any shard count and either routing policy the
+merged masked sum, the released unmask, the decoded model delta, and the
+cumulative boundary-byte meters are **exactly equal** (``==``, no
+tolerance) to the single secure plane fed the same arrivals.  Three
+facts make this composition sound:
+
+* a client's mask seed and DH key come from its *own* randomness stream
+  (keyed by global ``version``/``updates_received`` counters, which stay
+  global here), in a fixed order independent of which shard's leg it
+  uses — so per-client masked vectors are bit-identical across planes;
+* per-shard demand-minted legs (``block_size=1``) keep the total legs
+  minted per epoch equal to the single plane's pool amortization, and a
+  shard's partial release never crosses the trust boundary — only the
+  reducer's one merged vector does — so the meters agree byte for byte;
+* wraparound addition is associative and commutative, so reassociating
+  the weighted folds by shard changes no output bit.
+
+Shard failover composes with epoch re-keying exactly like the float
+plane's :meth:`drop_shard`/:meth:`revive_shard`: a dead shard's slice is
+excised from the open epoch (its masked contributions never reached the
+root; the masks cancel out of nothing), routing steers around it, and
+reviving re-keys the shard's TSA round so the survivor state matches a
+single secure aggregator fed only the surviving arrivals.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.fedbuff import ServerStepInfo
+from repro.core.sharding import (
+    AggregationPlaneClock,
+    make_routing,
+    merge_group_partials,
+)
+from repro.core.staleness import PolynomialStaleness
+from repro.core.types import ModelUpdate, TaskConfig, TrainingResult
+from repro.secagg.client import LogBundle
+from repro.secagg.server import LegPool, SecAggServer
+from repro.secagg.tsa import TrustedSecureAggregator, TrustedShardReducer
+from repro.system.adapters import TrainerAdapter
+from repro.system.secure import WEIGHT_SCALE, SecureBufferedAggregator
+from repro.system.sharding import ShardedFLTaskRuntime
+from repro.utils.rng import child_rng
+
+__all__ = [
+    "SecureShardedAggregator",
+    "ProcessSecureShardedAggregator",
+    "SecureShardedFLTaskRuntime",
+]
+
+
+class _SecureShard:
+    """One shard: a TSA + server pair folding masked updates over its slice."""
+
+    __slots__ = (
+        "tsa",
+        "server",
+        "pool",
+        "alive",
+        "in_flight",
+        "count",
+        "folds_total",
+        "weights",
+        "boundary_mark",
+    )
+
+    def __init__(
+        self, tsa: TrustedSecureAggregator, server: SecAggServer, pool: LegPool
+    ) -> None:
+        self.tsa = tsa
+        self.server = server
+        self.pool = pool
+        self.alive = True
+        self.in_flight = 0      # clients routed here and still training
+        self.count = 0          # masked updates accepted this epoch
+        self.folds_total = 0    # lifetime folds (load/skew telemetry)
+        self.weights: dict[int, int] = {}  # leg index -> integer weight
+        self.boundary_mark = (0, 0)
+
+    def load(self) -> int:
+        """Routing load signal: buffered plus in-flight work."""
+        return self.count + self.in_flight
+
+
+class SecureShardedAggregator(SecureBufferedAggregator):
+    """Sharded :class:`SecureBufferedAggregator` (drop-in, same contract).
+
+    Parameters are those of the single secure plane plus:
+
+    num_shards:
+        ``S`` — parallel shard TSA/server pairs folding arrival slices.
+    routing:
+        ``"hash"``, ``"load"``, or a routing object with
+        ``route(client_id, shards) -> shard_id`` (the float plane's
+        policies, reused verbatim).
+    clock:
+        Optional :class:`~repro.core.sharding.AggregationPlaneClock`
+        collecting measured per-fold / per-merge costs into the
+        parallel-lane schedule (perf harness only).
+    """
+
+    def __init__(
+        self,
+        state,
+        goal: int,
+        vector_length: int,
+        *,
+        num_shards: int = 1,
+        routing="hash",
+        clock: AggregationPlaneClock | None = None,
+        **kwargs,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = num_shards
+        self.routing = make_routing(routing) if isinstance(routing, str) else routing
+        self.clock = clock
+        # Populated lazily by the first _begin_epoch (the base constructor
+        # calls it after the group/codec/authority exist).
+        self._shards: list[_SecureShard] = []
+        self._shard_of: dict[int, int] = {}  # client id -> shard id
+        self._reducer: TrustedShardReducer | None = None
+        self._reducer_mark = 0
+        # Per-buffered-entry bookkeeping parallel to the inherited
+        # arrival-order lists; lets drop_shard() excise exactly one
+        # shard's slice of the open epoch.
+        self._entry_shards: list[int] = []
+        self._entry_weights: list[int] = []
+        self.shard_failovers = 0
+        self.last_merged_masked_sum: np.ndarray | None = None
+        self.last_unmask: np.ndarray | None = None
+        super().__init__(state, goal, vector_length, **kwargs)
+
+    # -- epoch management ------------------------------------------------------
+
+    def _begin_epoch(self) -> None:
+        """Open (or re-key) every live shard's Figure 16 session.
+
+        The first call stands up ``S`` long-lived shard TSAs — all with
+        ``threshold = goal``, so every leg's quote binds the *same*
+        params hash a single-plane client would verify — plus the root
+        reducer, and publishes the one manifest entry (every shard runs
+        the same trusted binary).  Every later call re-keys each live
+        shard's round and re-arms the reducer; dead shards are re-keyed
+        at :meth:`revive_shard` time instead.
+        """
+        if not self._shards:
+            for sid in range(self.num_shards):
+                tsa = TrustedSecureAggregator(
+                    self.group,
+                    self.vector_length,
+                    threshold=self.goal,
+                    authority=self.authority,
+                    rng=child_rng(self.seed, "tsa-epoch", 0, sid),
+                    cache_masks=self._cache_masks,
+                )
+                # Demand minting: one leg per arriving client, so the
+                # total legs minted per epoch across shards equals the
+                # single plane's pool amortization (goal legs/epoch) for
+                # any routing — the boundary meters depend on it.
+                pool = LegPool(tsa, block_size=1, prefill=0)
+                server = SecAggServer(tsa, self.codec, leg_pool=pool)
+                self._shards.append(_SecureShard(tsa, server, pool))
+            first = self._shards[0].tsa
+            entry = b"manifest|" + first.binary_hash
+            index = self.log.append(entry)
+            self._log_bundle = LogBundle(
+                entry=entry,
+                index=index,
+                size=self.log.size,
+                root=self.log.root(),
+                proof=self.log.inclusion_proof(index),
+            )
+            # The inherited client-side path reads the expected binary /
+            # params hashes off _epoch_tsa; every shard shares both.
+            self._epoch_tsa = first
+            self._reducer = TrustedShardReducer(
+                self.group, self.vector_length, self.goal
+            )
+        else:
+            for shard in self._shards:
+                if shard.alive:
+                    shard.tsa.begin_round()
+                    shard.server.begin_round()
+            self._reducer.begin_round()
+        for shard in self._shards:
+            shard.boundary_mark = (
+                shard.tsa.boundary_bytes_in,
+                shard.tsa.boundary_bytes_out,
+            )
+            shard.weights = {}
+            shard.count = 0
+        self._reducer_mark = self._reducer.boundary_bytes_out
+        self._epoch_weights = {}
+        self._epoch_weight_total = 0.0
+        self._epoch_staleness = []
+        self._epoch_contributors = []
+        self._entry_shards = []
+        self._entry_weights = []
+
+    # -- client protocol -------------------------------------------------------
+
+    def register_download(self, client_id: int) -> tuple[int, np.ndarray]:
+        """Record the download and route the client to a shard.
+
+        Mirrors the float plane: with *every* shard dead the client is
+        registered but left unrouted — its upload raises at admission
+        exactly like the single aggregator's dead-host path.
+        """
+        out = super().register_download(client_id)
+        previous = self._shard_of.pop(client_id, None)
+        if previous is not None:
+            self._shards[previous].in_flight -= 1
+        try:
+            shard_id = self.routing.route(client_id, self._shards)
+        except RuntimeError:
+            return out
+        self._shard_of[client_id] = shard_id
+        self._shards[shard_id].in_flight += 1
+        return out
+
+    def client_failed(self, client_id: int) -> None:
+        super().client_failed(client_id)
+        shard_id = self._shard_of.pop(client_id, None)
+        if shard_id is not None:
+            self._shards[shard_id].in_flight -= 1
+
+    def shard_of(self, client_id: int) -> int | None:
+        """The shard an in-flight client is routed to (None if unknown)."""
+        return self._shard_of.get(client_id)
+
+    def shard_alive(self, shard_id: int) -> bool:
+        """Whether a shard is currently accepting contributions."""
+        return self._shards[shard_id].alive
+
+    # -- aggregation ------------------------------------------------------------
+
+    def _release_route(self, client_id: int) -> int:
+        shard_id = self._shard_of.pop(client_id)
+        self._shards[shard_id].in_flight -= 1
+        return shard_id
+
+    def _require_routed(self, client_id: int) -> None:
+        """Reject an update whose client never got a shard *before* the
+        client-side participation mutates any accounting."""
+        if client_id in self._in_flight and client_id not in self._shard_of:
+            raise KeyError(
+                f"client {client_id} registered while no shard was live; "
+                "its contribution is lost (plane-wide outage)"
+            )
+
+    def _assign_leg(self, client_id: int):
+        """The participating client's leg comes from its shard's TSA."""
+        return self._shards[self._shard_of[client_id]].server.assign_leg()
+
+    def _submit_one(self, client_id: int, submission) -> bool:
+        """Submit to the client's shard server; keep per-shard accounting."""
+        shard_id = self._release_route(client_id)
+        shard = self._shards[shard_id]
+        timed = self.clock is not None or self.profiler is not None
+        t0 = time.perf_counter() if timed else 0.0
+        ok = shard.server.submit(submission)
+        if timed:
+            dt = time.perf_counter() - t0
+            if self.clock is not None:
+                self.clock.record_fold(shard_id, dt)
+            if self.profiler is not None:
+                self.profiler.record("shard_fold", dt)
+        if ok:
+            shard.count += 1
+            shard.folds_total += 1
+            self._entry_shards.append(shard_id)
+        return ok
+
+    def _record_contribution(
+        self, result: TrainingResult, leg_index: int, w_int: int, staleness: int
+    ) -> None:
+        # The weight lands in the *shard's* leg->weight map (leg indices
+        # are a per-TSA namespace, so a flat epoch map would collide);
+        # the arrival-order lists stay global, like the single plane's.
+        shard_id = self._entry_shards[-1]
+        self._shards[shard_id].weights[leg_index] = w_int
+        self._entry_weights.append(w_int)
+        self._epoch_weight_total += w_int
+        self._epoch_staleness.append(staleness)
+        self._epoch_contributors.append(result.client_id)
+        self.updates_received += 1
+
+    def receive_update(
+        self, result: TrainingResult
+    ) -> tuple[ModelUpdate, ServerStepInfo | None]:
+        self._require_routed(result.client_id)
+        try:
+            return super().receive_update(result)
+        except ValueError:
+            # The version check failed after the in-flight pop; keep the
+            # shard slot consistent, as the float plane does.
+            if result.client_id in self._shard_of:
+                self._release_route(result.client_id)
+            raise
+
+    def receive_update_block(
+        self, results: list[TrainingResult]
+    ) -> list[tuple[ModelUpdate, ServerStepInfo | None]]:
+        """Drain a cohort through per-shard block submissions.
+
+        Semantically identical to calling :meth:`receive_update` once
+        per result, in order (mid-block epochs included) — but each
+        goal-bounded chunk crosses each shard's secure boundary as one
+        ``submit_block``, reusing the block data plane per shard.
+        Aggregates are bit-identical to the per-arrival path: the block
+        fold only reassociates exact group sums.
+        """
+        out: list[tuple[ModelUpdate, ServerStepInfo | None]] = []
+        pos = 0
+        while pos < len(results):
+            take = min(
+                len(results) - pos, self.goal - len(self._epoch_contributors)
+            )
+            chunk = results[pos : pos + take]
+            pos += take
+            pending: dict[int, list] = {}   # shard id -> submissions
+            records: dict[int, list] = {}   # shard id -> (leg, w_int, entry)
+            doomed: list[tuple[int, int, int, int]] = []
+            try:
+                for result in chunk:
+                    self._require_routed(result.client_id)
+                    try:
+                        submission, weight, w_int, staleness = (
+                            self._prepare_submission(result)
+                        )
+                    except ValueError:
+                        if result.client_id in self._shard_of:
+                            self._release_route(result.client_id)
+                        raise
+                    shard_id = self._release_route(result.client_id)
+                    shard = self._shards[shard_id]
+                    shard.server.complete_checkin(submission)
+                    pending.setdefault(shard_id, []).append(submission)
+                    records.setdefault(shard_id, []).append(
+                        (submission.leg_index, w_int, len(self._epoch_contributors))
+                    )
+                    shard.count += 1
+                    shard.folds_total += 1
+                    self._entry_shards.append(shard_id)
+                    self._record_contribution(
+                        result, submission.leg_index, w_int, staleness
+                    )
+                    out.append(
+                        (
+                            ModelUpdate(
+                                result=result,
+                                arrival_version=self.version,
+                                weight=weight,
+                            ),
+                            None,
+                        )
+                    )
+            finally:
+                # Mirror the single plane: everything gathered before a
+                # mid-chunk validation error is still submitted, and
+                # TSA-rejected contributions are rolled back.  Rejections
+                # are collected across shards first and excised in
+                # descending entry order so earlier deletions never shift
+                # later recorded positions.
+                timed = self.clock is not None or self.profiler is not None
+                for shard_id in sorted(pending):
+                    t0 = time.perf_counter() if timed else 0.0
+                    flags = self._shards[shard_id].server.submit_block(
+                        pending[shard_id]
+                    )
+                    if timed:
+                        dt = time.perf_counter() - t0
+                        if self.clock is not None:
+                            self.clock.record_fold(
+                                shard_id, dt, n=len(pending[shard_id])
+                            )
+                        if self.profiler is not None:
+                            self.profiler.record("shard_fold", dt)
+                    for (leg_index, w_int, entry), ok in zip(
+                        records[shard_id], flags
+                    ):
+                        if not ok:
+                            doomed.append((entry, shard_id, leg_index, w_int))
+                for entry, shard_id, leg_index, w_int in sorted(
+                    doomed, reverse=True
+                ):
+                    shard = self._shards[shard_id]
+                    shard.weights.pop(leg_index, None)
+                    shard.count -= 1
+                    shard.folds_total -= 1
+                    self._epoch_weight_total -= w_int
+                    del self._epoch_staleness[entry]
+                    del self._epoch_contributors[entry]
+                    del self._entry_shards[entry]
+                    del self._entry_weights[entry]
+                    self.updates_received -= 1
+            if doomed:
+                raise RuntimeError("secure submission rejected by honest TSA")
+            if len(self._epoch_contributors) >= self.goal:
+                info = self._finalize_epoch()
+                out[-1] = (out[-1][0], info)
+        return out
+
+    def _finalize_epoch(self) -> ServerStepInfo:
+        """Merge shard partials, unmask once, step the model, re-key."""
+        timed = self.clock is not None or self.profiler is not None
+        t0 = time.perf_counter() if self.profiler is not None else 0.0
+        masked_partials: list[tuple[int, np.ndarray]] = []
+        reducer_shards = []
+        total_w = 0
+        for sid, shard in enumerate(self._shards):
+            if not shard.weights:
+                continue  # dead (excised at drop time) or simply empty
+            tp = time.perf_counter() if timed else 0.0
+            masked, w = shard.server.masked_weighted_sum(shard.weights)
+            if timed and self.clock is not None:
+                # Partial extraction runs on the shard's lane; it adds no
+                # fold to the tally (those were counted per arrival).
+                self.clock.record_fold(sid, time.perf_counter() - tp, n=0)
+            masked_partials.append((sid, masked))
+            reducer_shards.append(
+                (sid, shard.tsa, {k: v for k, v in shard.weights.items() if v})
+            )
+            total_w += w
+        tm = time.perf_counter() if timed else 0.0
+        merged_masked = merge_group_partials(
+            self.group, masked_partials, self.vector_length
+        )
+        unmask = self._reducer.release_merged_unmask(reducer_shards)
+        encoded_sum = self.group.sub(merged_masked, unmask)
+        weighted_sum = self.codec.decode_sum(
+            encoded_sum, max(total_w, 1), self.clip_value
+        )
+        self.last_merged_masked_sum = merged_masked
+        self.last_unmask = unmask
+        avg = (weighted_sum / self._epoch_weight_total).astype(np.float32)
+        self.state.apply(avg, len(self._epoch_contributors))
+        self.version += 1
+        self.epochs_completed += 1
+        if timed:
+            dt = time.perf_counter() - tm
+            if self.clock is not None:
+                self.clock.record_merge(dt)
+            if self.profiler is not None:
+                self.profiler.record("root_merge", dt)
+        # Long-lived shard TSAs have cumulative meters; the epoch's share
+        # is each shard's delta since its round opened, plus the
+        # reducer's one merged release.
+        for shard in self._shards:
+            mark_in, mark_out = shard.boundary_mark
+            self.boundary_bytes_in_total += shard.tsa.boundary_bytes_in - mark_in
+            self.boundary_bytes_out_total += (
+                shard.tsa.boundary_bytes_out - mark_out
+            )
+        self.boundary_bytes_out_total += (
+            self._reducer.boundary_bytes_out - self._reducer_mark
+        )
+        info = ServerStepInfo(
+            version=self.version,
+            num_updates=len(self._epoch_contributors),
+            total_weight=self._epoch_weight_total / WEIGHT_SCALE,
+            mean_staleness=float(np.mean(self._epoch_staleness)),
+            max_staleness=int(np.max(self._epoch_staleness)),
+            contributors=tuple(self._epoch_contributors),
+        )
+        self.step_history.append(info)
+        self._begin_epoch()
+        if self.profiler is not None:
+            self.profiler.record("secagg_finalize", time.perf_counter() - t0)
+        return info
+
+    # -- failover (Appendix E.4, per shard) ------------------------------------
+
+    def drop_shard(self, shard_id: int) -> tuple[int, list[int]]:
+        """One shard's host died: excise exactly its slice of the epoch.
+
+        The shard's masked contributions never reached the root (its
+        partial is computed at finalize time from state that just died),
+        so excising its arrival-order entries leaves the epoch exactly
+        as if a single secure aggregator had been fed only the
+        survivors' arrivals — the dead slice's masks cancel out of
+        nothing.  In-flight clients routed here are dropped; routing
+        steers around the shard until :meth:`revive_shard` re-keys it.
+        Returns (buffered updates lost, dropped client ids).
+        """
+        shard = self._shards[shard_id]
+        shard.alive = False
+        dropped = sorted(
+            cid for cid, sid in self._shard_of.items() if sid == shard_id
+        )
+        for cid in dropped:
+            self._shard_of.pop(cid)
+            self._in_flight.pop(cid, None)
+        shard.in_flight = 0
+        lost = shard.count
+        if lost:
+            keep = [
+                i for i, sid in enumerate(self._entry_shards) if sid != shard_id
+            ]
+            self._epoch_staleness = [self._epoch_staleness[i] for i in keep]
+            self._epoch_contributors = [self._epoch_contributors[i] for i in keep]
+            self._entry_weights = [self._entry_weights[i] for i in keep]
+            self._entry_shards = [self._entry_shards[i] for i in keep]
+            self._epoch_weight_total = float(sum(self._entry_weights))
+        shard.weights = {}
+        shard.count = 0
+        self.shard_failovers += 1
+        return lost, dropped
+
+    def revive_shard(self, shard_id: int) -> None:
+        """Bring a dead shard back empty, re-keying its TSA round.
+
+        The re-key composes failover with epoch rotation: whatever round
+        state the shard held when its host died (recovered seeds, cached
+        mask rows, the accepted masked updates) is discarded, so its
+        next partial covers exactly the contributions accepted after
+        revival.  Minted legs survive, as across any ``begin_round``.
+        """
+        shard = self._shards[shard_id]
+        shard.alive = True
+        shard.tsa.begin_round()
+        shard.server.begin_round()
+        shard.weights = {}
+        shard.count = 0
+        shard.in_flight = 0
+
+    def drop_buffer_and_inflight(self) -> tuple[int, list[int]]:
+        """Whole-plane failure: every shard's epoch state and session is lost."""
+        for shard in self._shards:
+            shard.in_flight = 0
+        self._shard_of.clear()
+        return super().drop_buffer_and_inflight()
+
+    # -- introspection ------------------------------------------------------------
+
+    def live_shards(self) -> list[int]:
+        """Ids of shards currently accepting contributions."""
+        return [i for i, s in enumerate(self._shards) if s.alive]
+
+    def shard_loads(self) -> list[int]:
+        """Lifetime folds per shard (the load-skew telemetry)."""
+        return [s.folds_total for s in self._shards]
+
+    def shard_buffered(self) -> list[int]:
+        """Masked updates currently buffered in each shard's open epoch."""
+        return [s.count for s in self._shards]
+
+    def shard_in_flight(self) -> list[int]:
+        """In-flight clients routed to each shard."""
+        return [s.in_flight for s in self._shards]
+
+    def __repr__(self) -> str:
+        return (
+            f"SecureShardedAggregator(goal={self.goal}, "
+            f"shards={self.num_shards}, routing={self.routing.name}, "
+            f"version={self.version}, buffered={self.buffered_count}, "
+            f"in_flight={len(self._in_flight)})"
+        )
+
+
+class ProcessSecureShardedAggregator(SecureShardedAggregator):
+    """Secure sharded aggregation on real worker processes.
+
+    Each shard's *entire* secure pipeline — deterministic client
+    participation, demand leg minting, attestation verification, TSA
+    admit — runs on that shard's worker process
+    (:class:`~repro.core.parallel.SecureShardWorkerPool`), because the
+    2048-bit modexps are what dominate the secure critical path; a
+    fold-only executor would leave them serialized on the parent.  The
+    parent validates arrivals, routes, keeps the FedBuff bookkeeping,
+    and at the aggregation goal merges the shards' masked group sums
+    and partial unmasks (written to a shared-memory slab) under the
+    trusted root reducer.
+
+    Bit-identical to the inline plane: workers derive every key, seed,
+    and mask from the same ``child_rng`` chains, and leg indices are
+    sequential per shard on both sides, so the parent can assign them
+    without waiting for acks.
+
+    A dead worker (or an exhausted input slab, or a reported rejection)
+    triggers a permanent fallback to the inline executor: the parent
+    catches each dormant inline shard up by burning the worker's
+    lifetime leg mints off its virgin TSA RNG, then replays the open
+    epoch's dispatch log — same derivations, same order — so the inline
+    plane continues from exactly the state the workers held.
+    """
+
+    def __init__(
+        self,
+        state,
+        goal: int,
+        vector_length: int,
+        *,
+        start_method: str | None = None,
+        on_event=None,
+        **kwargs,
+    ):
+        super().__init__(state, goal, vector_length, **kwargs)
+        from repro.core.parallel import SecureShardWorkerPool, _default_on_event
+
+        if self.group.dtype != np.uint64:
+            raise ValueError(
+                "the secure process executor shares uint64 group slabs; "
+                f"group dtype is {self.group.dtype}"
+            )
+        self._on_event = on_event or _default_on_event
+        self._pool = SecureShardWorkerPool(
+            num_shards=self.num_shards,
+            vector_length=vector_length,
+            slots=2 * goal,
+            seed=self.seed,
+            goal=goal,
+            group_bits=self.group.bits,
+            fp_scale=self.codec.scale,
+            clip_value=self.clip_value,
+            cache_masks=self._cache_masks,
+            start_method=start_method,
+            on_event=self._on_event,
+        )
+        # Cumulative worker boundary meters at the last accounting point,
+        # per shard — finalize adds the delta, exactly like the inline
+        # plane's per-epoch marks.
+        self._worker_marks = [(0, 0)] * self.num_shards
+        self._pool_active = True
+        self.executor_fallbacks = 0
+
+    @property
+    def pool_active(self) -> bool:
+        """Whether the secure pipeline still runs on worker processes."""
+        return self._pool_active
+
+    def kill_worker(self, shard_id: int) -> bool:
+        """Chaos hook (``worker_kill`` fault): terminate one shard worker.
+
+        The fallback fires at the next barrier/dispatch, replaying the
+        dispatch log inline (bit-identically).  Returns False once
+        already fallen back.
+        """
+        if not self._pool_active:
+            return False
+        return self._pool.kill_worker(shard_id)
+
+    # -- fallback --------------------------------------------------------------
+
+    def _fall_back(self, reason: str, **fields) -> None:
+        """Permanently switch to the inline executor, bit-identically.
+
+        The dormant inline shards (built by ``_begin_epoch``, never fed
+        while the pool was active) have virgin TSA RNGs and empty
+        rounds.  Catch-up: burn each worker's lifetime leg mints
+        (``ops_total``) off the inline pool so the mint RNG aligns, mark
+        the boundary meters (pre-epoch traffic was already accounted
+        from worker acks), then replay the open epoch's participations
+        with the same derivations in dispatch order.
+        """
+        if not self._pool_active:
+            return
+        self._pool_active = False
+        self.executor_fallbacks += 1
+        epoch_ops = self._pool.epoch_ops()
+        for sid, shard in enumerate(self._shards):
+            for _ in range(self._pool.minted_before_epoch(sid)):
+                shard.pool.take()
+            shard.boundary_mark = (
+                shard.tsa.boundary_bytes_in,
+                shard.tsa.boundary_bytes_out,
+            )
+            shard.weights = {}
+        from repro.secagg.client import SecAggClient
+
+        for sid, slot, cid, version, updates_received, w_int, n_ex in epoch_ops:
+            shard = self._shards[sid]
+            client = SecAggClient(
+                client_id=cid,
+                codec=self.codec,
+                authority=self.authority,
+                expected_binary_hash=shard.tsa.binary_hash,
+                expected_params_hash=shard.tsa.params_hash,
+                rng=child_rng(
+                    self.seed, "secagg-client", cid, version, updates_received
+                ),
+            )
+            leg = shard.server.assign_leg()
+            submission = client.participate(
+                self._pool.inputs[slot].copy(), leg,
+                log_bundle=self._log_bundle, num_examples=n_ex,
+            )
+            if not shard.server.submit(submission):
+                raise RuntimeError("secure submission rejected by honest TSA")
+            shard.weights[submission.leg_index] = w_int
+        self._on_event(
+            "executor_fallback",
+            {"reason": reason, "executor": "inline", **fields},
+        )
+        self._pool.close()
+
+    # -- overridden pipeline seams ---------------------------------------------
+
+    def receive_update(
+        self, result: TrainingResult
+    ) -> tuple[ModelUpdate, ServerStepInfo | None]:
+        if not self._pool_active:
+            return super().receive_update(result)
+        t0 = time.perf_counter() if self.profiler is not None else 0.0
+        self._require_routed(result.client_id)
+        # The validation half of _prepare_submission; the crypto half
+        # runs on the shard's worker.
+        initial = self._in_flight.pop(result.client_id, None)
+        if initial is None:
+            raise KeyError(f"client {result.client_id} is not in flight")
+        if initial != result.initial_version:
+            self._release_route(result.client_id)
+            raise ValueError(
+                f"client {result.client_id} reported initial version "
+                f"{result.initial_version}, aggregator recorded {initial}"
+            )
+        staleness = self.version - result.initial_version
+        weight = self._example_weight(result.num_examples) * self.staleness_policy(
+            staleness
+        )
+        w_int = max(1, int(round(weight * WEIGHT_SCALE)))
+        shard_id = self._release_route(result.client_id)
+        shard = self._shards[shard_id]
+        # Demand minting is one leg per arrival, so per-shard leg
+        # indices are sequential — the worker's assign_leg returns
+        # exactly this index.
+        leg_index = shard.folds_total
+        try:
+            self._pool.participate(
+                shard_id, result.delta, result.client_id, self.version,
+                self.updates_received, w_int, result.num_examples,
+            )
+        except Exception as exc:  # WorkerPoolError or a dead queue
+            self._fall_back("pool_error", shard=shard_id, error=str(exc))
+            from repro.secagg.client import SecAggClient
+
+            client = SecAggClient(
+                client_id=result.client_id,
+                codec=self.codec,
+                authority=self.authority,
+                expected_binary_hash=shard.tsa.binary_hash,
+                expected_params_hash=shard.tsa.params_hash,
+                rng=child_rng(
+                    self.seed, "secagg-client", result.client_id,
+                    self.version, self.updates_received,
+                ),
+            )
+            leg = shard.server.assign_leg()
+            submission = client.participate(
+                result.delta, leg, log_bundle=self._log_bundle,
+                num_examples=result.num_examples,
+            )
+            if not shard.server.submit(submission):
+                raise RuntimeError(
+                    "secure submission rejected by honest TSA"
+                ) from None
+            leg_index = submission.leg_index
+        shard.count += 1
+        shard.folds_total += 1
+        self._entry_shards.append(shard_id)
+        self._record_contribution(result, leg_index, w_int, staleness)
+        if self.profiler is not None:
+            self.profiler.record("secagg_submit", time.perf_counter() - t0)
+        update = ModelUpdate(
+            result=result, arrival_version=self.version, weight=weight
+        )
+        info = None
+        if len(self._epoch_contributors) >= self.goal:
+            info = self._finalize_epoch()
+        return update, info
+
+    def receive_update_block(
+        self, results: list[TrainingResult]
+    ) -> list[tuple[ModelUpdate, ServerStepInfo | None]]:
+        """Per-arrival dispatch *is* the block plane here: every arrival
+        already crosses to its worker asynchronously, so cohort drains
+        reduce to the sequential path (identical semantics and bits)."""
+        if not self._pool_active:
+            return super().receive_update_block(results)
+        return [self.receive_update(result) for result in results]
+
+    def _finalize_epoch(self) -> ServerStepInfo:
+        if not self._pool_active:
+            return super()._finalize_epoch()
+        from repro.core.parallel import WorkerPoolError
+
+        t0 = time.perf_counter() if self.profiler is not None else 0.0
+        try:
+            self._pool.barrier()
+            masked_partials = []
+            unmask_partials = []
+            processed = 0
+            total_w = 0
+            for sid, shard in enumerate(self._shards):
+                if not shard.weights:
+                    continue
+                _, shard_processed, shard_w, _, _ = self._pool.call(
+                    sid, "finalize_partial"
+                )
+                masked_partials.append((sid, self._pool.masked_row(sid).copy()))
+                unmask_partials.append((sid, self._pool.unmask_row(sid).copy()))
+                processed += shard_processed
+                total_w += shard_w
+            meters = {
+                sid: self._pool.call(sid, "meters")
+                for sid in range(self.num_shards)
+            }
+        except WorkerPoolError as exc:
+            self._fall_back(
+                "worker_dead",
+                dead=tuple(self._pool.dead_workers()),
+                error=str(exc),
+            )
+            return super()._finalize_epoch()
+        merged_masked = merge_group_partials(
+            self.group, masked_partials, self.vector_length
+        )
+        unmask = self._reducer.merge_released_partials(unmask_partials, processed)
+        encoded_sum = self.group.sub(merged_masked, unmask)
+        weighted_sum = self.codec.decode_sum(
+            encoded_sum, max(total_w, 1), self.clip_value
+        )
+        self.last_merged_masked_sum = merged_masked
+        self.last_unmask = unmask
+        avg = (weighted_sum / self._epoch_weight_total).astype(np.float32)
+        self.state.apply(avg, len(self._epoch_contributors))
+        self.version += 1
+        self.epochs_completed += 1
+        for sid in range(self.num_shards):
+            _, m_in, m_out = meters[sid]
+            mark_in, mark_out = self._worker_marks[sid]
+            self.boundary_bytes_in_total += m_in - mark_in
+            self.boundary_bytes_out_total += m_out - mark_out
+            self._worker_marks[sid] = (m_in, m_out)
+        self.boundary_bytes_out_total += (
+            self._reducer.boundary_bytes_out - self._reducer_mark
+        )
+        info = ServerStepInfo(
+            version=self.version,
+            num_updates=len(self._epoch_contributors),
+            total_weight=self._epoch_weight_total / WEIGHT_SCALE,
+            mean_staleness=float(np.mean(self._epoch_staleness)),
+            max_staleness=int(np.max(self._epoch_staleness)),
+            contributors=tuple(self._epoch_contributors),
+        )
+        self.step_history.append(info)
+        self._begin_epoch()
+        try:
+            for sid, shard in enumerate(self._shards):
+                if shard.alive:
+                    self._pool.call(sid, "begin_round")
+            self._pool.reset_epoch()
+        except WorkerPoolError as exc:
+            self._fall_back(
+                "worker_dead",
+                dead=tuple(self._pool.dead_workers()),
+                error=str(exc),
+            )
+        if self.profiler is not None:
+            self.profiler.record("secagg_finalize", time.perf_counter() - t0)
+        return info
+
+    # -- failover ---------------------------------------------------------------
+
+    def drop_shard(self, shard_id: int) -> tuple[int, list[int]]:
+        if self._pool_active:
+            self._pool.discard_shard(shard_id)
+        return super().drop_shard(shard_id)
+
+    def revive_shard(self, shard_id: int) -> None:
+        super().revive_shard(shard_id)
+        if self._pool_active:
+            from repro.core.parallel import WorkerPoolError
+
+            try:
+                self._pool.call(shard_id, "begin_round")
+            except WorkerPoolError as exc:
+                self._fall_back(
+                    "worker_dead", shard=shard_id, error=str(exc)
+                )
+
+    def drop_buffer_and_inflight(self) -> tuple[int, list[int]]:
+        out = super().drop_buffer_and_inflight()
+        if self._pool_active:
+            from repro.core.parallel import WorkerPoolError
+
+            try:
+                self._pool.barrier()
+                for sid, shard in enumerate(self._shards):
+                    if shard.alive:
+                        self._pool.call(sid, "begin_round")
+                self._pool.reset_epoch()
+            except WorkerPoolError as exc:
+                self._fall_back(
+                    "worker_dead",
+                    dead=tuple(self._pool.dead_workers()),
+                    error=str(exc),
+                )
+        return out
+
+    def drain(self) -> None:
+        """Barrier on every outstanding worker task (perf-harness hook)."""
+        if self._pool_active:
+            from repro.core.parallel import WorkerPoolError
+
+            try:
+                self._pool.barrier()
+            except WorkerPoolError as exc:
+                self._fall_back(
+                    "worker_dead",
+                    dead=tuple(self._pool.dead_workers()),
+                    error=str(exc),
+                )
+
+    def close(self) -> None:
+        """Tear down the worker pool (idempotent)."""
+        self._pool.close()
+
+    def __repr__(self) -> str:
+        executor = "process" if self._pool_active else "inline(fallback)"
+        return (
+            f"ProcessSecureShardedAggregator(goal={self.goal}, "
+            f"shards={self.num_shards}, routing={self.routing.name}, "
+            f"executor={executor}, version={self.version})"
+        )
+
+
+class SecureShardedFLTaskRuntime(ShardedFLTaskRuntime):
+    """Server-side runtime of one secure task whose aggregation is sharded.
+
+    Everything the float sharded runtime does — shard→node placement,
+    per-shard demand entries, upload routing, per-shard failover through
+    the heartbeat/sweep machinery — is inherited unchanged; only the
+    core differs: masked group folds per shard and one unmask release
+    per epoch instead of float partial sums.  The Coordinator's
+    placement and failover paths key on ``isinstance(...,
+    ShardedFLTaskRuntime)``, so this subclass rides them for free.
+    """
+
+    def _build_core(self, config: TaskConfig, adapter: TrainerAdapter):
+        if not config.secure_aggregation:
+            raise ValueError(
+                "SecureShardedFLTaskRuntime requires secure_aggregation; "
+                "plain sharded tasks use ShardedFLTaskRuntime"
+            )
+        num_shards, shard_routing, executor = self._shard_core_opts
+        core_kwargs = dict(
+            goal=config.aggregation_goal,
+            vector_length=adapter.state.size,
+            num_shards=num_shards,
+            routing=shard_routing,
+            staleness_policy=PolynomialStaleness(0.5),
+            max_staleness=config.max_staleness,
+            example_weighting=adapter.recommended_example_weighting,
+        )
+        if executor == "process":
+            # ProcessSecureShardedAggregator imports the multiprocessing
+            # machinery lazily, so single-process paths never pay for it.
+            return ProcessSecureShardedAggregator(
+                adapter.state,
+                on_event=self._executor_event_sink(),
+                **core_kwargs,
+            )
+        return SecureShardedAggregator(adapter.state, **core_kwargs)

@@ -81,22 +81,40 @@ class ShardedFLTaskRuntime(FLTaskRuntime):
             raise ValueError(
                 f"executor must be 'inline' or 'process' (got {executor!r})"
             )
-        if config.secure_aggregation:
-            raise ValueError(
-                "sharded aggregation does not compose with secure "
-                "aggregation yet: the TSA releases one unmask vector per "
-                "buffer, which a per-shard partial fold cannot split"
-            )
         if config.mode is not TrainingMode.ASYNC:
             raise ValueError(
                 "sharded aggregation requires mode=ASYNC: FedBuff's "
                 "buffered fold is what the shards partially evaluate"
             )
-        # The base constructor builds the whole-task runtime (sessions,
-        # demand bookkeeping) plus a single-core aggregator that the
-        # sharded core below replaces; FedBuffAggregator construction is
-        # side-effect-free on adapter.state, so nothing leaks.
+        # Stashed before the base constructor runs, because it calls the
+        # _build_core seam, which consumes them.
+        self._shard_core_opts = (num_shards, shard_routing, executor)
         super().__init__(config, adapter, sim, trace, log, on_slot_free, cohort)
+        self.shard_nodes: dict[int, AggregatorNode] = {}
+
+    def _executor_event_sink(self) -> Callable[[str, dict], None]:
+        """Structured-event sink for the process executor.
+
+        Executor events (dead-worker fallback and friends) land in the
+        event log under the task's name, so a trace reader can see when
+        a run silently degraded to the inline fold.
+        """
+        sim, log, name = self.sim, self.log, self.config.name
+
+        def _executor_event(kind: str, fields: dict) -> None:
+            log.emit(sim.now, f"task:{name}", kind, **fields)
+
+        return _executor_event
+
+    def _build_core(self, config: TaskConfig, adapter: TrainerAdapter):
+        """Stand up the sharded float core (inline or process executor)."""
+        if config.secure_aggregation:
+            raise ValueError(
+                "secure tasks shard through the secure_sharded plane "
+                "(SecureShardedFLTaskRuntime): this runtime folds float "
+                "partials, not masked group sums"
+            )
+        num_shards, shard_routing, executor = self._shard_core_opts
         core_kwargs = dict(
             goal=config.aggregation_goal,
             num_shards=num_shards,
@@ -108,23 +126,15 @@ class ShardedFLTaskRuntime(FLTaskRuntime):
         )
         if executor == "process":
             # Lazy import: the single-process paths never pay for the
-            # multiprocessing machinery.  Executor events (dead-worker
-            # fallback and friends) land in the structured event log
-            # under the task's name, so a trace reader can see when a
-            # run silently degraded to the inline fold.
+            # multiprocessing machinery.
             from repro.core.parallel import ProcessShardedFedBuffAggregator
 
-            def _executor_event(kind: str, fields: dict) -> None:
-                log.emit(sim.now, f"task:{config.name}", kind, **fields)
-
-            self.core = ProcessShardedFedBuffAggregator(
+            return ProcessShardedFedBuffAggregator(
                 adapter.state,
-                on_event=_executor_event,
+                on_event=self._executor_event_sink(),
                 **core_kwargs,
             )
-        else:
-            self.core = ShardedFedBuffAggregator(adapter.state, **core_kwargs)
-        self.shard_nodes: dict[int, AggregatorNode] = {}
+        return ShardedFedBuffAggregator(adapter.state, **core_kwargs)
 
     # -- placement ------------------------------------------------------------
 

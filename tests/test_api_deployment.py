@@ -218,7 +218,9 @@ class TestPlaneFallback:
         assert event.detail["chosen"] == "single"
         assert "ASYNC" in event.detail["reason"]
 
-    def test_secure_task_falls_back_with_event(self):
+    def test_secure_task_shards_hierarchically_without_fallback(self):
+        from repro.system.secure_sharding import SecureShardedFLTaskRuntime
+
         pop = make_pop(200, seed=0)
         cfg = TaskConfig(name="sec", mode=TrainingMode.ASYNC, concurrency=12,
                          aggregation_goal=4, secure_aggregation=True,
@@ -227,9 +229,10 @@ class TestPlaneFallback:
             [(cfg, SurrogateAdapter(seed=0))], pop,
             system=SystemConfig(num_shards=4), seed=0,
         )
-        [event] = fs.log.of_kind("plane_fallback")
-        assert event.detail["chosen"] == "secure"
-        assert event.detail["requested"] == "sharded"
+        rt = fs.task_runtimes["sec"]
+        assert type(rt) is SecureShardedFLTaskRuntime
+        assert rt.core.num_shards == 4
+        assert fs.log.count("plane_fallback") == 0
 
     def test_eligible_tasks_log_nothing(self):
         pop = make_pop(200, seed=0)
@@ -244,7 +247,9 @@ class TestPlaneFallback:
 
 class TestPlaneRegistry:
     def test_builtin_planes_registered(self):
-        assert {"single", "sharded", "secure"} <= set(planes.plane_names())
+        assert {"single", "sharded", "secure", "secure_sharded"} <= set(
+            planes.plane_names()
+        )
 
     def test_unknown_plane_lookup_lists_known(self):
         with pytest.raises(KeyError, match="single"):
